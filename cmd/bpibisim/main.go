@@ -1,0 +1,101 @@
+// Command bpibisim decides the behavioural equivalences of the paper
+// between two terms.
+//
+// Usage:
+//
+//	bpibisim [-f file] [-rel labelled|barbed|step|onestep|congruence|all]
+//	         [-weak] "term1" "term2"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bpi/internal/equiv"
+	"bpi/internal/parser"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+func main() {
+	file := flag.String("f", "", "program file with definitions")
+	rel := flag.String("rel", "all", "relation: labelled, barbed, step, onestep, congruence, all")
+	weak := flag.Bool("weak", false, "use the weak relation")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bpibisim [-f file] [-rel R] [-weak] term1 term2")
+		os.Exit(2)
+	}
+	var env syntax.Env
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		fail(err)
+		prog, err := parser.ParseProgram(string(src))
+		fail(err)
+		env = prog.Env
+	}
+	p, err := parser.Parse(flag.Arg(0))
+	fail(err)
+	q, err := parser.Parse(flag.Arg(1))
+	fail(err)
+
+	ch := equiv.NewChecker(semantics.NewSystem(env))
+	show := func(name string, related bool, detail string) {
+		verdict := "NOT related"
+		if related {
+			verdict = "related"
+		}
+		fmt.Printf("%-12s %s", name, verdict)
+		if detail != "" {
+			fmt.Printf("   (%s)", detail)
+		}
+		fmt.Println()
+	}
+	mode := "strong"
+	if *weak {
+		mode = "weak"
+	}
+	fmt.Printf("p = %s\nq = %s\nmode = %s\n", syntax.String(p), syntax.String(q), mode)
+
+	want := map[string]bool{}
+	if *rel == "all" {
+		for _, r := range []string{"labelled", "barbed", "step", "onestep", "congruence"} {
+			want[r] = true
+		}
+	} else {
+		want[*rel] = true
+	}
+	if want["labelled"] {
+		r, err := ch.Labelled(p, q, *weak)
+		fail(err)
+		show("labelled", r.Related, r.Reason)
+	}
+	if want["barbed"] {
+		r, err := ch.Barbed(p, q, *weak)
+		fail(err)
+		show("barbed", r.Related, r.Reason)
+	}
+	if want["step"] {
+		r, err := ch.Step(p, q, *weak)
+		fail(err)
+		show("step", r.Related, r.Reason)
+	}
+	if want["onestep"] {
+		ok, err := ch.OneStep(p, q, *weak)
+		fail(err)
+		show("one-step", ok, "")
+	}
+	if want["congruence"] {
+		ok, err := ch.Congruence(p, q, *weak)
+		fail(err)
+		show("congruence", ok, "closure under all fusions of the free names")
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpibisim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Example 2 of the paper end-to-end: detecting inconsistencies in a
+// partitioned replicated database. Transactions execute in disconnected
+// partitions; on reconnection (a broadcast on "unif") the system exchanges
+// summaries, builds the precedence graph with mobile edge managers, and
+// flags write/write conflicts or precedence cycles on "errc".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bpi/internal/machine"
+	"bpi/internal/names"
+	"bpi/internal/papers"
+	"bpi/internal/semantics"
+)
+
+func main() {
+	scenarios := []struct {
+		name    string
+		history []papers.Txn
+	}{
+		{"serial updates, one partition", []papers.Txn{
+			{ID: "t1", Item: "x", Write: true, Part: "p1"},
+			{ID: "t2", Item: "x", Write: false, Part: "p1"},
+			{ID: "t2", Item: "y", Write: true, Part: "p1"},
+		}},
+		{"double write across the split", []papers.Txn{
+			{ID: "t1", Item: "x", Write: true, Part: "p1"},
+			{ID: "t2", Item: "x", Write: true, Part: "p2"},
+		}},
+		{"stale reads forming a cycle", []papers.Txn{
+			{ID: "t1", Item: "x", Write: false, Part: "p1"},
+			{ID: "t2", Item: "x", Write: true, Part: "p2"},
+			{ID: "t2", Item: "y", Write: false, Part: "p2"},
+			{ID: "t1", Item: "y", Write: true, Part: "p1"},
+		}},
+		{"independent partitions", []papers.Txn{
+			{ID: "t1", Item: "x", Write: true, Part: "p1"},
+			{ID: "t2", Item: "y", Write: true, Part: "p2"},
+		}},
+	}
+
+	const (
+		unif names.Name = "unif"
+		errc names.Name = "errc"
+	)
+	sys := semantics.NewSystem(papers.TxnEnvOnce())
+
+	fmt.Println("Partitioned-database inconsistency detection (paper Example 2)")
+	fmt.Println()
+	for _, sc := range scenarios {
+		edges := papers.PrecedenceEdges(sc.history)
+		oracle := papers.InconsistentOracle(sc.history)
+		system := papers.TransactionSystem(sc.history, unif, errc)
+		got, err := machine.CanReachBarb(sys, system, errc, 300000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "consistent"
+		if got {
+			verdict = "INCONSISTENT"
+		}
+		fmt.Printf("%-34s precedence-edges=%d  ww-conflict=%v  -> %s\n",
+			sc.name, len(edges), papers.WriteWriteConflict(sc.history), verdict)
+		if got != oracle {
+			log.Fatalf("calculus verdict %v disagrees with the oracle %v", got, oracle)
+		}
+	}
+	fmt.Println("\nall verdicts match the plain-Go serialisability oracle")
+}

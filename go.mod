@@ -1,0 +1,3 @@
+module bpi
+
+go 1.22

@@ -1,0 +1,110 @@
+package actions
+
+import (
+	"testing"
+
+	"bpi/internal/names"
+)
+
+const (
+	a names.Name = "a"
+	b names.Name = "b"
+	c names.Name = "c"
+	x names.Name = "x"
+)
+
+func TestConstructorsAndPredicates(t *testing.T) {
+	tau := NewTau()
+	in := NewIn(a, []names.Name{x})
+	out := NewOut(a, []names.Name{b})
+	bout := NewBoundOut(a, []names.Name{x, b}, []names.Name{x})
+	disc := NewDiscard(a)
+
+	if !tau.IsTau() || tau.IsOutput() || tau.IsInput() {
+		t.Error("tau predicates wrong")
+	}
+	if !in.IsInput() || in.IsStep() {
+		t.Error("input predicates wrong")
+	}
+	if !out.IsOutput() || !out.IsStep() {
+		t.Error("output predicates wrong")
+	}
+	if !bout.IsOutput() || len(bout.Bound) != 1 {
+		t.Error("bound output predicates wrong")
+	}
+	if disc.Kind != Discard || disc.IsStep() {
+		t.Error("discard predicates wrong")
+	}
+	if !tau.IsStep() {
+		t.Error("tau must be a step")
+	}
+}
+
+// TestFreeBoundNames re-derives Definition 1's name functions.
+func TestFreeBoundNames(t *testing.T) {
+	cases := []struct {
+		act      Act
+		free, bd names.Set
+	}{
+		{NewTau(), names.NewSet(), names.NewSet()},
+		{NewIn(a, []names.Name{b, c}), names.NewSet(a, b, c), names.NewSet()},
+		{NewOut(a, []names.Name{b}), names.NewSet(a, b), names.NewSet()},
+		{NewBoundOut(a, []names.Name{x, b}, []names.Name{x}), names.NewSet(a, b), names.NewSet(x)},
+		{NewDiscard(a), names.NewSet(a), names.NewSet()},
+	}
+	for i, cs := range cases {
+		if got := cs.act.FreeNames(); !got.Equal(cs.free) {
+			t.Errorf("case %d: fn = %v, want %v", i, got, cs.free)
+		}
+		if got := cs.act.BoundNames(); !got.Equal(cs.bd) {
+			t.Errorf("case %d: bn = %v, want %v", i, got, cs.bd)
+		}
+		want := cs.free.Union(cs.bd)
+		if got := cs.act.Names(); !got.Equal(want) {
+			t.Errorf("case %d: n = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRenameRespectsBinders(t *testing.T) {
+	bout := NewBoundOut(a, []names.Name{x, b}, []names.Name{x})
+	ren := bout.Rename(names.Subst{a: c, b: c, x: c})
+	if ren.Subj != c {
+		t.Errorf("subject not renamed: %s", ren)
+	}
+	if ren.Objs[0] != x {
+		t.Errorf("bound object renamed by Rename: %s", ren)
+	}
+	if ren.Objs[1] != c {
+		t.Errorf("free object not renamed: %s", ren)
+	}
+	all := bout.RenameAll(names.Subst{x: c})
+	if all.Objs[0] != c || all.Bound[0] != c {
+		t.Errorf("RenameAll missed binder: %s", all)
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	if !NewOut(a, []names.Name{b}).Equal(NewOut(a, []names.Name{b})) {
+		t.Error("equal outputs differ")
+	}
+	if NewOut(a, []names.Name{b}).Equal(NewOut(a, []names.Name{c})) {
+		t.Error("different payloads equal")
+	}
+	if NewIn(a, nil).Equal(NewOut(a, nil)) {
+		t.Error("kind confusion")
+	}
+	cases := map[string]Act{
+		"tau":         NewTau(),
+		"a?(x)":       NewIn(a, []names.Name{x}),
+		"a!(b)":       NewOut(a, []names.Name{b}),
+		"a!":          NewOut(a, nil),
+		"(^x)a!(x,b)": NewBoundOut(a, []names.Name{x, b}, []names.Name{x}),
+		"a:":          NewDiscard(a),
+	}
+	for want, act := range cases {
+		if got := act.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

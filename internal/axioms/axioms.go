@@ -1,0 +1,361 @@
+package axioms
+
+import (
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// semanticsSystem returns the shared empty-environment system used for
+// side-condition checks on finite terms.
+func semanticsSystem() *semantics.System { return sharedSys }
+
+var sharedSys = semantics.NewSystem(nil)
+
+// Axiom is one law of the system A (Tables 6 and 7) presented as an
+// instance generator: given raw material (subterms and names), it produces
+// a (lhs, rhs) pair that the law equates, or ok=false when the side
+// conditions are not met. The E8 experiment validates every axiom's
+// instances against the semantic congruence checker (Theorem 6, soundness).
+type Axiom struct {
+	Name string
+	// Table is "A" (Table 6), "R" (Table 7) or "E" (Table 8).
+	Table string
+	// Inst builds an instance from the material.
+	Inst func(m Material) (lhs, rhs syntax.Proc, ok bool)
+}
+
+// Material is the raw input for axiom instantiation.
+type Material struct {
+	P, Q, R syntax.Proc
+	A, B, C names.Name
+	X       names.Name // a name fresh for P (binder material)
+}
+
+// Catalogue returns the axiom system A: the laws of Table 6 (choice,
+// conditions, the noisy axiom (H), and (SP)), the restriction laws of
+// Table 7, and the parallel laws (P1 plus the expansion axiom, exposed
+// separately via Expand).
+func Catalogue() []Axiom {
+	return []Axiom{
+		{"S1: p+nil = p", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Choice(m.P, syntax.PNil), m.P, true
+		}},
+		{"S2: p+p = p", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Choice(m.P, m.P), m.P, true
+		}},
+		{"S3: p+q = q+p", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Choice(m.P, m.Q), syntax.Choice(m.Q, m.P), true
+		}},
+		{"S4: (p+q)+r = p+(q+r)", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Choice(syntax.Choice(m.P, m.Q), m.R), syntax.Choice(m.P, syntax.Choice(m.Q, m.R)), true
+		}},
+		{"C3: φ⇔ψ ⇒ φp = ψp", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			phi := Conj(Eq{m.A, m.B}, Eq{m.B, m.A})
+			psi := Eq{m.A, m.B}
+			return CondProc(phi, m.P), CondProc(psi, m.P), true
+		}},
+		{"C4: False p = False q", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return CondProc(False(), m.P), CondProc(False(), m.Q), true
+		}},
+		{"C5: φp,p = p", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.If(m.A, m.B, m.P, m.P), m.P, true
+		}},
+		{"C6: φp,q = ¬φ q,p", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.If(m.A, m.B, m.P, m.Q), CondProc2(Neq(m.A, m.B), m.Q, m.P), true
+		}},
+		{"SC1: φ(p1+p2),(q1+q2) = φp1,q1 + φp2,q2", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.If(m.A, m.B, syntax.Choice(m.P, m.Q), syntax.Choice(m.Q, m.R)),
+				syntax.Choice(syntax.If(m.A, m.B, m.P, m.Q), syntax.If(m.A, m.B, m.Q, m.R)), true
+		}},
+		{"CP1: bn(α)∩n(φ)=∅ ⇒ φ(α.p) = φ(α.φp)", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			alphaP := syntax.Send(m.C, nil, m.P)
+			alphaPhiP := syntax.Send(m.C, nil, CondProc(Eq{m.A, m.B}, m.P))
+			return CondProc(Eq{m.A, m.B}, alphaP), CondProc(Eq{m.A, m.B}, alphaPhiP), true
+		}},
+		{"CP2: (x=y)α.p = (x=y)(α{x/y}).p", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			lhs := syntax.If(m.A, m.B, syntax.Send(m.B, []names.Name{m.C}, m.P), syntax.PNil)
+			rhs := syntax.If(m.A, m.B, syntax.Send(m.A, []names.Name{m.C}, m.P), syntax.PNil)
+			return lhs, rhs, true
+		}},
+		{"H: noisy saturation", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			// ā.p = ā.(p + a(x).p), requiring x ∉ fn(p) and a ∉ In(p).
+			if syntax.FreeNames(m.P).Contains(m.X) {
+				return nil, nil, false
+			}
+			if listensOn(m.P, m.A) {
+				return nil, nil, false
+			}
+			lhs := syntax.Send(m.A, nil, m.P)
+			rhs := syntax.Send(m.A, nil, syntax.Choice(m.P, syntax.Recv(m.A, []names.Name{m.X}, m.P)))
+			return lhs, rhs, true
+		}},
+		{"SP: input selector", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			// a(x).p + a(x).q = a(x).p + a(x).q + a(x).((x=b)p,q).
+			ax := m.X
+			inP := syntax.Recv(m.A, []names.Name{ax}, m.P)
+			inQ := syntax.Recv(m.A, []names.Name{ax}, m.Q)
+			sel := syntax.Recv(m.A, []names.Name{ax}, syntax.If(ax, m.B, m.P, m.Q))
+			return syntax.Choice(inP, inQ), syntax.Choice(inP, syntax.Choice(inQ, sel)), true
+		}},
+		{"P1: p‖nil = p", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Group(m.P, syntax.PNil), m.P, true
+		}},
+		{"R1: νxνyp = νyνxp", "R", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Restrict(m.P, m.A, m.B), syntax.Restrict(m.P, m.B, m.A), m.A != m.B
+		}},
+		{"R2: νx(p+q) = νxp+νxq", "R", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Restrict(syntax.Choice(m.P, m.Q), m.A),
+				syntax.Choice(syntax.Restrict(m.P, m.A), syntax.Restrict(m.Q, m.A)), true
+		}},
+		{"R3: x∉n(α) ⇒ νx α.p = α.νx p", "R", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			if m.A == m.B || m.A == m.C {
+				return nil, nil, false
+			}
+			return syntax.Restrict(syntax.Send(m.B, []names.Name{m.C}, m.P), m.A),
+				syntax.Send(m.B, []names.Name{m.C}, syntax.Restrict(m.P, m.A)), true
+		}},
+		{"RP2: νx x̄y.p = τ.νx p", "R", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Restrict(syntax.Send(m.A, []names.Name{m.B}, m.P), m.A),
+				syntax.TauP(syntax.Restrict(m.P, m.A)), true
+		}},
+		{"RP3: νx x(y).p = nil", "R", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			return syntax.Restrict(syntax.Recv(m.A, []names.Name{m.X}, m.P), m.A), syntax.PNil, true
+		}},
+		{"RM1: x≠y ⇒ νx(x=y)p = nil", "R", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			if m.A == m.B {
+				return nil, nil, false
+			}
+			// Soundness needs x restricted and p's behaviour guarded by x=y.
+			return syntax.Restrict(syntax.If(m.A, m.B, m.P, syntax.PNil), m.A), syntax.PNil,
+				!syntax.FreeNames(m.P).Contains(m.A)
+		}},
+		{"RM2: x∉{y,z} ⇒ νx(y=z)p = (y=z)νxp", "R", func(m Material) (syntax.Proc, syntax.Proc, bool) {
+			if m.A == m.B || m.A == m.C {
+				return nil, nil, false
+			}
+			return syntax.Restrict(syntax.If(m.B, m.C, m.P, syntax.PNil), m.A),
+				syntax.If(m.B, m.C, syntax.Restrict(m.P, m.A), syntax.PNil), true
+		}},
+	}
+}
+
+// listensOn reports whether p has an input transition on channel a
+// (a ∈ In(p)), computed with the empty environment (finite terms).
+func listensOn(p syntax.Proc, a names.Name) bool {
+	sys := semanticsSystem()
+	ts, err := sys.Steps(p)
+	if err != nil {
+		return true // conservative: refuse the (H) instance
+	}
+	for _, t := range ts {
+		if t.Act.IsInput() && t.Act.Subj == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Expand applies the expansion axiom (Table 8) to p‖q where both operands
+// are sums of unconditioned prefixes (the common case after hnf): it
+// returns the equivalent prefix-sum with the nine summand families of the
+// table — joint inputs, output+reception (both orientations),
+// output+discard, reception+discard, and the τ interleavings.
+//
+// Operands with conditions, restrictions or nested parallels should go
+// through ComputeHNF first. Returns ok=false if an operand is not a sum of
+// prefixes.
+//
+// Arity caveat: the paper states the axiomatisation for the monadic
+// calculus. In a polyadic setting the [x∉T] guard conflates "not listening
+// on x" with "listening on x at a different arity" (a process in the latter
+// state blocks a broadcast instead of ignoring it), so Expand is sound only
+// when all prefixes on a channel share one arity — e.g. the uniform-arity
+// fragment. The prover (Decide) does not use this rewrite and has no such
+// restriction.
+func Expand(p, q syntax.Proc) (syntax.Proc, bool) {
+	ps, ok := prefixSummands(p)
+	if !ok {
+		return nil, false
+	}
+	qs, ok := prefixSummands(q)
+	if !ok {
+		return nil, false
+	}
+	inChansP := inputChannelNames(ps)
+	inChansQ := inputChannelNames(qs)
+	var out []syntax.Proc
+	// Joint inputs (first family): [x=y] x(v).(p'‖q'), for every pair of
+	// inputs of equal arity — the equality guard covers substitutions that
+	// fuse distinct channel names.
+	for _, sa := range ps {
+		ain, ok := sa.Pre.(syntax.In)
+		if !ok {
+			continue
+		}
+		for _, sb := range qs {
+			bin, ok := sb.Pre.(syntax.In)
+			if !ok || len(bin.Params) != len(ain.Params) {
+				continue
+			}
+			avoid := syntax.FreeNames(sa.Cont).AddAll(syntax.FreeNames(sb.Cont)).
+				AddSlice(ain.Params).AddSlice(bin.Params).Add(ain.Ch).Add(bin.Ch)
+			params := make([]names.Name, len(ain.Params))
+			for i := range params {
+				params[i] = syntax.FreshVariant(ain.Params[i], avoid)
+				avoid = avoid.Add(params[i])
+			}
+			bodyL := syntax.Instantiate(sa.Cont, ain.Params, params)
+			bodyR := syntax.Instantiate(sb.Cont, bin.Params, params)
+			out = append(out, CondProc(Eq{ain.Ch, bin.Ch},
+				syntax.Recv(ain.Ch, params, syntax.Group(bodyL, bodyR))))
+		}
+	}
+	// Output + reception and output + discard (second to fifth families).
+	out = append(out, outputFamilies(ps, qs, inChansQ, false)...)
+	out = append(out, outputFamilies(qs, ps, inChansP, true)...)
+	// Reception + discard (sixth and seventh families).
+	out = append(out, inputAlone(ps, qs, inChansQ, false)...)
+	out = append(out, inputAlone(qs, ps, inChansP, true)...)
+	// τ interleavings (eighth and ninth families).
+	for _, sa := range ps {
+		if _, ok := sa.Pre.(syntax.Tau); ok {
+			out = append(out, syntax.TauP(syntax.Group(sa.Cont, q)))
+		}
+	}
+	for _, sb := range qs {
+		if _, ok := sb.Pre.(syntax.Tau); ok {
+			out = append(out, syntax.TauP(syntax.Group(p, sb.Cont)))
+		}
+	}
+	return syntax.Choice(out...), true
+}
+
+type prefixed struct {
+	Pre  syntax.Pre
+	Cont syntax.Proc
+}
+
+func prefixSummands(p syntax.Proc) ([]prefixed, bool) {
+	switch t := p.(type) {
+	case syntax.Nil:
+		return nil, true
+	case syntax.Prefix:
+		return []prefixed{{t.Pre, t.Cont}}, true
+	case syntax.Sum:
+		l, ok := prefixSummands(t.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := prefixSummands(t.R)
+		if !ok {
+			return nil, false
+		}
+		return append(l, r...), true
+	default:
+		return nil, false
+	}
+}
+
+// inputChannelNames returns the distinct channel names (T/S sets of
+// Table 8) on which the summands listen, in sorted order.
+func inputChannelNames(ps []prefixed) []names.Name {
+	set := names.NewSet()
+	for _, s := range ps {
+		if in, ok := s.Pre.(syntax.In); ok {
+			set = set.Add(in.Ch)
+		}
+	}
+	return set.Sorted()
+}
+
+// notIn builds the Table 8 guard [x ∉ T]: the conjunction of x≠t for every
+// listening channel t of the sibling.
+func notIn(x names.Name, chans []names.Name) Cond {
+	var parts []Cond
+	for _, t := range chans {
+		parts = append(parts, Neq(x, t))
+	}
+	return Conj(parts...)
+}
+
+// outputFamilies builds, for each output of movers, the summands where the
+// sibling receives ([x=y]-guarded) or discards ([x∉T]-guarded).
+func outputFamilies(movers, sib []prefixed, sibChans []names.Name, flip bool) []syntax.Proc {
+	var out []syntax.Proc
+	sibWhole := rebuildSum(sib)
+	pair := func(m, s syntax.Proc) syntax.Proc {
+		if flip {
+			return syntax.Group(s, m)
+		}
+		return syntax.Group(m, s)
+	}
+	for _, mv := range movers {
+		o, ok := mv.Pre.(syntax.Out)
+		if !ok {
+			continue
+		}
+		// Output + reception, guarded by channel equality.
+		for _, s := range sib {
+			in, ok := s.Pre.(syntax.In)
+			if !ok || len(in.Params) != len(o.Args) {
+				continue
+			}
+			recv := syntax.Instantiate(s.Cont, in.Params, o.Args)
+			out = append(out, CondProc(Eq{o.Ch, in.Ch},
+				syntax.Send(o.Ch, o.Args, pair(mv.Cont, recv))))
+		}
+		// Output + discard, guarded by [x ∉ T].
+		out = append(out, CondProc(notIn(o.Ch, sibChans),
+			syntax.Send(o.Ch, o.Args, pair(mv.Cont, sibWhole))))
+	}
+	return out
+}
+
+// inputAlone builds the reception+discard summands, guarded by [x ∉ T].
+func inputAlone(movers, sib []prefixed, sibChans []names.Name, flip bool) []syntax.Proc {
+	var out []syntax.Proc
+	sibWhole := rebuildSum(sib)
+	pair := func(m, s syntax.Proc) syntax.Proc {
+		if flip {
+			return syntax.Group(s, m)
+		}
+		return syntax.Group(m, s)
+	}
+	for _, mv := range movers {
+		in, ok := mv.Pre.(syntax.In)
+		if !ok {
+			continue
+		}
+		// Rename binders away from the sibling's free names.
+		params, cont := in.Params, mv.Cont
+		sf := syntax.FreeNames(sibWhole)
+		if sf.ContainsAny(params) {
+			avoid := sf.Clone().AddAll(syntax.FreeNames(cont)).AddSlice(params)
+			ren := names.Subst{}
+			np := make([]names.Name, len(params))
+			for i, bn := range params {
+				if sf.Contains(bn) {
+					np[i] = syntax.FreshVariant(bn, avoid)
+					avoid = avoid.Add(np[i])
+					ren[bn] = np[i]
+				} else {
+					np[i] = bn
+				}
+			}
+			cont = syntax.Apply(cont, ren)
+			params = np
+		}
+		out = append(out, CondProc(notIn(in.Ch, sibChans),
+			syntax.Recv(in.Ch, params, pair(cont, sibWhole))))
+	}
+	return out
+}
+
+func rebuildSum(ps []prefixed) syntax.Proc {
+	var parts []syntax.Proc
+	for _, s := range ps {
+		parts = append(parts, syntax.Prefix{Pre: s.Pre, Cont: s.Cont})
+	}
+	return syntax.Choice(parts...)
+}

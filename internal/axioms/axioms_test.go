@@ -1,0 +1,321 @@
+package axioms
+
+import (
+	"testing"
+
+	"bpi/internal/equiv"
+	"bpi/internal/names"
+	brand "bpi/internal/rand"
+	"bpi/internal/syntax"
+)
+
+const (
+	a names.Name = "a"
+	b names.Name = "b"
+	c names.Name = "c"
+	x names.Name = "x"
+)
+
+// ---- Conditions and worlds ---------------------------------------------------
+
+func TestCondEval(t *testing.T) {
+	idWorld := names.Subst{}
+	fused := names.Subst{a: a, b: a}
+	cases := []struct {
+		c    Cond
+		eq   names.Subst
+		want bool
+	}{
+		{True{}, idWorld, true},
+		{Eq{a, a}, idWorld, true},
+		{Eq{a, b}, idWorld, false},
+		{Eq{a, b}, fused, true},
+		{Neq(a, b), fused, false},
+		{Conj(Eq{a, b}, Neq(a, c)), fused, true},
+		{False(), idWorld, false},
+	}
+	for i, cs := range cases {
+		if got := cs.c.Eval(cs.eq); got != cs.want {
+			t.Errorf("case %d: %s under %v = %v", i, cs.c, cs.eq, got)
+		}
+	}
+}
+
+func TestWorldsBellNumbers(t *testing.T) {
+	for _, cse := range []struct{ n, bell int }{{0, 1}, {1, 1}, {2, 2}, {3, 5}, {4, 15}} {
+		v := names.NewSet()
+		for i := 0; i < cse.n; i++ {
+			v = v.Add(names.Name(string(rune('a' + i))))
+		}
+		if got := len(Worlds(v)); got != cse.bell {
+			t.Errorf("Bell(%d) = %d, want %d", cse.n, got, cse.bell)
+		}
+	}
+}
+
+func TestWorldCondAgreesWithSubst(t *testing.T) {
+	v := names.NewSet(a, b, c)
+	for _, w := range Worlds(v) {
+		if !w.Cond().Eval(w.Rep) {
+			t.Errorf("world %s does not satisfy its own condition", w)
+		}
+		// And no other world satisfies it (completeness).
+		for _, w2 := range Worlds(v) {
+			if w2.String() != w.String() && w.Cond().Eval(w2.Rep) {
+				t.Errorf("world %s satisfies the condition of %s", w2, w)
+			}
+		}
+	}
+}
+
+func TestImplies(t *testing.T) {
+	v := names.NewSet(a, b, c)
+	if !Implies(Conj(Eq{a, b}, Eq{b, c}), Eq{a, c}, v) {
+		t.Error("transitivity implication failed")
+	}
+	if Implies(Eq{a, b}, Eq{a, c}, v) {
+		t.Error("bogus implication accepted")
+	}
+	if !Equivalent(Eq{a, b}, Eq{b, a}, v) {
+		t.Error("symmetry equivalence failed")
+	}
+	if !Satisfiable(Eq{a, b}, v) || Satisfiable(False(), v) {
+		t.Error("satisfiability wrong")
+	}
+}
+
+func TestCondProcCompilation(t *testing.T) {
+	ch := equiv.NewChecker(nil)
+	p := syntax.SendN(c)
+	// ¬(a=b) p behaves as p exactly when a≠b.
+	m := CondProc(Neq(a, b), p)
+	r, err := ch.Labelled(m, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Related {
+		t.Error("¬(a=b)c̄ should behave as c̄ for distinct a,b")
+	}
+	fused := syntax.Apply(m, names.Single(b, a))
+	r2, err := ch.Labelled(fused, syntax.PNil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Related {
+		t.Error("¬(a=a)c̄ should be inert")
+	}
+}
+
+// ---- E8: soundness of every axiom (Theorem 6) -------------------------------
+
+func TestE8AxiomSoundness(t *testing.T) {
+	ch := equiv.NewChecker(nil)
+	cfg := brand.Default()
+	cfg.MaxDepth = 2
+	cfg.Names = []names.Name{"a", "b"}
+	g := brand.New(4242, cfg)
+	for _, ax := range Catalogue() {
+		checked := 0
+		for trial := 0; trial < 12 && checked < 4; trial++ {
+			m := Material{
+				P: g.Term(), Q: g.Term(), R: g.Term(),
+				A: a, B: b, C: c, X: x,
+			}
+			if trial%2 == 1 {
+				m.B = a // also exercise fused name material
+			}
+			lhs, rhs, ok := ax.Inst(m)
+			if !ok {
+				continue
+			}
+			checked++
+			got, err := ch.Congruence(lhs, rhs, false)
+			if err != nil {
+				t.Fatalf("%s: %v", ax.Name, err)
+			}
+			if !got {
+				t.Errorf("%s: unsound instance\n lhs=%s\n rhs=%s",
+					ax.Name, syntax.String(lhs), syntax.String(rhs))
+			}
+		}
+		if checked == 0 {
+			t.Errorf("%s: no applicable instances generated", ax.Name)
+		}
+	}
+}
+
+// ---- Expansion axiom (Table 8) ----------------------------------------------
+
+func TestExpandSoundAndParFree(t *testing.T) {
+	ch := equiv.NewChecker(nil)
+	cfg := brand.Default()
+	cfg.AllowPar = false
+	cfg.AllowRestriction = false
+	cfg.AllowMatch = false
+	cfg.MaxDepth = 3
+	cfg.MaxArity = -1 // the uniform-arity fragment where Table 8 applies
+	g := brand.New(7, cfg)
+	tried := 0
+	for i := 0; i < 30 && tried < 10; i++ {
+		p, q := g.Term(), g.Term()
+		e, ok := Expand(p, q)
+		if !ok {
+			continue
+		}
+		tried++
+		if hasPar(e) && !onlyUnderPrefix(e) {
+			// Top-level parallels must be gone; nested ones under prefixes
+			// remain (the axiom is applied once, not to a fixpoint).
+			t.Errorf("expansion left a top-level parallel: %s", syntax.String(e))
+		}
+		got, err := ch.Congruence(syntax.Group(p, q), e, false)
+		if err != nil {
+			t.Fatalf("congruence: %v", err)
+		}
+		if !got {
+			t.Errorf("expansion not ~c:\n p‖q = %s ‖ %s\n exp = %s",
+				syntax.String(p), syntax.String(q), syntax.String(e))
+		}
+	}
+	if tried == 0 {
+		t.Fatal("no expansion instances generated")
+	}
+}
+
+func hasPar(p syntax.Proc) bool {
+	switch t := p.(type) {
+	case syntax.Par:
+		return true
+	case syntax.Sum:
+		return hasPar(t.L) || hasPar(t.R)
+	default:
+		return false
+	}
+}
+
+func onlyUnderPrefix(syntax.Proc) bool { return true }
+
+// ---- Head normal forms -------------------------------------------------------
+
+func TestHNFRoundTrip(t *testing.T) {
+	ch := equiv.NewChecker(nil)
+	cfg := brand.Default()
+	cfg.MaxDepth = 3
+	cfg.Names = []names.Name{"a", "b"}
+	g := brand.New(99, cfg)
+	for i := 0; i < 12; i++ {
+		p := g.Term()
+		h, err := ComputeHNF(sharedSys, p, syntax.FreeNames(p))
+		if err != nil {
+			t.Fatalf("hnf(%s): %v", syntax.String(p), err)
+		}
+		back := h.ToProc()
+		ok, err := ch.CongruenceBounded(p, back, false, 64)
+		if err != nil {
+			t.Fatalf("congruence: %v", err)
+		}
+		if !ok {
+			t.Errorf("hnf round-trip not ~c:\n p   = %s\n hnf = %s",
+				syntax.String(p), syntax.String(back))
+		}
+	}
+}
+
+func TestHNFOnRestriction(t *testing.T) {
+	// νx āx.x̄b gives a bound-output summand.
+	p := syntax.Restrict(syntax.Send(a, []names.Name{x}, syntax.SendN(x, b)), x)
+	h, err := ComputeHNF(sharedSys, p, syntax.FreeNames(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ws := range h.ByWorld {
+		for _, s := range ws {
+			if s.Bound {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no bound-output summand in hnf of %s", syntax.String(p))
+	}
+	if h.Depth() < 2 {
+		t.Errorf("depth = %d", h.Depth())
+	}
+}
+
+// ---- The prover: paper witnesses --------------------------------------------
+
+func TestDecidePaperWitnesses(t *testing.T) {
+	pr := NewProver(nil)
+	must := func(p, q syntax.Proc, want bool, label string) {
+		t.Helper()
+		got, err := pr.Decide(p, q)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if got != want {
+			t.Errorf("%s: Decide = %v, want %v\n p=%s\n q=%s", label, got, want,
+				syntax.String(p), syntax.String(q))
+		}
+	}
+	pp := syntax.Send(a, []names.Name{b}, syntax.RecvN(c, x))
+	// Positive: S-laws.
+	must(syntax.Choice(pp, pp), pp, true, "S2")
+	must(syntax.Choice(pp, syntax.PNil), pp, true, "S1")
+	must(syntax.Group(pp, syntax.PNil), pp, true, "P1")
+	// Positive: axiom (H) instance.
+	lhs := syntax.Send(a, nil, syntax.SendN(c))
+	rhs := syntax.Send(a, nil, syntax.Choice(syntax.SendN(c), syntax.Recv(a, []names.Name{x}, syntax.SendN(c))))
+	must(lhs, rhs, true, "H")
+	// Negative: inputs on different channels are not congruent.
+	must(syntax.RecvN(a), syntax.RecvN(b), false, "a vs b")
+	// Negative: the expansion pair under fusion (Remark 3 / Remark 4).
+	p := syntax.Choice(
+		syntax.Recv(x, nil, syntax.Recv("y", nil, syntax.SendN(c))),
+		syntax.Recv("y", nil, syntax.Group(syntax.RecvN(x), syntax.SendN(c))),
+	)
+	q := syntax.Group(syntax.RecvN(x), syntax.Recv("y", nil, syntax.SendN(c)))
+	must(p, q, false, "expansion pair not ~c")
+	// Positive: restriction laws — νa(āb.c̄) = τ.νa c̄ = τ.c̄.
+	must(syntax.Restrict(syntax.Send(a, []names.Name{b}, syntax.SendN(c)), a),
+		syntax.TauP(syntax.SendN(c)), true, "RP2")
+	must(syntax.Restrict(syntax.RecvN(a, x), a), syntax.PNil, true, "RP3")
+}
+
+// ---- E9: agreement of the prover with the semantic congruence ---------------
+
+func TestE9ProverAgreesWithSemantics(t *testing.T) {
+	ch := equiv.NewChecker(nil)
+	pr := NewProver(nil)
+	cfg := brand.Default()
+	cfg.MaxDepth = 3
+	cfg.Names = []names.Name{"a", "b"}
+	g := brand.New(20202, cfg)
+	agree, pos := 0, 0
+	for i := 0; i < 40; i++ {
+		p := g.Term()
+		q := g.Mutate(p)
+		want, err := ch.Congruence(p, q, false)
+		if err != nil {
+			t.Fatalf("semantic congruence: %v", err)
+		}
+		got, err := pr.Decide(p, q)
+		if err != nil {
+			t.Fatalf("prover: %v", err)
+		}
+		if got != want {
+			t.Errorf("pair %d: prover=%v semantics=%v\n p=%s\n q=%s",
+				i, got, want, syntax.String(p), syntax.String(q))
+			continue
+		}
+		agree++
+		if want {
+			pos++
+		}
+	}
+	if pos == 0 {
+		t.Error("no positive congruences sampled — generator mix broken")
+	}
+	t.Logf("agreement on %d pairs (%d positive)", agree, pos)
+}

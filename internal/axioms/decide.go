@@ -1,0 +1,386 @@
+package axioms
+
+import (
+	"fmt"
+
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// Prover decides A ⊢ p = q for finite processes, following the structure of
+// the completeness proof (Theorem 7):
+//
+//   - the top level quantifies over every complete condition on fn(p,q)
+//     (world enumeration — the specialisation step of the proof, via
+//     Lemma 19), and requires strict summand matching exactly as ~+ does:
+//     equal discard sets, τ against τ, outputs against identical outputs,
+//     inputs against inputs;
+//   - continuation comparisons first *saturate* both sides with axiom (H),
+//     adding inoffensive inputs a(z).p for every channel the opposite side
+//     listens on but p discards — after saturation, strict matching
+//     coincides with the noisy labelled bisimilarity ~ used in the
+//     definition of ~+;
+//   - input summands are matched per instantiation (names of the world plus
+//     one fresh), with possibly different partners per instantiation —
+//     this is the (SP) selector construction of the proof;
+//   - bound outputs are matched up to a common fresh extruded name.
+//
+// The induction measure is the sum of the two depths, as in the paper; the
+// prover memoises verified pairs and bounds recursion defensively. A Prover
+// is NOT safe for concurrent use; create one per goroutine.
+type Prover struct {
+	Sys *semantics.System
+	// MaxNames bounds |fn(p,q)| at the top level (world count is the Bell
+	// number; default 5).
+	MaxNames int
+	// MaxSteps bounds the total number of pair comparisons (default 200000).
+	MaxSteps int
+
+	// Tracing records a human-readable outline of the derivation: world
+	// specialisations, (H)-saturations, and (SP) input selections. Retrieve
+	// with TraceLines; bounded to keep output manageable.
+	Tracing bool
+
+	memo  map[string]bool
+	steps int
+	trace []string
+}
+
+// TraceLines returns the derivation outline recorded by the last Decide
+// call (empty unless Tracing is set).
+func (pr *Prover) TraceLines() []string { return pr.trace }
+
+func (pr *Prover) tracef(format string, args ...interface{}) {
+	if !pr.Tracing || len(pr.trace) >= 400 {
+		return
+	}
+	pr.trace = append(pr.trace, fmt.Sprintf(format, args...))
+}
+
+// NewProver returns a prover over the given system.
+func NewProver(sys *semantics.System) *Prover {
+	if sys == nil {
+		sys = semantics.NewSystem(nil)
+	}
+	return &Prover{Sys: sys, memo: map[string]bool{}}
+}
+
+func (pr *Prover) maxNames() int {
+	if pr.MaxNames <= 0 {
+		return 5
+	}
+	return pr.MaxNames
+}
+
+func (pr *Prover) maxSteps() int {
+	if pr.MaxSteps <= 0 {
+		return 200000
+	}
+	return pr.MaxSteps
+}
+
+// Decide reports whether A ⊢ p = q (equivalently, by Theorems 6 and 7,
+// whether p ~c q) for finite processes p, q.
+func (pr *Prover) Decide(p, q syntax.Proc) (bool, error) {
+	if !syntax.IsFinite(p) || !syntax.IsFinite(q) {
+		return false, fmt.Errorf("axioms: the axiomatisation covers finite processes only")
+	}
+	fn := syntax.FreeNames(p).AddAll(syntax.FreeNames(q))
+	if fn.Len() > pr.maxNames() {
+		return false, fmt.Errorf("axioms: %d free names exceed the world budget (%d)", fn.Len(), pr.maxNames())
+	}
+	pr.steps = 0
+	pr.trace = pr.trace[:0]
+	for _, w := range Worlds(fn) {
+		pr.tracef("world %s: specialise both sides with σ=%s (Lemma 19)", w, w.Rep)
+		ok, err := pr.decideWorld(syntax.Apply(p, w.Rep), syntax.Apply(q, w.Rep), false)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			pr.tracef("world %s: strict summand matching FAILED — not provable", w)
+			return false, nil
+		}
+		pr.tracef("world %s: all summands matched", w)
+	}
+	pr.tracef("A ⊢ p = q by (C3)-recombination of the world instances")
+	return true, nil
+}
+
+// decideWorld compares two world-specialised terms. With saturate unset the
+// comparison is strict (the ~+ level: discard sets must already agree);
+// with saturate set, missing input channels are completed with (H) before
+// matching (the ~ level for continuations).
+func (pr *Prover) decideWorld(p, q syntax.Proc, saturate bool) (bool, error) {
+	pr.steps++
+	if pr.steps > pr.maxSteps() {
+		return false, fmt.Errorf("axioms: prover step budget exhausted")
+	}
+	key := syntax.Key(p) + "\x00" + syntax.Key(q) + boolKey(saturate)
+	if v, ok := pr.memo[key]; ok {
+		return v, nil
+	}
+	// Provisional positive entry guards against pathological re-entry; the
+	// recursion strictly decreases the sum of depths, so genuine cycles
+	// cannot occur on finite terms and the entry is always overwritten.
+	pr.memo[key] = true
+	v, err := pr.decideWorld1(p, q, saturate)
+	if err != nil {
+		delete(pr.memo, key)
+		return false, err
+	}
+	pr.memo[key] = v
+	return v, nil
+}
+
+func boolKey(b bool) string {
+	if b {
+		return "\x01"
+	}
+	return "\x00"
+}
+
+// summandSets computes the (τ, output, input) summand lists of a term,
+// with bound outputs canonicalised against avoid.
+func (pr *Prover) summandSets(p syntax.Proc, avoid names.Set) (taus []Summand, outs []Summand, ins []Summand, err error) {
+	ts, err := pr.Sys.Steps(p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, t := range ts {
+		switch t.Act.Kind {
+		case actions.Tau:
+			taus = append(taus, transToSummand(t))
+		case actions.In:
+			ins = append(ins, transToSummand(t))
+		default:
+			if len(t.Act.Bound) > 0 {
+				t = canonBound(t, avoid)
+			}
+			outs = append(outs, transToSummand(t))
+		}
+	}
+	return taus, outs, ins, nil
+}
+
+// canonBound renames the extruded names of one bound output against avoid,
+// deterministically (both sides of a comparison use the same avoid set).
+func canonBound(t semantics.Trans, avoid names.Set) semantics.Trans {
+	av := avoid.Clone().AddAll(t.Act.FreeNames())
+	ren := names.Subst{}
+	for _, b := range t.Act.Bound {
+		nb := syntax.FreshVariant("e", av)
+		av = av.Add(nb)
+		ren[b] = nb
+	}
+	return semantics.Trans{Act: t.Act.RenameAll(ren), Target: syntax.Apply(t.Target, ren)}
+}
+
+func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
+	fn := syntax.FreeNames(p).AddAll(syntax.FreeNames(q))
+	pT, pO, pI, err := pr.summandSets(p, fn)
+	if err != nil {
+		return false, err
+	}
+	qT, qO, qI, err := pr.summandSets(q, fn)
+	if err != nil {
+		return false, err
+	}
+
+	// Input channel/arity comparison (the discard sets over fn).
+	pShapes, qShapes := shapesOf(pI), shapesOf(qI)
+	if !saturate {
+		if !shapeEq(pShapes, qShapes) {
+			return false, nil
+		}
+	} else {
+		// (H) saturation: add inoffensive inputs for the channels only the
+		// other side listens on. The binder is fresh for the continuation,
+		// which is the whole term — exactly ā.p = ā.(p + φa(z).p).
+		satP := saturations(p, pShapes, qShapes, fn)
+		satQ := saturations(q, qShapes, pShapes, fn)
+		for _, ssum := range satP {
+			pr.tracef("  (H): saturate left with %s?(…) (inoffensive input)", ssum.Ch)
+		}
+		for _, ssum := range satQ {
+			pr.tracef("  (H): saturate right with %s?(…) (inoffensive input)", ssum.Ch)
+		}
+		pI = append(pI, satP...)
+		qI = append(qI, satQ...)
+		pShapes, qShapes = shapesOf(pI), shapesOf(qI)
+		if !shapeEq(pShapes, qShapes) {
+			return false, nil
+		}
+	}
+
+	// τ summands: strict mutual matching with saturated continuations.
+	match := func(l Summand, rs []Summand, pred func(a, b Summand) bool,
+		cont func(a, b Summand) (bool, error)) (bool, error) {
+		for _, r := range rs {
+			if !pred(l, r) {
+				continue
+			}
+			ok, err := cont(l, r)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	tauPred := func(a, b Summand) bool { return true }
+	contEq := func(a, b Summand) (bool, error) { return pr.decideWorld(a.Cont, b.Cont, true) }
+	for _, s := range pT {
+		ok, err := match(s, qT, tauPred, contEq)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, s := range qT {
+		ok, err := match(s, pT, tauPred, contEq)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+
+	// Output summands: identical labels (bound outputs already share
+	// canonical extruded names because both sides used the same avoid set).
+	outPred := func(a, b Summand) bool {
+		return a.Ch == b.Ch && a.Bound == b.Bound && namesEq(a.Objs, b.Objs) && namesEq(a.Binder, b.Binder)
+	}
+	for _, s := range pO {
+		ok, err := match(s, qO, outPred, contEq)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, s := range qO {
+		ok, err := match(s, pO, outPred, contEq)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+
+	// Input summands: per-instantiation matching (the (SP) selector). For
+	// every input of one side and every payload over fn plus fresh names,
+	// some input of the other side at the same channel/arity must have an
+	// A-equal instantiated continuation.
+	if ok, err := pr.matchInputs(pI, qI, fn); err != nil || !ok {
+		return false, err
+	}
+	return pr.matchInputs(qI, pI, fn)
+}
+
+// saturations builds the (H) summands added to p: one input a(z̃).p per
+// (channel, arity) the other side listens on and p discards.
+func saturations(p syntax.Proc, own, other map[shapeKey]bool, fn names.Set) []Summand {
+	var out []Summand
+	for sh := range other {
+		if own[sh] {
+			continue
+		}
+		binder := make([]names.Name, sh.arity)
+		avoid := fn.Clone()
+		for i := range binder {
+			binder[i] = syntax.FreshVariant("z", avoid)
+			avoid = avoid.Add(binder[i])
+		}
+		out = append(out, Summand{Kind: actions.In, Ch: sh.ch, Binder: binder, Cont: p})
+	}
+	return out
+}
+
+type shapeKey struct {
+	ch    names.Name
+	arity int
+}
+
+func shapesOf(ins []Summand) map[shapeKey]bool {
+	out := map[shapeKey]bool{}
+	for _, s := range ins {
+		out[shapeKey{s.Ch, len(s.Binder)}] = true
+	}
+	return out
+}
+
+func shapeEq(a, b map[shapeKey]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// matchInputs checks that every instantiation of every input summand of ls
+// is matched by some input summand of rs.
+func (pr *Prover) matchInputs(ls, rs []Summand, fn names.Set) (bool, error) {
+	for _, l := range ls {
+		// Instantiation universe: the shared free names plus enough fresh
+		// names to realise every equality pattern among the parameters.
+		univ := fn.Sorted()
+		avoid := fn.Clone()
+		for i := 0; i < len(l.Binder); i++ {
+			w := syntax.FreshVariant("w", avoid)
+			avoid = avoid.Add(w)
+			univ = append(univ, w)
+		}
+		payloads := enumTuples(univ, len(l.Binder))
+		for _, payload := range payloads {
+			lc := syntax.Instantiate(l.Cont, l.Binder, payload)
+			found := false
+			for _, r := range rs {
+				if r.Ch != l.Ch || len(r.Binder) != len(l.Binder) {
+					continue
+				}
+				rc := syntax.Instantiate(r.Cont, r.Binder, payload)
+				ok, err := pr.decideWorld(lc, rc, true)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func enumTuples(u []names.Name, k int) [][]names.Name {
+	if k == 0 {
+		return [][]names.Name{nil}
+	}
+	rest := enumTuples(u, k-1)
+	out := make([][]names.Name, 0, len(rest)*len(u))
+	for _, n := range u {
+		for _, t := range rest {
+			tt := append([]names.Name{n}, t...)
+			out = append(out, tt)
+		}
+	}
+	return out
+}
+
+func namesEq(a, b []names.Name) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,288 @@
+package cbs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+const (
+	u names.Name = "u"
+	v names.Name = "v"
+	w names.Name = "w"
+	x names.Name = "x"
+)
+
+func TestSpeakReachesAllHearers(t *testing.T) {
+	// v! | x?.x! | y?.y! : speaking v feeds both hearers.
+	p := Par{
+		Speak{v, Nil{}},
+		Par{Hear{x, Speak{x, Nil{}}}, Hear{"y", Speak{"y", Nil{}}}},
+	}
+	ts := Steps(p)
+	if len(ts) != 1 || ts[0].Label.Kind != '!' || ts[0].Label.Val != v {
+		t.Fatalf("steps: %v", ts)
+	}
+	want := Par{Nil{}, Par{Speak{v, Nil{}}, Speak{v, Nil{}}}}
+	if Key(ts[0].Target) != Key(want) {
+		t.Fatalf("target %s, want %s", String(ts[0].Target), String(want))
+	}
+}
+
+func TestHearCannotBeRefused(t *testing.T) {
+	// v! | x?.0: the hearer must take the value — no transition leaves it.
+	p := Par{Speak{v, Nil{}}, Hear{x, Nil{}}}
+	ts := Steps(p)
+	if len(ts) != 1 {
+		t.Fatalf("steps: %v", ts)
+	}
+	if Key(ts[0].Target) != Key(Par{Nil{}, Nil{}}) {
+		t.Fatalf("hearer skipped: %s", String(ts[0].Target))
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	if !Discards(Speak{v, Nil{}}) || !Discards(Nil{}) || !Discards(Tau{Nil{}}) {
+		t.Error("speakers and nil must discard")
+	}
+	if Discards(Hear{x, Nil{}}) {
+		t.Error("hearers cannot discard")
+	}
+	if Discards(Sum{Hear{x, Nil{}}, Speak{v, Nil{}}}) {
+		t.Error("a choice with a hearer does not discard")
+	}
+}
+
+func TestMatchResolution(t *testing.T) {
+	p := Match{v, v, Speak{u, Nil{}}, Speak{w, Nil{}}}
+	ts := Steps(p)
+	if len(ts) != 1 || ts[0].Label.Val != u {
+		t.Fatalf("match-true: %v", ts)
+	}
+	p2 := Match{v, w, Speak{u, Nil{}}, Speak{w, Nil{}}}
+	ts = Steps(p2)
+	if len(ts) != 1 || ts[0].Label.Val != w {
+		t.Fatalf("match-false: %v", ts)
+	}
+}
+
+func TestSubstCaptureAvoidance(t *testing.T) {
+	// (x? . v!) [v→x] must rename the binder.
+	p := Hear{x, Speak{v, Nil{}}}
+	q := Subst(p, v, x).(Hear)
+	if q.Param == x {
+		t.Fatalf("capture: %s", String(q))
+	}
+	if sp := q.Cont.(Speak); sp.Val != x {
+		t.Fatalf("substitution lost: %s", String(q))
+	}
+}
+
+func TestReactsValuePassing(t *testing.T) {
+	// x?.[x=v](u!, w!) hearing v takes the then-branch.
+	p := Hear{x, Match{x, v, Speak{u, Nil{}}, Speak{w, Nil{}}}}
+	rs := Reacts(p, v)
+	if len(rs) != 1 {
+		t.Fatalf("reacts: %v", rs)
+	}
+	ts := Steps(rs[0])
+	if len(ts) != 1 || ts[0].Label.Val != u {
+		t.Fatalf("value compare failed: %v", ts)
+	}
+}
+
+// ---- The embedding into bπ ---------------------------------------------------
+
+// randCBS generates a random CBS term.
+func randCBS(rng *rand.Rand, depth int, pool []Value) Proc {
+	if depth == 0 || rng.Intn(5) == 0 {
+		return Nil{}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Speak{pool[rng.Intn(len(pool))], randCBS(rng, depth-1, pool)}
+	case 1:
+		b := Value(string(pool[rng.Intn(len(pool))]) + "'")
+		inner := append(pool[:len(pool):len(pool)], b)
+		return Hear{b, randCBS(rng, depth-1, inner)}
+	case 2:
+		return Tau{randCBS(rng, depth-1, pool)}
+	case 3:
+		return Sum{randCBS(rng, depth-1, pool), randCBS(rng, depth-1, pool)}
+	case 4:
+		return Par{randCBS(rng, depth-1, pool), randCBS(rng, depth-1, pool)}
+	default:
+		return Match{pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))],
+			randCBS(rng, depth-1, pool), randCBS(rng, depth-1, pool)}
+	}
+}
+
+// TestEmbeddingStrongCorrespondence checks, on random terms, that the CBS
+// transition system and the autonomous bπ transition system of the embedding
+// agree step by step (labels mapped v! ↦ ether!(v)), by joint exhaustive
+// exploration.
+func TestEmbeddingStrongCorrespondence(t *testing.T) {
+	const ether names.Name = "eth"
+	sys := semantics.NewSystem(nil)
+	rng := rand.New(rand.NewSource(42))
+	pool := []Value{u, v, w}
+	for trial := 0; trial < 40; trial++ {
+		root := randCBS(rng, 3, pool)
+		type pair struct {
+			c Proc
+			b syntax.Proc
+		}
+		seen := map[string]bool{}
+		queue := []pair{{root, ToBpi(root, ether)}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			k := Key(cur.c)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			cts := Steps(cur.c)
+			btsAll, err := sys.Steps(cur.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bts []semantics.Trans
+			for _, bt := range btsAll {
+				if bt.Act.IsStep() {
+					bts = append(bts, bt)
+				}
+			}
+			if len(cts) != len(bts) {
+				t.Fatalf("trial %d: %s has %d CBS steps but %d bπ steps",
+					trial, String(cur.c), len(cts), len(bts))
+			}
+			// Compare label+target keys as sorted multisets.
+			ck := make([]string, len(cts))
+			bk := make([]string, len(bts))
+			for i, ct := range cts {
+				ck[i] = mapLabel(ct.Label, ether) + " " + syntax.Key(ToBpi(ct.Target, ether))
+			}
+			for i, bt := range bts {
+				bk[i] = bt.Act.String() + " " + syntax.Key(bt.Target)
+			}
+			sort.Strings(ck)
+			sort.Strings(bk)
+			for i := range ck {
+				if ck[i] != bk[i] {
+					t.Fatalf("trial %d: step mismatch at %s:\n cbs: %v\n bpi: %v",
+						trial, String(cur.c), ck, bk)
+				}
+			}
+			for _, ct := range cts {
+				queue = append(queue, pair{ct.Target, ToBpi(ct.Target, ether)})
+			}
+		}
+	}
+}
+
+func mapLabel(l Label, ether names.Name) string {
+	switch l.Kind {
+	case 't':
+		return actions.NewTau().String()
+	default:
+		return actions.NewOut(ether, []names.Name{l.Val}).String()
+	}
+}
+
+// TestEmbeddingDiscards: the embedding preserves the discard relation on the
+// ether channel.
+func TestEmbeddingDiscards(t *testing.T) {
+	const ether names.Name = "eth"
+	sys := semantics.NewSystem(nil)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		p := randCBS(rng, 3, []Value{u, v})
+		want := Discards(p)
+		got, err := sys.Discards(ToBpi(p, ether), ether)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: discard mismatch for %s", trial, String(p))
+		}
+	}
+}
+
+func TestKeyAlpha(t *testing.T) {
+	p := Hear{x, Speak{x, Nil{}}}
+	q := Hear{v, Speak{v, Nil{}}}
+	if Key(p) != Key(q) {
+		t.Error("alpha-equivalent hears should share a key")
+	}
+	r := Hear{x, Speak{u, Nil{}}}
+	if Key(p) == Key(r) {
+		t.Error("key collision")
+	}
+}
+
+func TestTauAndString(t *testing.T) {
+	p := Tau{Speak{v, Nil{}}}
+	ts := Steps(p)
+	if len(ts) != 1 || ts[0].Label.Kind != 't' {
+		t.Fatalf("tau: %v", ts)
+	}
+	if ts[0].Label.String() != "tau" {
+		t.Errorf("label: %q", ts[0].Label)
+	}
+	rendered := String(Par{p, Sum{Hear{x, Nil{}}, Match{u, v, Nil{}, Nil{}}}})
+	for _, frag := range []string{"tau.", "x?.", "[u=v]", "|", "+"} {
+		if !strings.Contains(rendered, frag) {
+			t.Errorf("String() missing %q: %s", frag, rendered)
+		}
+	}
+}
+
+func TestTauInterleavesWithoutHearing(t *testing.T) {
+	// tau.v! | x?.0: the τ moves alone; the hearer is untouched.
+	p := Par{Tau{Speak{v, Nil{}}}, Hear{x, Nil{}}}
+	ts := Steps(p)
+	if len(ts) != 1 || ts[0].Label.Kind != 't' {
+		t.Fatalf("steps: %v", ts)
+	}
+	if Key(ts[0].Target) != Key(Par{Speak{v, Nil{}}, Hear{x, Nil{}}}) {
+		t.Fatalf("tau disturbed the hearer: %s", String(ts[0].Target))
+	}
+}
+
+func TestSumSpeakResolves(t *testing.T) {
+	// (u! + v!) speaks either value, resolving the choice.
+	p := Sum{Speak{u, Nil{}}, Speak{v, Nil{}}}
+	ts := Steps(p)
+	if len(ts) != 2 {
+		t.Fatalf("steps: %v", ts)
+	}
+	for _, tr := range ts {
+		if Key(tr.Target) != Key(Nil{}) {
+			t.Fatalf("choice not resolved: %s", String(tr.Target))
+		}
+	}
+}
+
+func TestMixedSumHearsOnlyViaHearBranch(t *testing.T) {
+	// (u! + x?.x!) hearing w resolves to w!; the speak branch is lost.
+	p := Sum{Speak{u, Nil{}}, Hear{x, Speak{x, Nil{}}}}
+	rs := Reacts(p, w)
+	if len(rs) != 1 || Key(rs[0]) != Key(Speak{w, Nil{}}) {
+		t.Fatalf("reacts: %v", rs)
+	}
+}
+
+func TestFreeNames(t *testing.T) {
+	p := Hear{x, Par{Speak{x, Nil{}}, Speak{v, Nil{}}}}
+	fn := free(p)
+	if fn.Contains(x) || !fn.Contains(v) {
+		t.Fatalf("free: %v", fn)
+	}
+}

@@ -1,0 +1,73 @@
+package equiv
+
+import (
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// Labelled decides labelled bisimilarity: p ~ q (Definition 8) or p ≈ q
+// (Definition 7) when weak is set.
+func (c *Checker) Labelled(p, q syntax.Proc, weak bool) (Result, error) {
+	return c.memoRun(p, q, spec{relLabelled, weak})
+}
+
+// Barbed decides barbed bisimilarity: p ~b q or p ≈b q (Definition 3).
+func (c *Checker) Barbed(p, q syntax.Proc, weak bool) (Result, error) {
+	return c.memoRun(p, q, spec{relBarbed, weak})
+}
+
+// Step decides step (φ) bisimilarity: p ~φ q or p ≈φ q (Definition 5).
+func (c *Checker) Step(p, q syntax.Proc, weak bool) (Result, error) {
+	return c.memoRun(p, q, spec{relStep, weak})
+}
+
+// memoRun caches verdicts per (spec, canonical pair): every pair surviving a
+// completed greatest fixpoint is in the bisimilarity, every discarded pair
+// is not, so whole runs can be reused across queries.
+func (c *Checker) memoRun(p, q syntax.Proc, sp spec) (Result, error) {
+	if c.verdicts == nil {
+		c.verdicts = map[string]bool{}
+	}
+	pk := syntax.Key(syntax.Simplify(p))
+	qk := syntax.Key(syntax.Simplify(q))
+	key := sp.String() + "\x00" + pairKey(pk, qk)
+	if v, ok := c.verdicts[key]; ok {
+		return Result{Related: v, Pairs: 0, Reason: cachedReason(v)}, nil
+	}
+	res, err := c.run(p, q, sp)
+	if err != nil {
+		return res, err
+	}
+	c.verdicts[key] = res.Related
+	// Symmetric closure: all the paper's relations are symmetric.
+	c.verdicts[sp.String()+"\x00"+pairKey(qk, pk)] = res.Related
+	return res, nil
+}
+
+func cachedReason(related bool) string {
+	if related {
+		return ""
+	}
+	return "cached negative verdict"
+}
+
+func anyRelated(l *termInfo, rs []*termInfo, related func(a, b *termInfo) (bool, error)) (bool, error) {
+	for _, r := range rs {
+		ok, err := related(l, r)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// semanticsInstantiate grounds a symbolic input transition (alias kept local
+// so the onestep code reads uniformly).
+func semanticsInstantiate(t semantics.Trans, payload []names.Name) (actions.Act, syntax.Proc) {
+	return semantics.Instantiate(t, payload)
+}

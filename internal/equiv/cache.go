@@ -1,0 +1,296 @@
+// Package equiv decides the behavioural equivalences of the bπ-calculus:
+// strong and weak barbed bisimilarity (Definition 3), step bisimilarity
+// (Definition 5), labelled bisimilarity (Definitions 7/8), the one-step
+// relations ~+ / ≈+ (Definitions 11/15) and the congruences ~c / ≈c closed
+// under substitutions (Section 4).
+//
+// All checkers work on-the-fly over canonically-keyed *pairs* of terms: from
+// a pair (p,q) the engine derives matching obligations whose candidates are
+// successor pairs, then computes the greatest fixpoint by removing violated
+// pairs. Fresh names — reservoir names probing inputs, and canonical names
+// for extruded bound outputs — are chosen deterministically *per pair*
+// (avoiding fn(p)∪fn(q)), so the two sides of a comparison always agree on
+// them; this is the standard finite-universe argument for early
+// bisimulation, sound because bisimilarity is closed under injective
+// renamings (Lemma 18 of the paper).
+package equiv
+
+import (
+	"sort"
+
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// Checker decides equivalences against a fixed semantic system. It memoises
+// term data and verdicts across queries and is therefore NOT safe for
+// concurrent use; create one Checker per goroutine.
+type Checker struct {
+	Sys *semantics.System
+	// MaxPairs bounds the number of explored pairs per query (default 20000).
+	MaxPairs int
+	// MaxClosure bounds the size of a τ-closure (default 2048).
+	MaxClosure int
+
+	terms    map[string]*termInfo
+	verdicts map[string]bool
+}
+
+// NewChecker returns a Checker over the given system (nil means the empty
+// definitions environment).
+func NewChecker(sys *semantics.System) *Checker {
+	if sys == nil {
+		sys = semantics.NewSystem(nil)
+	}
+	return &Checker{Sys: sys, terms: map[string]*termInfo{}}
+}
+
+func (c *Checker) maxPairs() int {
+	if c.MaxPairs <= 0 {
+		return 20000
+	}
+	return c.MaxPairs
+}
+
+func (c *Checker) maxClosure() int {
+	if c.MaxClosure <= 0 {
+		return 2048
+	}
+	return c.MaxClosure
+}
+
+// ErrBudget reports that a query exceeded its exploration budget; the
+// verdict is inconclusive.
+type ErrBudget struct{ What string }
+
+func (e ErrBudget) Error() string { return "equiv: budget exhausted while exploring " + e.What }
+
+// termInfo caches per-term semantic data.
+type termInfo struct {
+	proc     syntax.Proc
+	key      string
+	trans    []semantics.Trans
+	discards map[names.Name]bool
+	// tauClosure lists the keys of terms reachable by τ* (including self);
+	// computed lazily.
+	tauClosure []string
+}
+
+// intern canonicalises and caches a term.
+func (c *Checker) intern(p syntax.Proc) (*termInfo, error) {
+	p = syntax.Simplify(p)
+	k := syntax.Key(p)
+	if ti, ok := c.terms[k]; ok {
+		return ti, nil
+	}
+	ts, err := c.Sys.Steps(p)
+	if err != nil {
+		return nil, err
+	}
+	ti := &termInfo{proc: p, key: k, trans: ts, discards: map[names.Name]bool{}}
+	c.terms[k] = ti
+	return ti, nil
+}
+
+// discardsOn reports whether the term ignores channel a (memoised).
+func (c *Checker) discardsOn(ti *termInfo, a names.Name) (bool, error) {
+	if v, ok := ti.discards[a]; ok {
+		return v, nil
+	}
+	v, err := c.Sys.Discards(ti.proc, a)
+	if err != nil {
+		return false, err
+	}
+	ti.discards[a] = v
+	return v, nil
+}
+
+// tauSucc returns the interned τ-successors of ti.
+func (c *Checker) tauSucc(ti *termInfo) ([]*termInfo, error) {
+	var out []*termInfo
+	for _, t := range ti.trans {
+		if t.Act.IsTau() {
+			s, err := c.intern(t.Target)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// tauClosure returns every term reachable from ti by τ* (including ti).
+func (c *Checker) tauClosure(ti *termInfo) ([]*termInfo, error) {
+	if ti.tauClosure != nil {
+		out := make([]*termInfo, len(ti.tauClosure))
+		for i, k := range ti.tauClosure {
+			out[i] = c.terms[k]
+		}
+		return out, nil
+	}
+	seen := map[string]*termInfo{ti.key: ti}
+	work := []*termInfo{ti}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		succ, err := c.tauSucc(cur)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range succ {
+			if _, ok := seen[s.key]; ok {
+				continue
+			}
+			if len(seen) >= c.maxClosure() {
+				return nil, ErrBudget{"tau closure"}
+			}
+			seen[s.key] = s
+			work = append(work, s)
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ti.tauClosure = keys
+	out := make([]*termInfo, len(keys))
+	for i, k := range keys {
+		out[i] = c.terms[k]
+	}
+	return out, nil
+}
+
+// strongBarbs returns the subjects of ti's output transitions (p ↓a).
+func strongBarbs(ti *termInfo) names.Set {
+	out := make(names.Set)
+	for _, t := range ti.trans {
+		if t.Act.IsOutput() {
+			out = out.Add(t.Act.Subj)
+		}
+	}
+	return out
+}
+
+// weakBarb reports p ⇓a: some τ*-derivative has a strong barb on a.
+func (c *Checker) weakBarb(ti *termInfo, a names.Name) (bool, error) {
+	cl, err := c.tauClosure(ti)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range cl {
+		if strongBarbs(s).Contains(a) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// outputsCanon returns the output transitions of ti with extruded names
+// renamed to the deterministic canonical sequence chosen against avoid.
+// Both members of a pair use the same avoid set, so their canonical labels
+// are directly comparable.
+func outputsCanon(ti *termInfo, avoid names.Set) []semantics.Trans {
+	var out []semantics.Trans
+	for _, t := range ti.trans {
+		if !t.Act.IsOutput() {
+			continue
+		}
+		out = append(out, canonOut(t, avoid))
+	}
+	return out
+}
+
+// canonOut renames the extruded names of one output transition against avoid.
+func canonOut(t semantics.Trans, avoid names.Set) semantics.Trans {
+	if len(t.Act.Bound) == 0 {
+		return t
+	}
+	av := avoid.Clone().AddAll(t.Act.FreeNames())
+	ren := names.Subst{}
+	for _, b := range t.Act.Bound {
+		nb := syntax.FreshVariant("e", av)
+		av = av.Add(nb)
+		ren[b] = nb
+	}
+	return semantics.Trans{Act: t.Act.RenameAll(ren), Target: syntax.Apply(t.Target, ren)}
+}
+
+// inputShapes returns the set of (channel, arity) pairs at which ti listens.
+func inputShapes(ti *termInfo) map[shape]bool {
+	out := map[shape]bool{}
+	for _, t := range ti.trans {
+		if t.Act.IsInput() {
+			out[shape{t.Act.Subj, len(t.Act.Objs)}] = true
+		}
+	}
+	return out
+}
+
+type shape struct {
+	ch    names.Name
+	arity int
+}
+
+// reactions returns the possible reactions of ti to an environment
+// broadcast a(c̃): every input derivative at that channel and arity
+// instantiated with c̃, plus ti itself when it discards a. An empty result
+// means ti can neither receive nor ignore the message (ill-sorted usage).
+func (c *Checker) reactions(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+	var out []*termInfo
+	for _, t := range ti.trans {
+		if !t.Act.IsInput() || t.Act.Subj != ch || len(t.Act.Objs) != len(payload) {
+			continue
+		}
+		_, tgt := semantics.Instantiate(t, payload)
+		s, err := c.intern(tgt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	d, err := c.discardsOn(ti, ch)
+	if err != nil {
+		return nil, err
+	}
+	if d {
+		out = append(out, ti)
+	}
+	return out, nil
+}
+
+// pairUniverse returns the instantiation universe for a pair: the free names
+// of both sides plus `extra` deterministic reservoir names fresh for the pair.
+func pairUniverse(p, q *termInfo, extra int) []names.Name {
+	fn := syntax.FreeNames(p.proc).AddAll(syntax.FreeNames(q.proc))
+	u := fn.Sorted()
+	avoid := fn.Clone()
+	for i := 0; i < extra; i++ {
+		w := syntax.FreshVariant("w", avoid)
+		avoid = avoid.Add(w)
+		u = append(u, w)
+	}
+	return u
+}
+
+// tuples enumerates u^k as fresh slices.
+func tuples(u []names.Name, k int) [][]names.Name {
+	if k == 0 {
+		return [][]names.Name{nil}
+	}
+	smaller := tuples(u, k-1)
+	out := make([][]names.Name, 0, len(smaller)*len(u))
+	for _, n := range u {
+		for _, t := range smaller {
+			tt := make([]names.Name, 0, k)
+			tt = append(tt, n)
+			tt = append(tt, t...)
+			out = append(out, tt)
+		}
+	}
+	return out
+}
+
+func pairKey(pk, qk string) string { return pk + "\x00" + qk }

@@ -1,0 +1,395 @@
+package equiv
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// relKind selects which of the paper's bisimilarities an engine decides.
+type relKind int
+
+const (
+	relLabelled relKind = iota // Definitions 7/8
+	relBarbed                  // Definition 3
+	relStep                    // Definition 5
+)
+
+type spec struct {
+	kind relKind
+	weak bool
+}
+
+func (s spec) String() string {
+	k := map[relKind]string{relLabelled: "labelled", relBarbed: "barbed", relStep: "step"}[s.kind]
+	if s.weak {
+		return "weak " + k
+	}
+	return "strong " + k
+}
+
+// Result reports an equivalence verdict.
+type Result struct {
+	// Related is the verdict.
+	Related bool
+	// Pairs is the number of term pairs explored.
+	Pairs int
+	// Reason describes the obligation that failed when Related is false.
+	Reason string
+}
+
+// obligation is one matching requirement of a pair: at least one candidate
+// successor pair must remain in the relation.
+type obligation struct {
+	desc       string
+	candidates []int
+}
+
+type pairNode struct {
+	p, q   *termInfo
+	obs    []obligation
+	bad    bool
+	reason string
+}
+
+type engine struct {
+	c     *Checker
+	sp    spec
+	nodes []*pairNode
+	index map[string]int
+	queue []int
+}
+
+func (c *Checker) run(p, q syntax.Proc, sp spec) (Result, error) {
+	e := &engine{c: c, sp: sp, index: map[string]int{}}
+	pi, err := c.intern(p)
+	if err != nil {
+		return Result{}, err
+	}
+	qi, err := c.intern(q)
+	if err != nil {
+		return Result{}, err
+	}
+	root, err := e.node(pi, qi)
+	if err != nil {
+		return Result{}, err
+	}
+	// Build obligations breadth-first until the pair space is closed.
+	for len(e.queue) > 0 {
+		i := e.queue[0]
+		e.queue = e.queue[1:]
+		if err := e.build(i); err != nil {
+			return Result{}, err
+		}
+	}
+	// Greatest fixpoint: drop pairs with an unsatisfiable obligation.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range e.nodes {
+			if n.bad {
+				continue
+			}
+			for _, ob := range n.obs {
+				ok := false
+				for _, ci := range ob.candidates {
+					if !e.nodes[ci].bad {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					n.bad = true
+					n.reason = ob.desc
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	rn := e.nodes[root]
+	res := Result{Related: !rn.bad, Pairs: len(e.nodes)}
+	if rn.bad {
+		res.Reason = fmt.Sprintf("%s: %s (comparing %s with %s)", sp, rn.reason,
+			syntax.String(rn.p.proc), syntax.String(rn.q.proc))
+	}
+	return res, nil
+}
+
+// node interns the ordered pair (p,q), scheduling obligation construction
+// for new pairs.
+func (e *engine) node(p, q *termInfo) (int, error) {
+	k := pairKey(p.key, q.key)
+	if i, ok := e.index[k]; ok {
+		return i, nil
+	}
+	if len(e.nodes) >= e.c.maxPairs() {
+		return 0, ErrBudget{"pair space"}
+	}
+	i := len(e.nodes)
+	e.nodes = append(e.nodes, &pairNode{p: p, q: q})
+	e.index[k] = i
+	e.queue = append(e.queue, i)
+	return i, nil
+}
+
+// build computes the static checks and matching obligations of pair i.
+func (e *engine) build(i int) error {
+	n := e.nodes[i]
+	switch e.sp.kind {
+	case relBarbed:
+		return e.buildBarbed(n)
+	case relStep:
+		return e.buildStep(n)
+	default:
+		return e.buildLabelled(n)
+	}
+}
+
+// addMoveObligation appends an obligation for a single move of `who` with
+// the given successor candidates.
+func (e *engine) addObligation(n *pairNode, desc string, cands [][2]*termInfo) error {
+	ob := obligation{desc: desc}
+	for _, cd := range cands {
+		ci, err := e.node(cd[0], cd[1])
+		if err != nil {
+			return err
+		}
+		ob.candidates = append(ob.candidates, ci)
+	}
+	n.obs = append(n.obs, ob)
+	return nil
+}
+
+// ---- barbed bisimulation (Definition 3) -----------------------------------
+
+func (e *engine) buildBarbed(n *pairNode) error {
+	// Barb conditions.
+	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
+	if !e.sp.weak {
+		if !pb.Equal(qb) {
+			n.bad = true
+			n.reason = fmt.Sprintf("strong barbs differ: %v vs %v", pb, qb)
+			return nil
+		}
+	} else {
+		for a := range pb {
+			ok, err := e.c.weakBarb(n.q, a)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				n.bad = true
+				n.reason = fmt.Sprintf("right side lacks weak barb on %s", a)
+				return nil
+			}
+		}
+		for a := range qb {
+			ok, err := e.c.weakBarb(n.p, a)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				n.bad = true
+				n.reason = fmt.Sprintf("left side lacks weak barb on %s", a)
+				return nil
+			}
+		}
+	}
+	// τ moves.
+	pt, err := e.c.tauSucc(n.p)
+	if err != nil {
+		return err
+	}
+	qt, err := e.c.tauSucc(n.q)
+	if err != nil {
+		return err
+	}
+	qMatch, err := e.weakOrStrongTauTargets(n.q, qt)
+	if err != nil {
+		return err
+	}
+	pMatch, err := e.weakOrStrongTauTargets(n.p, pt)
+	if err != nil {
+		return err
+	}
+	for _, ps := range pt {
+		var cands [][2]*termInfo
+		for _, qs := range qMatch {
+			cands = append(cands, [2]*termInfo{ps, qs})
+		}
+		if err := e.addObligation(n, "tau move of left unmatched", cands); err != nil {
+			return err
+		}
+	}
+	for _, qs := range qt {
+		var cands [][2]*termInfo
+		for _, ps := range pMatch {
+			cands = append(cands, [2]*termInfo{ps, qs})
+		}
+		if err := e.addObligation(n, "tau move of right unmatched", cands); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// weakOrStrongTauTargets returns the states that may answer a τ move: the
+// strong τ successors, or the full τ* closure (including staying put) in the
+// weak case.
+func (e *engine) weakOrStrongTauTargets(ti *termInfo, strong []*termInfo) ([]*termInfo, error) {
+	if !e.sp.weak {
+		return strong, nil
+	}
+	return e.c.tauClosure(ti)
+}
+
+// ---- step bisimulation (Definition 5) --------------------------------------
+
+func (e *engine) buildStep(n *pairNode) error {
+	// ↓φ barbs: subjects of output transitions.
+	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
+	if !e.sp.weak {
+		if !pb.Equal(qb) {
+			n.bad = true
+			n.reason = fmt.Sprintf("step barbs differ: %v vs %v", pb, qb)
+			return nil
+		}
+	} else {
+		for a := range pb {
+			ok, err := e.weakStepBarb(n.q, a)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				n.bad = true
+				n.reason = fmt.Sprintf("right side lacks weak step barb on %s", a)
+				return nil
+			}
+		}
+		for a := range qb {
+			ok, err := e.weakStepBarb(n.p, a)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				n.bad = true
+				n.reason = fmt.Sprintf("left side lacks weak step barb on %s", a)
+				return nil
+			}
+		}
+	}
+	// Autonomous moves, label-blind.
+	pa, err := e.autonomousSucc(n.p)
+	if err != nil {
+		return err
+	}
+	qa, err := e.autonomousSucc(n.q)
+	if err != nil {
+		return err
+	}
+	qTargets, pTargets := qa, pa
+	if e.sp.weak {
+		if qTargets, err = e.autonomousClosure(n.q); err != nil {
+			return err
+		}
+		if pTargets, err = e.autonomousClosure(n.p); err != nil {
+			return err
+		}
+	}
+	for _, ps := range pa {
+		var cands [][2]*termInfo
+		for _, qs := range qTargets {
+			cands = append(cands, [2]*termInfo{ps, qs})
+		}
+		if err := e.addObligation(n, "autonomous step of left unmatched", cands); err != nil {
+			return err
+		}
+	}
+	for _, qs := range qa {
+		var cands [][2]*termInfo
+		for _, ps := range pTargets {
+			cands = append(cands, [2]*termInfo{ps, qs})
+		}
+		if err := e.addObligation(n, "autonomous step of right unmatched", cands); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// autonomousSucc returns the τ- and output-successors of ti (outputs with
+// extruded names canonicalised deterministically).
+func (e *engine) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
+	var out []*termInfo
+	for _, t := range ti.trans {
+		if !t.Act.IsStep() {
+			continue
+		}
+		tt := t
+		if t.Act.IsOutput() && len(t.Act.Bound) > 0 {
+			act, tgt := semantics.CanonTrans(t.Act, t.Target)
+			tt = semantics.Trans{Act: act, Target: tgt}
+		}
+		s, err := e.c.intern(tt.Target)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// autonomousClosure returns the states reachable by (τ ∪ output)*,
+// including ti itself.
+func (e *engine) autonomousClosure(ti *termInfo) ([]*termInfo, error) {
+	seen := map[string]*termInfo{ti.key: ti}
+	work := []*termInfo{ti}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		succ, err := e.autonomousSucc(cur)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range succ {
+			if _, ok := seen[s.key]; ok {
+				continue
+			}
+			if len(seen) >= e.c.maxClosure() {
+				return nil, ErrBudget{"autonomous closure"}
+			}
+			seen[s.key] = s
+			work = append(work, s)
+		}
+	}
+	out := make([]*termInfo, 0, len(seen))
+	for _, s := range seen {
+		out = append(out, s)
+	}
+	sortTerms(out)
+	return out, nil
+}
+
+// weakStepBarb reports that some (τ ∪ output)*-derivative strongly barbs on a.
+func (e *engine) weakStepBarb(ti *termInfo, a names.Name) (bool, error) {
+	cl, err := e.autonomousClosure(ti)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range cl {
+		if strongBarbs(s).Contains(a) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func sortTerms(ts []*termInfo) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].key < ts[j-1].key; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package equiv
+
+import (
+	"fmt"
+	"strings"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// buildLabelled creates the obligations of Definition 8 (strong) or
+// Definition 7 (weak) for the pair n:
+//
+//  1. τ moves matched by τ (or by =ε=> when weak);
+//  2. (possibly bound) outputs matched on identical canonical labels;
+//  3. receptions-or-discards a(c̃)? matched by receptions-or-discards,
+//     for every channel either side listens on and every payload tuple over
+//     the pair universe.
+func (e *engine) buildLabelled(n *pairNode) error {
+	avoid := syntax.FreeNames(n.p.proc).AddAll(syntax.FreeNames(n.q.proc))
+
+	// Clause 1: τ.
+	pt, err := e.c.tauSucc(n.p)
+	if err != nil {
+		return err
+	}
+	qt, err := e.c.tauSucc(n.q)
+	if err != nil {
+		return err
+	}
+	qTauTargets, err := e.weakOrStrongTauTargets(n.q, qt)
+	if err != nil {
+		return err
+	}
+	pTauTargets, err := e.weakOrStrongTauTargets(n.p, pt)
+	if err != nil {
+		return err
+	}
+	for _, ps := range pt {
+		var cands [][2]*termInfo
+		for _, qs := range qTauTargets {
+			cands = append(cands, [2]*termInfo{ps, qs})
+		}
+		if err := e.addObligation(n, "tau move of left unmatched", cands); err != nil {
+			return err
+		}
+	}
+	for _, qs := range qt {
+		var cands [][2]*termInfo
+		for _, ps := range pTauTargets {
+			cands = append(cands, [2]*termInfo{ps, qs})
+		}
+		if err := e.addObligation(n, "tau move of right unmatched", cands); err != nil {
+			return err
+		}
+	}
+
+	// Clause 2: outputs on identical canonical labels.
+	if err := e.outputObligations(n, avoid, true); err != nil {
+		return err
+	}
+	if err := e.outputObligations(n, avoid, false); err != nil {
+		return err
+	}
+
+	// Clause 3: receptions-or-discards.
+	return e.reactionObligations(n)
+}
+
+// outputObligations adds, for every output move of the `left` (or right)
+// component, the candidates derived from matching outputs of the other side.
+func (e *engine) outputObligations(n *pairNode, avoid names.Set, leftMoves bool) error {
+	mover, other := n.p, n.q
+	if !leftMoves {
+		mover, other = n.q, n.p
+	}
+	mouts := outputsCanon(mover, avoid)
+	// Pre-compute the other side's (possibly weak) answers per label.
+	answers := map[string][]*termInfo{}
+	collect := func(src *termInfo) error {
+		for _, ot := range outputsCanon(src, avoid) {
+			tgt, err := e.c.intern(ot.Target)
+			if err != nil {
+				return err
+			}
+			finals := []*termInfo{tgt}
+			if e.sp.weak {
+				if finals, err = e.c.tauClosure(tgt); err != nil {
+					return err
+				}
+			}
+			answers[ot.Act.String()] = append(answers[ot.Act.String()], finals...)
+		}
+		return nil
+	}
+	if e.sp.weak {
+		cl, err := e.c.tauClosure(other)
+		if err != nil {
+			return err
+		}
+		for _, s := range cl {
+			if err := collect(s); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := collect(other); err != nil {
+			return err
+		}
+	}
+	side := "left"
+	if !leftMoves {
+		side = "right"
+	}
+	for _, mt := range mouts {
+		mtgt, err := e.c.intern(mt.Target)
+		if err != nil {
+			return err
+		}
+		var cands [][2]*termInfo
+		for _, ans := range answers[mt.Act.String()] {
+			if leftMoves {
+				cands = append(cands, [2]*termInfo{mtgt, ans})
+			} else {
+				cands = append(cands, [2]*termInfo{ans, mtgt})
+			}
+		}
+		desc := fmt.Sprintf("output %s of %s unmatched", mt.Act, side)
+		if err := e.addObligation(n, desc, cands); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reactionObligations adds the clause-3 obligations: for every channel a on
+// which either side listens, and every payload c̃ over the pair universe,
+// every reaction (reception or discard) of one side must be matched by a
+// reaction of the other.
+func (e *engine) reactionObligations(n *pairNode) error {
+	shapes := inputShapes(n.p)
+	for s := range inputShapes(n.q) {
+		shapes[s] = true
+	}
+	ordered := make([]shape, 0, len(shapes))
+	for s := range shapes {
+		ordered = append(ordered, s)
+	}
+	sortShapes(ordered)
+	for _, s := range ordered {
+		u := pairUniverse(n.p, n.q, s.arity)
+		for _, payload := range tuples(u, s.arity) {
+			pr, err := e.reactTargets(n.p, s.ch, payload)
+			if err != nil {
+				return err
+			}
+			qr, err := e.reactTargets(n.q, s.ch, payload)
+			if err != nil {
+				return err
+			}
+			// Strong one-step reactions (the moves to be matched).
+			pm, err := e.c.reactions(n.p, s.ch, payload)
+			if err != nil {
+				return err
+			}
+			qm, err := e.c.reactions(n.q, s.ch, payload)
+			if err != nil {
+				return err
+			}
+			lab := fmt.Sprintf("%s?(%s)", s.ch, joinNames(payload))
+			for _, r := range pm {
+				var cands [][2]*termInfo
+				for _, t := range qr {
+					cands = append(cands, [2]*termInfo{r, t})
+				}
+				if err := e.addObligation(n, "reaction "+lab+" of left unmatched", cands); err != nil {
+					return err
+				}
+			}
+			for _, r := range qm {
+				var cands [][2]*termInfo
+				for _, t := range pr {
+					cands = append(cands, [2]*termInfo{t, r})
+				}
+				if err := e.addObligation(n, "reaction "+lab+" of right unmatched", cands); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reactTargets returns the states that may answer a reaction move: strong
+// reactions, or weak ones (=ε=> · a(c̃)? · =ε=>) in the weak case.
+func (e *engine) reactTargets(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+	if !e.sp.weak {
+		return e.c.reactions(ti, ch, payload)
+	}
+	pre, err := e.c.tauClosure(ti)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]*termInfo{}
+	for _, s := range pre {
+		rs, err := e.c.reactions(s, ch, payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			post, err := e.c.tauClosure(r)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range post {
+				seen[t.key] = t
+			}
+		}
+	}
+	out := make([]*termInfo, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sortTerms(out)
+	return out, nil
+}
+
+func sortShapes(ss []shape) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && less(ss[j], ss[j-1]); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func less(a, b shape) bool {
+	if a.ch != b.ch {
+		return a.ch < b.ch
+	}
+	return a.arity < b.arity
+}
+
+func joinNames(ns []names.Name) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = string(n)
+	}
+	return strings.Join(parts, ",")
+}

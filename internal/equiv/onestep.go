@@ -1,0 +1,301 @@
+package equiv
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// OneStep decides the auxiliary one-step relation ~+ (Definition 11) or ≈+
+// (Definition 15).
+//
+// Unlike the bisimilarities, ~+ matches moves *strictly by action*: a τ by a
+// τ, an output by an equal (canonical) output, an input a(c̃) by an input
+// a(c̃), and a discard a: by a discard a: — successors are then compared
+// under the full (noisy) labelled bisimilarity ~. This strictness is what
+// separates ~+ from ~ (Remark 4: a ~ b for input prefixes a, b, yet a ≁+ b
+// because their discard sets differ) and is the reason the completeness
+// proof of Theorem 7 saturates head normal forms with axiom (H) until
+// neither side can discard an input of the other.
+//
+// Closing ~+ (resp. ≈+) under all substitutions yields the congruence ~c
+// (resp. ≈c) — see Congruence.
+func (c *Checker) OneStep(p, q syntax.Proc, weak bool) (bool, error) {
+	pi, err := c.intern(p)
+	if err != nil {
+		return false, err
+	}
+	qi, err := c.intern(q)
+	if err != nil {
+		return false, err
+	}
+	// Discard clause. Strong: the discard move a: of one side must be
+	// matched by a discard of the other, with successors (the processes
+	// themselves) related — which makes the discard sets over the shared
+	// free names coincide. Weak (clause 4 of Definition 15): a discard of
+	// one side must be weakly available on the other (after τ*), with the
+	// resting state related to the still-discarding side.
+	chans := syntax.FreeNames(pi.proc).AddAll(syntax.FreeNames(qi.proc)).Sorted()
+	for _, a := range chans {
+		dp, err := c.discardsOn(pi, a)
+		if err != nil {
+			return false, err
+		}
+		dq, err := c.discardsOn(qi, a)
+		if err != nil {
+			return false, err
+		}
+		if !weak {
+			if dp != dq {
+				return false, nil
+			}
+			continue
+		}
+		if dp {
+			ok, err := c.weakDiscardMatch(pi, qi, a, weak)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		if dq {
+			ok, err := c.weakDiscardMatch(qi, pi, a, weak)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	if ok, err := c.oneStepDirected(pi, qi, weak, false); err != nil || !ok {
+		return false, err
+	}
+	return c.oneStepDirected(qi, pi, weak, true)
+}
+
+// weakDiscardMatch checks clause 4 of Definition 15: discarder --a:-->
+// (staying put) must be answered by other =ε=> o' with o' discarding a and
+// the pair (discarder, o') weakly bisimilar.
+func (c *Checker) weakDiscardMatch(discarder, other *termInfo, a names.Name, weak bool) (bool, error) {
+	cl, err := c.tauClosure(other)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range cl {
+		d, err := c.discardsOn(s, a)
+		if err != nil {
+			return false, err
+		}
+		if !d {
+			continue
+		}
+		r, err := c.Labelled(discarder.proc, s.proc, weak)
+		if err != nil {
+			return false, err
+		}
+		if r.Related {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// oneStepDirected checks the mover→answerer half of Definitions 11/15 for
+// τ, output and input moves. flipped tells which side of the successor pair
+// the mover's derivative goes on (the successor relation ~ is symmetric, so
+// it only matters for error reporting consistency).
+func (c *Checker) oneStepDirected(mover, answerer *termInfo, weak, flipped bool) (bool, error) {
+	related := func(a, b *termInfo) (bool, error) {
+		r, err := c.Labelled(a.proc, b.proc, weak)
+		if err != nil {
+			return false, err
+		}
+		return r.Related, nil
+	}
+	avoid := syntax.FreeNames(mover.proc).AddAll(syntax.FreeNames(answerer.proc))
+
+	// τ moves. In the weak case a τ of the mover must be answered by at
+	// least one τ of the answerer (τ·τ*, as in observational congruence):
+	// allowing the empty answer would let τ.p ≈+ p, which + contexts
+	// distinguish, contradicting Theorem 4 (≈c is a congruence).
+	mt, err := c.tauSucc(mover)
+	if err != nil {
+		return false, err
+	}
+	var tauTargets []*termInfo
+	if weak {
+		first, err := c.tauSucc(answerer)
+		if err != nil {
+			return false, err
+		}
+		seen := map[string]*termInfo{}
+		for _, f := range first {
+			cl, err := c.tauClosure(f)
+			if err != nil {
+				return false, err
+			}
+			for _, s := range cl {
+				seen[s.key] = s
+			}
+		}
+		tauTargets = tauTargets[:0]
+		for _, s := range seen {
+			tauTargets = append(tauTargets, s)
+		}
+		sortTerms(tauTargets)
+	} else {
+		if tauTargets, err = c.tauSucc(answerer); err != nil {
+			return false, err
+		}
+	}
+	for _, ms := range mt {
+		ok, err := anyRelated(ms, tauTargets, related)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+
+	// Output moves, matched on identical canonical labels.
+	answers := map[string][]*termInfo{}
+	sources := []*termInfo{answerer}
+	if weak {
+		if sources, err = c.tauClosure(answerer); err != nil {
+			return false, err
+		}
+	}
+	for _, src := range sources {
+		for _, ot := range outputsCanon(src, avoid) {
+			tgt, err := c.intern(ot.Target)
+			if err != nil {
+				return false, err
+			}
+			finals := []*termInfo{tgt}
+			if weak {
+				if finals, err = c.tauClosure(tgt); err != nil {
+					return false, err
+				}
+			}
+			answers[ot.Act.String()] = append(answers[ot.Act.String()], finals...)
+		}
+	}
+	for _, mo := range outputsCanon(mover, avoid) {
+		mtgt, err := c.intern(mo.Target)
+		if err != nil {
+			return false, err
+		}
+		ok, err := anyRelated(mtgt, answers[mo.Act.String()], related)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+
+	// Input moves: strictly input-by-input on the same ground label.
+	for s := range inputShapes(mover) {
+		u := pairUniverse(mover, answerer, s.arity)
+		for _, payload := range tuples(u, s.arity) {
+			mIns, err := c.inputDerivatives(mover, s.ch, payload)
+			if err != nil {
+				return false, err
+			}
+			if len(mIns) == 0 {
+				continue
+			}
+			aIns, err := c.weakInputDerivatives(answerer, s.ch, payload, weak)
+			if err != nil {
+				return false, err
+			}
+			for _, md := range mIns {
+				ok, err := anyRelated(md, aIns, related)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// inputDerivatives returns the genuine reception derivatives (no discard).
+func (c *Checker) inputDerivatives(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+	var out []*termInfo
+	for _, t := range ti.trans {
+		if !t.Act.IsInput() || t.Act.Subj != ch || len(t.Act.Objs) != len(payload) {
+			continue
+		}
+		_, tgt := semanticsInstantiate(t, payload)
+		s, err := c.intern(tgt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// weakInputDerivatives returns the (weak, when requested) reception answers:
+// =ε=> · a(c̃) · =ε=> (strict input in the middle).
+func (c *Checker) weakInputDerivatives(ti *termInfo, ch names.Name, payload []names.Name, weak bool) ([]*termInfo, error) {
+	if !weak {
+		return c.inputDerivatives(ti, ch, payload)
+	}
+	pre, err := c.tauClosure(ti)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]*termInfo{}
+	for _, s := range pre {
+		ds, err := c.inputDerivatives(s, ch, payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			post, err := c.tauClosure(d)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range post {
+				seen[t.key] = t
+			}
+		}
+	}
+	out := make([]*termInfo, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sortTerms(out)
+	return out, nil
+}
+
+// Congruence decides the strong congruence ~c (weak=false) or the weak
+// congruence ≈c (weak=true): pσ ~+ qσ (resp. ≈+) for all substitutions σ.
+//
+// Substitution closure is exact on a finite sufficient set: all fusions
+// fn(p,q) → fn(p,q). Substitutions introducing genuinely fresh targets are
+// injective renamings of these up to bisimilarity (Lemma 18), so they add no
+// discriminating power. The enumeration is n^n in |fn(p,q)| — use
+// CongruenceBounded for larger interfaces.
+func (c *Checker) Congruence(p, q syntax.Proc, weak bool) (bool, error) {
+	return c.CongruenceBounded(p, q, weak, 0)
+}
+
+// CongruenceBounded is Congruence with a cap on the number of substitutions
+// tried (0 means unbounded). When capped, a true verdict means "no tried
+// substitution distinguishes them".
+func (c *Checker) CongruenceBounded(p, q syntax.Proc, weak bool, maxSubs int) (bool, error) {
+	fn := syntax.FreeNames(p).AddAll(syntax.FreeNames(q)).Sorted()
+	subs := names.AllFusions(fn, fn)
+	if len(subs) == 0 {
+		subs = []names.Subst{{}}
+	}
+	if maxSubs > 0 && len(subs) > maxSubs {
+		subs = subs[:maxSubs]
+	}
+	for _, sub := range subs {
+		ok, err := c.OneStep(syntax.Apply(p, sub), syntax.Apply(q, sub), weak)
+		if err != nil {
+			return false, fmt.Errorf("under substitution %s: %w", sub, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,147 @@
+package equiv
+
+import (
+	"testing"
+
+	"bpi/internal/names"
+	brand "bpi/internal/rand"
+	"bpi/internal/syntax"
+)
+
+// TestWeakWitnessVerdicts records the weak-relation behaviour of the
+// strong-witness pairs: every strong verdict must persist weakly, and the
+// τ-insensitive pairs gain relatedness only where expected.
+func TestWeakWitnessVerdicts(t *testing.T) {
+	ch := newC()
+	// Remark 2(1) pair p1 = b̄+τ.c̄, q1 = b̄+b̄.c̄: weakly, the τ branch of p1
+	// may be matched lazily — but the resulting states still differ (c̄ has
+	// a weak barb on c that q1's post-b̄ state matches only after emitting
+	// b). They stay apart even weakly under the labelled relation.
+	p1 := syntax.Choice(syntax.SendN(b), syntax.TauP(syntax.SendN(c)))
+	q1 := syntax.Choice(syntax.SendN(b), syntax.Send(b, nil, syntax.SendN(c)))
+	if labelled(t, ch, p1, q1, true) {
+		t.Error("p1 ≉ q1 expected (the τ-derivative c̄ has no weak match)")
+	}
+	// Weak basics across relations: τ-prefix absorption.
+	p := syntax.TauP(syntax.TauP(syntax.SendN(a)))
+	q := syntax.SendN(a)
+	if !labelled(t, ch, p, q, true) || !barbed(t, ch, p, q, true) || !step(t, ch, p, q, true) {
+		t.Error("τ.τ.ā ≈ ā must hold in every weak relation")
+	}
+}
+
+// TestWeakCongruencePreservedByContexts samples Theorem 4: pairs related by
+// ≈c stay weakly bisimilar under prefix, choice, parallel and restriction
+// contexts.
+func TestWeakCongruencePreservedByContexts(t *testing.T) {
+	ch := newC()
+	pairs := [][2]syntax.Proc{
+		{syntax.Send(a, nil, syntax.TauP(syntax.SendN(c))), syntax.Send(a, nil, syntax.SendN(c))},
+		{syntax.Choice(syntax.SendN(a), syntax.SendN(a)), syntax.SendN(a)},
+		{syntax.Group(syntax.RecvN(c, x), syntax.PNil), syntax.RecvN(c, x)},
+	}
+	contexts := []func(syntax.Proc) syntax.Proc{
+		func(p syntax.Proc) syntax.Proc { return syntax.Send(d, nil, p) },
+		func(p syntax.Proc) syntax.Proc { return syntax.Choice(p, syntax.SendN(d)) },
+		func(p syntax.Proc) syntax.Proc { return syntax.Group(p, syntax.RecvN(d, z)) },
+		func(p syntax.Proc) syntax.Proc { return syntax.Restrict(p, "w") },
+		func(p syntax.Proc) syntax.Proc { return syntax.If(a, b, p, syntax.SendN(d)) },
+	}
+	for i, pq := range pairs {
+		ok, err := ch.Congruence(pq[0], pq[1], true)
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("pair %d not ≈c: %s vs %s", i, syntax.String(pq[0]), syntax.String(pq[1]))
+		}
+		for j, ctx := range contexts {
+			if !labelled(t, ch, ctx(pq[0]), ctx(pq[1]), true) {
+				t.Errorf("pair %d context %d: ≈c broken by context", i, j)
+			}
+		}
+	}
+}
+
+// TestWeakCongruenceNotImpliedByWeakBisim: the τ-law pair is ≈ but not ≈c,
+// and a + context indeed separates it (the content of the ≈ vs ≈c gap).
+func TestWeakCongruenceNotImpliedByWeakBisim(t *testing.T) {
+	ch := newC()
+	p := syntax.TauP(syntax.SendN(c))
+	q := syntax.SendN(c)
+	if !labelled(t, ch, p, q, true) {
+		t.Fatal("τ.c̄ ≈ c̄ precondition failed")
+	}
+	ok, err := ch.Congruence(p, q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("τ.c̄ ≈c c̄ must fail")
+	}
+	ctx := func(r syntax.Proc) syntax.Proc { return syntax.Choice(r, syntax.SendN(d)) }
+	if labelled(t, ch, ctx(p), ctx(q), true) {
+		t.Error("the + context must separate the τ-law pair")
+	}
+}
+
+// TestWeakOneStepSampledSoundness: ≈+ ⊆ ≈ on random pairs (the weak analogue
+// of the Remark 4 chain).
+func TestWeakOneStepSampledSoundness(t *testing.T) {
+	cfg := brand.Default()
+	cfg.MaxDepth = 3
+	g := brand.New(5150, cfg)
+	ch := newC()
+	found := 0
+	for i := 0; i < 25; i++ {
+		p := g.Term()
+		q := g.Mutate(p)
+		os, err := ch.OneStep(p, q, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !os {
+			continue
+		}
+		found++
+		if !labelled(t, ch, p, q, true) {
+			t.Errorf("≈+ pair not ≈:\n p=%s\n q=%s", syntax.String(p), syntax.String(q))
+		}
+	}
+	if found == 0 {
+		t.Skip("no ≈+ pairs sampled (generator mix)")
+	}
+}
+
+// TestWeakStrongWitnessConsistency: every witness pair's weak verdicts are
+// implied by (at least as permissive as) the strong ones.
+func TestWeakStrongWitnessConsistency(t *testing.T) {
+	ch := newC()
+	type rel func(p, q syntax.Proc, weak bool) (Result, error)
+	rels := map[string]rel{
+		"labelled": ch.Labelled,
+		"barbed":   ch.Barbed,
+		"step":     ch.Step,
+	}
+	pairs := [][2]syntax.Proc{
+		{syntax.SendN(a, b), syntax.Send(a, []names.Name{b}, syntax.SendN(c, d))},
+		{syntax.RecvN(a), syntax.RecvN(b)},
+		{syntax.Choice(syntax.SendN(b), syntax.TauP(syntax.SendN(c))),
+			syntax.Choice(syntax.SendN(b), syntax.Send(b, nil, syntax.SendN(c)))},
+	}
+	for name, r := range rels {
+		for i, pq := range pairs {
+			s, err := r(pq[0], pq[1], false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := r(pq[0], pq[1], true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Related && !w.Related {
+				t.Errorf("%s pair %d: strong but not weak", name, i)
+			}
+		}
+	}
+}

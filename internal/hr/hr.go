@@ -1,0 +1,147 @@
+// Package hr implements the restricted-input broadcast calculus that the
+// paper contrasts itself with (Hennessy & Rathke, CONCUR'95): the input
+// prefix x∈S?p receives only values drawn from a *static* set S and ignores
+// everything else; crucially "the continuation process p does not change
+// dynamically his restrictions on further inputs; so it cannot model
+// reconfigurable systems" (paper §1).
+//
+// Two things are demonstrated mechanically:
+//
+//  1. hr embeds into bπ: the guarded input becomes a recursive bπ input that
+//     restores itself on out-of-set values,
+//
+//     ⟦a∈S?(x).p⟧ = rec R. a(x).((x∈S) ⟦p⟧, R)
+//
+//     which is behaviourally a discard by the noisy law (receiving and
+//     restoring ≈ ignoring — the content of axiom (H)). The embedding is
+//     validated against weak bπ bisimilarity in tests.
+//
+//  2. the converse gap: a bπ process can *reconfigure* its receivable set
+//     with received names (e.g. a(x).x(y).p listens on a channel it has just
+//     learnt), which no static S can express; the tests exhibit the
+//     distinguishing behaviour.
+package hr
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Proc is an hr process (a value-passing fragment sufficient for the
+// comparison: prefixes, choice, parallel).
+type Proc interface{ isHR() }
+
+// Nil is inert.
+type Nil struct{}
+
+// Out broadcasts Val on channel Ch.
+type Out struct {
+	Ch, Val names.Name
+	Cont    Proc
+}
+
+// In receives on Ch a value from the static set Set, binding Param; values
+// outside Set are ignored (the process stays as it is).
+type In struct {
+	Ch    names.Name
+	Set   []names.Name
+	Param names.Name
+	Cont  Proc
+}
+
+// Sum is choice, Par parallel composition.
+type Sum struct{ L, R Proc }
+
+// Par is parallel composition.
+type Par struct{ L, R Proc }
+
+func (Nil) isHR() {}
+func (Out) isHR() {}
+func (In) isHR()  {}
+func (Sum) isHR() {}
+func (Par) isHR() {}
+
+// ToBpi embeds an hr process into the bπ-calculus. Each restricted input
+// becomes a guarded recursion that receives anything on the channel and
+// restores itself when the value is outside the set — by the noisy law this
+// is indistinguishable from ignoring the message.
+func ToBpi(p Proc) syntax.Proc {
+	e := &embedder{}
+	return e.embed(p)
+}
+
+type embedder struct{ counter int }
+
+func (e *embedder) embed(p Proc) syntax.Proc {
+	if p == nil {
+		return syntax.PNil // omitted continuations read as nil
+	}
+	switch t := p.(type) {
+	case Nil:
+		return syntax.PNil
+	case Out:
+		return syntax.Send(t.Ch, []names.Name{t.Val}, e.embed(t.Cont))
+	case Sum:
+		return syntax.Sum{L: e.embed(t.L), R: e.embed(t.R)}
+	case Par:
+		return syntax.Par{L: e.embed(t.L), R: e.embed(t.R)}
+	case In:
+		cont := e.embed(t.Cont)
+		e.counter++
+		id := fmt.Sprintf("HR%d", e.counter)
+		// Free names of the recursion body: channel, set elements, and the
+		// continuation's frees minus the parameter.
+		fns := syntax.FreeNames(cont)
+		fns.Remove(t.Param)
+		fns = fns.Add(t.Ch).AddSlice(t.Set)
+		params := fns.Sorted()
+		// membership cascade: (x=s1) cont, ((x=s2) cont, (… , R))
+		var body syntax.Proc = syntax.Call{Id: id, Args: params}
+		for i := len(t.Set) - 1; i >= 0; i-- {
+			body = syntax.If(t.Param, t.Set[i], cont, body)
+		}
+		rec := syntax.Rec{Id: id, Params: params,
+			Body: syntax.Recv(t.Ch, []names.Name{t.Param}, body),
+			Args: params}
+		return rec
+	}
+	panic("hr: unknown node")
+}
+
+// DirectSemantics gives hr its own reference semantics as a bπ term that is
+// *structurally* a one-shot guarded input (no recursion) — receiving an
+// out-of-set value behaves as the original process by construction. It is
+// used to cross-check the recursive embedding.
+//
+//	a∈S?(x).p  ⇒  a(x).((x∈S) ⟦p⟧, ⟦a∈S?(x).p⟧ unrolled k times, then nil)
+//
+// Because the unrolling is finite it is only faithful up to depth k; the
+// tests compare it with the recursive embedding within that depth.
+func DirectSemantics(p Proc, k int) syntax.Proc {
+	if p == nil {
+		return syntax.PNil
+	}
+	switch t := p.(type) {
+	case Nil:
+		return syntax.PNil
+	case Out:
+		return syntax.Send(t.Ch, []names.Name{t.Val}, DirectSemantics(t.Cont, k))
+	case Sum:
+		return syntax.Sum{L: DirectSemantics(t.L, k), R: DirectSemantics(t.R, k)}
+	case Par:
+		return syntax.Par{L: DirectSemantics(t.L, k), R: DirectSemantics(t.R, k)}
+	case In:
+		if k == 0 {
+			return syntax.PNil
+		}
+		cont := DirectSemantics(t.Cont, k)
+		var body syntax.Proc = DirectSemantics(p, k-1)
+		for i := len(t.Set) - 1; i >= 0; i-- {
+			body = syntax.If(t.Param, t.Set[i], cont, body)
+		}
+		return syntax.Recv(t.Ch, []names.Name{t.Param}, body)
+	}
+	panic("hr: unknown node")
+}

@@ -1,0 +1,159 @@
+package hr
+
+import (
+	"testing"
+
+	"bpi/internal/equiv"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+const (
+	a names.Name = "a"
+	b names.Name = "b"
+	c names.Name = "c"
+	d names.Name = "d"
+	x names.Name = "x"
+)
+
+// The embedded guarded input accepts in-set values and behaves like a
+// discard for out-of-set values.
+func TestEmbeddedInputSelectivity(t *testing.T) {
+	// a∈{b}?(x). x̄ — accepts only b.
+	p := ToBpi(In{Ch: a, Set: []names.Name{b}, Param: x, Cont: Out{Ch: x, Val: c}})
+	sys := semantics.NewSystem(nil)
+	ch := equiv.NewChecker(sys)
+
+	// Closed world (νa) so the only message on a is the driver's.
+	// In-set: the value is taken and b̄c follows, up to the internal step.
+	withB := syntax.Restrict(syntax.Par{L: syntax.SendN(a, b), R: p}, a)
+	res, err := ch.Labelled(withB, syntax.SendN(b, c), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Related {
+		t.Error("in-set reception must proceed like a plain input")
+	}
+
+	// Out-of-set: the guarded input ignores the message — nothing visible
+	// ever happens (the noisy restore loop is weakly inert).
+	withD := syntax.Restrict(syntax.Par{L: syntax.SendN(a, d), R: p}, a)
+	res, err = ch.Labelled(withD, syntax.PNil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Related {
+		t.Error("out-of-set reception must be indistinguishable from a discard")
+	}
+}
+
+// The recursive embedding agrees with the finite direct unrolling (weak
+// bisimilarity within the unrolled depth).
+func TestEmbeddingAgreesWithDirectSemantics(t *testing.T) {
+	samples := []Proc{
+		In{Ch: a, Set: []names.Name{b, c}, Param: x, Cont: Out{Ch: x, Val: d}},
+		Par{
+			L: Out{Ch: a, Val: b},
+			R: In{Ch: a, Set: []names.Name{b}, Param: x, Cont: Out{Ch: c, Val: x}},
+		},
+		Sum{
+			L: In{Ch: a, Set: []names.Name{b}, Param: x, Cont: Nil{}},
+			R: Out{Ch: d, Val: d},
+		},
+	}
+	ch := equiv.NewChecker(nil)
+	for i, s := range samples {
+		rec := ToBpi(s)
+		direct := DirectSemantics(s, 3)
+		// A finite unrolling cannot absorb unboundedly many out-of-set
+		// broadcasts from an open environment, so the comparison closes the
+		// guarded channel: νa (driver ‖ P) receives exactly the driver's
+		// message. Within that closed world the recursion and the depth-3
+		// unrolling must be weakly bisimilar.
+		driver := syntax.SendN(a, b)
+		closeUp := func(p syntax.Proc) syntax.Proc {
+			return syntax.Restrict(syntax.Par{L: driver, R: p}, a)
+		}
+		res, err := ch.Labelled(closeUp(rec), closeUp(direct), true)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if !res.Related {
+			t.Errorf("sample %d: embedding deviates from the direct semantics", i)
+		}
+	}
+}
+
+// The reconfiguration gap: bπ can listen on a channel it has just received;
+// any hr process has a statically fixed receivable alphabet. We exhibit the
+// bπ behaviour and check no single-input hr embedding over the same free
+// names matches it.
+func TestReconfigurationGap(t *testing.T) {
+	// bπ: a(x).x(y).c̄y — the second input's channel is the received name.
+	mobile := syntax.Recv(a, []names.Name{x},
+		syntax.Recv(x, []names.Name{"y"}, syntax.SendN(c, "y")))
+	ch := equiv.NewChecker(nil)
+
+	// Against every hr guard set S ⊆ {a,b,c,d} for a two-step hr process
+	// a∈S?(x). b∈S'?(y). c̄y — the channels are fixed; feeding the fresh
+	// name e as x and then broadcasting on e distinguishes them.
+	driver := func(p syntax.Proc) syntax.Proc {
+		return syntax.Group(
+			syntax.Restrict(
+				syntax.Send(a, []names.Name{"e"}, syntax.Send("e", []names.Name{d}, syntax.PNil)), "e"),
+			p,
+		)
+	}
+	// The mobile process relays d to c after the private dialogue.
+	okMobile, err := chCanBarb(driver(mobile), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okMobile {
+		t.Fatal("mobile process failed to relay on the received channel")
+	}
+	// Every static-alphabet candidate misses the relay: its second input
+	// channel cannot be the fresh e.
+	for _, second := range []names.Name{a, b, c, d} {
+		static := ToBpi(In{Ch: a, Set: []names.Name{a, b, c, d}, Param: x,
+			Cont: In{Ch: second, Set: []names.Name{a, b, c, d}, Param: "y",
+				Cont: Out{Ch: c, Val: "y"}}})
+		okStatic, err := chCanBarb(driver(static), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okStatic {
+			t.Errorf("static second input on %s unexpectedly relayed the private name", second)
+		}
+	}
+	_ = ch
+}
+
+func chCanBarb(p syntax.Proc, watch names.Name) (bool, error) {
+	sys := semantics.NewSystem(nil)
+	seen := map[string]bool{}
+	queue := []syntax.Proc{p}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		k := syntax.Key(syntax.Simplify(cur))
+		if seen[k] || len(seen) > 20000 {
+			continue
+		}
+		seen[k] = true
+		ts, err := sys.Steps(cur)
+		if err != nil {
+			return false, err
+		}
+		for _, t := range ts {
+			if t.Act.IsOutput() && t.Act.Subj == watch {
+				return true, nil
+			}
+			if t.Act.IsStep() {
+				queue = append(queue, t.Target)
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,60 @@
+package lts
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bpi/internal/syntax"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format: states as nodes
+// (roots doubled), transitions as labelled edges. Terms longer than
+// maxLabel runes are truncated with an ellipsis (0 means 48).
+func (g *Graph) WriteDOT(w io.Writer, maxLabel int) error {
+	if maxLabel <= 0 {
+		maxLabel = 48
+	}
+	if _, err := fmt.Fprintln(w, "digraph lts {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  rankdir=LR;`)
+	fmt.Fprintln(w, `  node [shape=box, fontname="monospace", fontsize=10];`)
+	roots := map[int]bool{}
+	for _, r := range g.Roots {
+		roots[r] = true
+	}
+	for i, st := range g.States {
+		label := clip(stateLabel(st), maxLabel)
+		shape := ""
+		if roots[i] {
+			shape = ", peripheries=2"
+		}
+		fmt.Fprintf(w, "  s%d [label=\"s%d: %s\"%s];\n", i, i, escape(label), shape)
+	}
+	for i, es := range g.Edges {
+		for _, e := range es {
+			fmt.Fprintf(w, "  s%d -> s%d [label=\"%s\"];\n", i, e.Dst, escape(e.Lab))
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func stateLabel(st State) string {
+	return syntax.String(st.Proc)
+}
+
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

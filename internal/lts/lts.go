@@ -1,0 +1,388 @@
+// Package lts builds explicit, finite labelled transition graphs from
+// bπ-calculus terms by exhaustively grounding the symbolic early semantics
+// over a finite name universe.
+//
+// Finite-universe soundness. Early input transitions range over a countable
+// set of names; for deciding the bisimilarities of the paper between p and q
+// it suffices to instantiate inputs with (i) the free names of the states in
+// play and (ii) a bounded reservoir of fresh names (one per simultaneously
+// open input position), because any further fresh name is related to the
+// reservoir names by an injective renaming, and bisimilarity is preserved by
+// injective renamings (Lemma 18 of the paper). Extruded bound-output names
+// are canonicalised jointly with their target states and join the universe
+// of the successor state via its free names.
+package lts
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// Edge is a ground transition to the state with index Dst. Lab is the
+// canonical rendering of Act used for label comparison (bound output names
+// are pre-canonicalised, so syntactically different extrusions compare equal
+// exactly when alpha-equivalent).
+type Edge struct {
+	Act actions.Act
+	Lab string
+	Dst int
+}
+
+// State is an explored process state.
+type State struct {
+	Proc syntax.Proc
+	Key  string
+}
+
+// Graph is an explicit LTS over interned states.
+type Graph struct {
+	States []State
+	Edges  [][]Edge
+	// Roots holds the state indices of the exploration roots, in input order.
+	Roots []int
+	// Universe is the base name universe used for input instantiation.
+	Universe []names.Name
+	// Truncated reports that a budget stopped the exploration before the
+	// reachable set was exhausted; equivalence verdicts computed on a
+	// truncated graph are not conclusive.
+	Truncated bool
+	index     map[string]int
+}
+
+// Options configures exploration.
+type Options struct {
+	// Universe is the base set of names used to instantiate inputs. When
+	// empty, the free names of the roots are used. Fresh reservoir names are
+	// appended according to FreshNames.
+	Universe []names.Name
+	// FreshNames is the number of reservoir names added to the universe
+	// (default 1).
+	FreshNames int
+	// MaxStates bounds the number of explored states (default 8192).
+	MaxStates int
+	// DisableSimplify turns off ~c-sound interning via syntax.Simplify
+	// (enabled by default; disable for debugging only — verdicts agree).
+	DisableSimplify bool
+	// Workers sets the number of concurrent exploration workers
+	// (default 1; >1 uses a parallel frontier).
+	Workers int
+	// AutonomousOnly restricts the graph to autonomous moves (τ and
+	// outputs), skipping input instantiation entirely. Barbed and step
+	// bisimilarity are decided on such graphs; they never inspect input
+	// transitions.
+	AutonomousOnly bool
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 8192
+	}
+	return o.MaxStates
+}
+
+func (o Options) freshNames() int {
+	if o.FreshNames <= 0 {
+		return 1
+	}
+	return o.FreshNames
+}
+
+// FreshReservoir returns the deterministic reservoir names used to probe
+// inputs with "new" names: ✶1, ✶2, … They are valid channel names that user
+// terms never contain (they carry the reserved marker).
+func FreshReservoir(n int) []names.Name {
+	out := make([]names.Name, n)
+	for i := range out {
+		out[i] = names.Name(fmt.Sprintf("w%s%d", names.FreshMarker, i+1))
+	}
+	return out
+}
+
+// Explore builds the graph reachable from the given roots.
+func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, error) {
+	g := &Graph{index: map[string]int{}}
+	base := names.NewSet(opt.Universe...)
+	if len(opt.Universe) == 0 {
+		for _, r := range roots {
+			base = base.AddAll(syntax.FreeNames(r))
+		}
+	}
+	for _, w := range FreshReservoir(opt.freshNames()) {
+		base = base.Add(w)
+	}
+	g.Universe = base.Sorted()
+
+	intern := func(p syntax.Proc) (int, bool) {
+		if !opt.DisableSimplify {
+			p = syntax.Simplify(p)
+		}
+		k := syntax.Key(p)
+		if i, ok := g.index[k]; ok {
+			return i, false
+		}
+		i := len(g.States)
+		g.States = append(g.States, State{p, k})
+		g.Edges = append(g.Edges, nil)
+		g.index[k] = i
+		return i, true
+	}
+
+	var frontier []int
+	for _, r := range roots {
+		i, fresh := intern(r)
+		g.Roots = append(g.Roots, i)
+		if fresh {
+			frontier = append(frontier, i)
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 1 {
+		return g, exploreSequential(sys, g, frontier, opt, intern)
+	}
+	return g, exploreParallel(sys, g, frontier, opt, workers)
+}
+
+// groundEdges computes the ground successor list of state p: τ and output
+// transitions as-is (outputs canonicalised), inputs instantiated over
+// universe ∪ fn(p).
+func groundEdges(sys *semantics.System, p syntax.Proc, universe []names.Name, autonomousOnly bool) ([]semantics.Trans, error) {
+	ts, err := sys.Steps(p)
+	if err != nil {
+		return nil, err
+	}
+	u := names.NewSet(universe...).AddAll(syntax.FreeNames(p)).Sorted()
+	var out []semantics.Trans
+	for _, t := range ts {
+		switch t.Act.Kind {
+		case actions.Tau:
+			out = append(out, t)
+		case actions.Out:
+			act, tgt := semantics.CanonTrans(t.Act, t.Target)
+			out = append(out, semantics.Trans{Act: act, Target: tgt})
+		case actions.In:
+			if autonomousOnly {
+				continue
+			}
+			k := len(t.Act.Objs)
+			forEachTuple(u, k, func(tuple []names.Name) {
+				// The enumerator reuses its tuple buffer; copy before storing.
+				recv := append([]names.Name(nil), tuple...)
+				act, tgt := semantics.Instantiate(t, recv)
+				out = append(out, semantics.Trans{Act: act, Target: tgt})
+			})
+		}
+	}
+	return out, nil
+}
+
+// forEachTuple enumerates u^k in lexicographic order.
+func forEachTuple(u []names.Name, k int, f func([]names.Name)) {
+	if k == 0 {
+		f(nil)
+		return
+	}
+	idx := make([]int, k)
+	tuple := make([]names.Name, k)
+	for {
+		for i, j := range idx {
+			tuple[i] = u[j]
+		}
+		f(tuple)
+		i := k - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(u) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+func exploreSequential(sys *semantics.System, g *Graph, frontier []int, opt Options,
+	intern func(syntax.Proc) (int, bool)) error {
+	max := opt.maxStates()
+	for len(frontier) > 0 {
+		i := frontier[0]
+		frontier = frontier[1:]
+		ts, err := groundEdges(sys, g.States[i].Proc, g.Universe, opt.AutonomousOnly)
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			if len(g.States) >= max {
+				g.Truncated = true
+				return nil
+			}
+			j, fresh := intern(t.Target)
+			g.Edges[i] = append(g.Edges[i], Edge{t.Act, t.Act.String(), j})
+			if fresh {
+				frontier = append(frontier, j)
+			}
+		}
+		dedupEdges(&g.Edges[i])
+	}
+	return nil
+}
+
+// exploreParallel runs a level-synchronised parallel BFS: each frontier level
+// is partitioned across workers that compute successor lists independently;
+// interning (the only shared mutation) happens under a mutex in the
+// coordinator, keeping the graph deterministic given the level order.
+func exploreParallel(sys *semantics.System, g *Graph, frontier []int, opt Options, workers int) error {
+	max := opt.maxStates()
+	type result struct {
+		src int
+		ts  []semantics.Trans
+		err error
+	}
+	for len(frontier) > 0 {
+		results := make([]result, len(frontier))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for fi, si := range frontier {
+			wg.Add(1)
+			go func(fi, si int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				ts, err := groundEdges(sys, g.States[si].Proc, g.Universe, opt.AutonomousOnly)
+				results[fi] = result{si, ts, err}
+			}(fi, si)
+		}
+		wg.Wait()
+		var next []int
+		for _, r := range results {
+			if r.err != nil {
+				return r.err
+			}
+			for _, t := range r.ts {
+				if len(g.States) >= max {
+					g.Truncated = true
+					return nil
+				}
+				p := t.Target
+				if !opt.DisableSimplify {
+					p = syntax.Simplify(p)
+				}
+				k := syntax.Key(p)
+				j, ok := g.index[k]
+				if !ok {
+					j = len(g.States)
+					g.States = append(g.States, State{p, k})
+					g.Edges = append(g.Edges, nil)
+					g.index[k] = j
+					next = append(next, j)
+				}
+				g.Edges[r.src] = append(g.Edges[r.src], Edge{t.Act, t.Act.String(), j})
+			}
+			dedupEdges(&g.Edges[r.src])
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// dedupEdges removes duplicate (label, destination) pairs and sorts edges
+// deterministically.
+func dedupEdges(es *[]Edge) {
+	seen := map[string]bool{}
+	out := (*es)[:0]
+	for _, e := range *es {
+		k := e.Lab + "→" + itoa(e.Dst)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lab != out[j].Lab {
+			return out[i].Lab < out[j].Lab
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	*es = out
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+// NumStates returns the number of interned states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// NumEdges returns the total number of ground edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.Edges {
+		n += len(es)
+	}
+	return n
+}
+
+// StateIndex returns the index of the interned representative of p, or -1.
+func (g *Graph) StateIndex(p syntax.Proc) int {
+	k := syntax.Key(syntax.Simplify(p))
+	if i, ok := g.index[k]; ok {
+		return i
+	}
+	// The graph may have been built with simplification disabled.
+	if i, ok := g.index[syntax.Key(p)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Barbs returns the set of strong barbs of state i: the subjects of its
+// output transitions (p ↓a).
+func (g *Graph) Barbs(i int) names.Set {
+	out := make(names.Set)
+	for _, e := range g.Edges[i] {
+		if e.Act.IsOutput() {
+			out = out.Add(e.Act.Subj)
+		}
+	}
+	return out
+}
+
+// TauClosure returns, for every state, the set of states reachable by τ*
+// (including itself), as sorted index slices.
+func (g *Graph) TauClosure() [][]int {
+	n := len(g.States)
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{i: true}
+		stack := []int{i}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Edges[s] {
+				if e.Act.IsTau() && !seen[e.Dst] {
+					seen[e.Dst] = true
+					stack = append(stack, e.Dst)
+				}
+			}
+		}
+		idx := make([]int, 0, len(seen))
+		for s := range seen {
+			idx = append(idx, s)
+		}
+		sort.Ints(idx)
+		out[i] = idx
+	}
+	return out
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("lts.Graph{states: %d, edges: %d, truncated: %v}", g.NumStates(), g.NumEdges(), g.Truncated)
+}

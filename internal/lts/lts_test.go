@@ -1,0 +1,216 @@
+package lts
+
+import (
+	"strings"
+	"testing"
+
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+const (
+	a names.Name = "a"
+	b names.Name = "b"
+	c names.Name = "c"
+	x names.Name = "x"
+	y names.Name = "y"
+)
+
+var sys = semantics.NewSystem(nil)
+
+func explore(t *testing.T, p syntax.Proc, opt Options) *Graph {
+	t.Helper()
+	g, err := Explore(sys, []syntax.Proc{p}, opt)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return g
+}
+
+func TestExploreLinear(t *testing.T) {
+	// ā.b̄.c̄: 4 states, 3 edges.
+	p := syntax.Send(a, nil, syntax.Send(b, nil, syntax.SendN(c)))
+	g := explore(t, p, Options{})
+	if g.NumStates() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("graph: %v", g)
+	}
+	if g.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	if g.StateIndex(p) != g.Roots[0] {
+		t.Fatal("root lookup failed")
+	}
+}
+
+func TestExploreInputInstantiation(t *testing.T) {
+	// a?(x).x̄: universe {a} + 1 fresh ⇒ two input instantiations.
+	p := syntax.Recv(a, []names.Name{x}, syntax.SendN(x))
+	g := explore(t, p, Options{})
+	root := g.Roots[0]
+	if len(g.Edges[root]) != 2 {
+		t.Fatalf("expected 2 instantiated inputs, got %v", g.Edges[root])
+	}
+	// Successors: ā and w̄ (the reservoir name).
+	subs := names.NewSet()
+	for _, e := range g.Edges[root] {
+		subs = subs.Add(e.Act.Objs[0])
+	}
+	if !subs.Contains(a) || subs.Len() != 2 {
+		t.Fatalf("instantiation universe wrong: %v", subs)
+	}
+}
+
+func TestExploreAutonomousOnly(t *testing.T) {
+	p := syntax.Choice(syntax.RecvN(a, x), syntax.SendN(b))
+	g := explore(t, p, Options{AutonomousOnly: true})
+	root := g.Roots[0]
+	if len(g.Edges[root]) != 1 || !g.Edges[root][0].Act.IsOutput() {
+		t.Fatalf("autonomous edges: %v", g.Edges[root])
+	}
+	if !g.Barbs(root).Equal(names.NewSet(b)) {
+		t.Fatalf("barbs: %v", g.Barbs(root))
+	}
+}
+
+func TestExploreCycleIsFinite(t *testing.T) {
+	// (rec A(x). x̄.A(x))(a) has one state and a self-loop.
+	r := syntax.Rec{Id: "A", Params: []names.Name{x},
+		Body: syntax.Send(x, nil, syntax.Call{Id: "A", Args: []names.Name{x}}),
+		Args: []names.Name{a}}
+	g := explore(t, r, Options{})
+	if g.NumStates() != 1 || g.NumEdges() != 1 {
+		t.Fatalf("cycle graph: %v", g)
+	}
+	if g.Edges[0][0].Dst != 0 {
+		t.Fatal("self-loop missing")
+	}
+}
+
+func TestExploreTruncation(t *testing.T) {
+	// Counter: (rec A(x). τ.(x̄ | A(x)))(a) accumulates parallel outputs, so
+	// its state space is genuinely infinite.
+	r := syntax.Rec{Id: "A", Params: []names.Name{x},
+		Body: syntax.TauP(syntax.Group(syntax.SendN(x), syntax.Call{Id: "A", Args: []names.Name{x}})),
+		Args: []names.Name{a}}
+	g := explore(t, r, Options{MaxStates: 16})
+	if !g.Truncated {
+		t.Fatalf("expected truncation: %v", g)
+	}
+	if g.NumStates() > 16 {
+		t.Fatalf("budget exceeded: %v", g)
+	}
+}
+
+func TestSuccessiveExtrusionsStayDistinct(t *testing.T) {
+	// νz āz.νw āw.z̄: after two extrusions the two private names must not be
+	// conflated — the final barb is on the *first* extruded name.
+	p := syntax.Restrict(
+		syntax.Send(a, []names.Name{"z"},
+			syntax.Restrict(syntax.Send(a, []names.Name{"w"}, syntax.SendN("z")), "w")),
+		"z")
+	g := explore(t, p, Options{AutonomousOnly: true})
+	// Walk: root --(^e)a!(e)--> s1 --(^e')a!(e')--> s2 --e!--> s3.
+	s := g.Roots[0]
+	var first names.Name
+	for hop := 0; hop < 2; hop++ {
+		if len(g.Edges[s]) != 1 {
+			t.Fatalf("hop %d: edges %v", hop, g.Edges[s])
+		}
+		e := g.Edges[s]
+		if hop == 0 {
+			first = e[0].Act.Bound[0]
+		} else if e[0].Act.Bound[0] == first {
+			t.Fatalf("second extrusion reused the first name %q", first)
+		}
+		s = e[0].Dst
+	}
+	if barbs := g.Barbs(s); !barbs.Equal(names.NewSet(first)) {
+		t.Fatalf("final barb %v, want {%s}", barbs, first)
+	}
+}
+
+func TestParallelExplorationMatchesSequential(t *testing.T) {
+	p := syntax.Group(
+		syntax.Send(a, nil, syntax.SendN(b)),
+		syntax.Recv(a, []names.Name{}, syntax.SendN(c)),
+		syntax.TauP(syntax.RecvN(b)),
+	)
+	seq := explore(t, p, Options{})
+	par := explore(t, p, Options{Workers: 4})
+	if seq.NumStates() != par.NumStates() || seq.NumEdges() != par.NumEdges() {
+		t.Fatalf("parallel explorer diverges: seq %v, par %v", seq, par)
+	}
+	// Same state set (keys).
+	keys := map[string]bool{}
+	for _, st := range seq.States {
+		keys[st.Key] = true
+	}
+	for _, st := range par.States {
+		if !keys[st.Key] {
+			t.Fatalf("state %q only in parallel graph", st.Key)
+		}
+	}
+}
+
+func TestTauClosure(t *testing.T) {
+	// τ.τ.ā: closure of root covers all three pre-output states.
+	p := syntax.TauP(syntax.TauP(syntax.SendN(a)))
+	g := explore(t, p, Options{})
+	cl := g.TauClosure()
+	if len(cl[g.Roots[0]]) != 3 {
+		t.Fatalf("tau closure: %v", cl[g.Roots[0]])
+	}
+	// The final state's closure is itself.
+	last := g.StateIndex(syntax.SendN(a))
+	if len(cl[last]) != 1 {
+		t.Fatalf("closure of output state: %v", cl[last])
+	}
+}
+
+func TestMultiRootSharesStates(t *testing.T) {
+	p := syntax.Send(a, nil, syntax.SendN(b))
+	q := syntax.Send(c, nil, syntax.SendN(b))
+	g, err := Explore(sys, []syntax.Proc{p, q}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Roots) != 2 {
+		t.Fatalf("roots: %v", g.Roots)
+	}
+	// b̄ and nil are shared: 2 roots + b̄ + nil = 4 states.
+	if g.NumStates() != 4 {
+		t.Fatalf("states: %v", g)
+	}
+}
+
+func TestFreshReservoirValid(t *testing.T) {
+	for _, n := range FreshReservoir(3) {
+		if names.Valid(n) {
+			t.Errorf("reservoir name %q must be reserved (non-user)", n)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	p := syntax.Send(a, nil, syntax.SendN(b))
+	g := explore(t, p, Options{})
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph lts", "peripheries=2", "a!", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Truncation.
+	var buf2 strings.Builder
+	if err := g.WriteDOT(&buf2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "…") {
+		t.Error("long labels not clipped")
+	}
+}

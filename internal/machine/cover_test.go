@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+func TestCanReachBarbAvoidingPoisonedStates(t *testing.T) {
+	// τ.(goal̄ ‖ poison̄): the goal is reachable, but only through a state
+	// that also offers the poison output — the whole state is off-limits.
+	p := syntax.TauP(syntax.Group(syntax.SendN("goal"), syntax.SendN("poison")))
+	got, err := CanReachBarbAvoiding(nil, p, "goal", names.NewSet("poison"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("poisoned state laundered by not firing the poison output")
+	}
+	// An honest alternative branch makes it reachable.
+	q := syntax.Choice(p, syntax.TauP(syntax.SendN("goal")))
+	got, err = CanReachBarbAvoiding(nil, q, "goal", names.NewSet("poison"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("honest branch not found")
+	}
+}
+
+func TestCanReachBarbAvoidingBudget(t *testing.T) {
+	grow := syntax.Rec{Id: "A", Params: []names.Name{"x"},
+		Body: syntax.TauP(syntax.Group(syntax.SendN("x"), syntax.Call{Id: "A", Args: []names.Name{"x"}})),
+		Args: []names.Name{"a"}}
+	if _, err := CanReachBarbAvoiding(nil, grow, "never", names.NewSet("nope"), 8); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}
+
+func TestEventAndStatsStrings(t *testing.T) {
+	res, err := Run(nil, syntax.SendN("a", "b"), Options{KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Trace[0].String(); !strings.Contains(s, "a!(b)") {
+		t.Errorf("event string: %q", s)
+	}
+	st := Summarise([]Result{res})
+	if s := st.String(); !strings.Contains(s, "runs=1") {
+		t.Errorf("stats string: %q", s)
+	}
+	empty := Summarise(nil)
+	if s := empty.String(); !strings.Contains(s, "runs=0") {
+		t.Errorf("empty stats: %q", s)
+	}
+}
+
+func TestRunSemanticErrorPropagates(t *testing.T) {
+	if _, err := Run(nil, syntax.Call{Id: "Missing"}, Options{}); err == nil {
+		t.Error("undefined call must surface as an error")
+	}
+	if _, err := CanReachBarb(nil, syntax.Call{Id: "Missing"}, "a", 0); err == nil {
+		t.Error("undefined call must surface from reachability too")
+	}
+	if _, _, err := AlwaysReachesBarb(nil, syntax.Call{Id: "Missing"}, "a", 0); err == nil {
+		t.Error("undefined call must surface from inevitability too")
+	}
+}
+
+func TestCanReachBarbBudget(t *testing.T) {
+	grow := syntax.Rec{Id: "A", Params: []names.Name{"x"},
+		Body: syntax.TauP(syntax.Group(syntax.SendN("x"), syntax.Call{Id: "A", Args: []names.Name{"x"}})),
+		Args: []names.Name{"a"}}
+	if _, err := CanReachBarb(nil, grow, "never", 8); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+	if _, _, err := AlwaysReachesBarb(nil, grow, "never", 8); err == nil {
+		t.Error("budget exhaustion not reported by AlwaysReachesBarb")
+	}
+}
+
+func TestBadSchedulerRejected(t *testing.T) {
+	bad := schedFunc(func(n, step int) int { return n + 1 })
+	if _, err := Run(nil, syntax.SendN("a"), Options{Scheduler: bad}); err == nil {
+		t.Error("out-of-range scheduler pick accepted")
+	}
+}
+
+type schedFunc func(n, step int) int
+
+func (f schedFunc) Pick(n, step int) int { return f(n, step) }

@@ -1,0 +1,250 @@
+package names
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		n    Name
+		want bool
+	}{
+		{"a", true},
+		{"chan12", true},
+		{"", false},
+		{"a" + FreshMarker + "1", false},
+	}
+	for _, c := range cases {
+		if got := Valid(c.n); got != c.want {
+			t.Errorf("Valid(%q) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSupplyFreshDistinct(t *testing.T) {
+	s := NewSupply("a")
+	seen := NewSet()
+	for i := 0; i < 1000; i++ {
+		n := s.Fresh("")
+		if seen.Contains(n) {
+			t.Fatalf("duplicate fresh name %q", n)
+		}
+		if !IsFresh(n) {
+			t.Fatalf("fresh name %q not marked fresh", n)
+		}
+		seen = seen.Add(n)
+	}
+}
+
+func TestSupplyFreshHintStripsMarker(t *testing.T) {
+	s := NewSupply("a")
+	n1 := s.Fresh("b")
+	n2 := s.Fresh(string(n1)) // re-freshening a fresh name must stay short
+	if len(n2) > len(n1)+4 {
+		t.Errorf("re-freshened name grew: %q -> %q", n1, n2)
+	}
+	if n1 == n2 {
+		t.Errorf("fresh names collided: %q", n1)
+	}
+}
+
+func TestSupplyFork(t *testing.T) {
+	s := NewSupply("a")
+	f := s.Fork()
+	seen := NewSet()
+	for i := 0; i < 200; i++ {
+		a, b := s.Fresh(""), f.Fresh("")
+		if seen.Contains(a) || seen.Contains(b) || a == b {
+			t.Fatalf("fork collision: %q %q", a, b)
+		}
+		seen = seen.Add(a).Add(b)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet("a", "b", "c")
+	u := NewSet("b", "d")
+	if !s.Contains("a") || s.Contains("d") {
+		t.Fatal("membership wrong")
+	}
+	if got := s.Union(u); !got.Equal(NewSet("a", "b", "c", "d")) {
+		t.Errorf("union = %v", got)
+	}
+	if got := s.Minus(u); !got.Equal(NewSet("a", "c")) {
+		t.Errorf("minus = %v", got)
+	}
+	if got := s.Intersect(u); !got.Equal(NewSet("b")) {
+		t.Errorf("intersect = %v", got)
+	}
+	if s.Disjoint(u) {
+		t.Error("s and u are not disjoint")
+	}
+	if !s.Disjoint(NewSet("x", "y")) {
+		t.Error("expected disjoint")
+	}
+	if s.String() != "{a, b, c}" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSetAddNil(t *testing.T) {
+	var s Set
+	s = s.Add("a")
+	if !s.Contains("a") {
+		t.Fatal("Add on nil set lost element")
+	}
+	var s2 Set
+	s2 = s2.AddAll(NewSet("b"))
+	if !s2.Contains("b") {
+		t.Fatal("AddAll on nil set lost element")
+	}
+}
+
+func TestSetSortedDeterministic(t *testing.T) {
+	s := NewSet("z", "a", "m")
+	got := s.Sorted()
+	want := []Name{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted() = %v", got)
+		}
+	}
+}
+
+func TestSubstApply(t *testing.T) {
+	s := Single("a", "b")
+	if s.Apply("a") != "b" || s.Apply("c") != "c" {
+		t.Fatal("Apply wrong")
+	}
+	if !Single("a", "a").IsIdentity() {
+		t.Fatal("x/x should be identity")
+	}
+	var nilS Subst
+	if nilS.Apply("a") != "a" {
+		t.Fatal("nil subst must be identity")
+	}
+}
+
+func TestSubstFromSlices(t *testing.T) {
+	s := FromSlices([]Name{"x", "y"}, []Name{"y", "x"})
+	if s.Apply("x") != "y" || s.Apply("y") != "x" {
+		t.Fatalf("swap broken: %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	FromSlices([]Name{"x"}, []Name{})
+}
+
+func TestSubstApplySliceAliasing(t *testing.T) {
+	in := []Name{"a", "b"}
+	s := Single("a", "z")
+	out := s.ApplySlice(in)
+	if &in[0] == &out[0] {
+		t.Fatal("ApplySlice must not alias input when changing it")
+	}
+	if in[0] != "a" {
+		t.Fatal("input mutated")
+	}
+	id := Identity()
+	if got := id.ApplySlice(in); &got[0] != &in[0] {
+		t.Error("identity ApplySlice should return input")
+	}
+}
+
+func TestSubstDomainCodomain(t *testing.T) {
+	s := Subst{"a": "b", "c": "c"}
+	if !s.Domain().Equal(NewSet("a")) {
+		t.Errorf("Domain = %v", s.Domain())
+	}
+	if !s.Codomain().Equal(NewSet("b")) {
+		t.Errorf("Codomain = %v", s.Codomain())
+	}
+}
+
+func TestSubstCompose(t *testing.T) {
+	s := Single("a", "b")
+	u := Single("b", "c")
+	c := s.Compose(u)
+	if c.Apply("a") != "c" {
+		t.Errorf("compose: a -> %v, want c", c.Apply("a"))
+	}
+	if c.Apply("b") != "c" {
+		t.Errorf("compose: b -> %v, want c", c.Apply("b"))
+	}
+}
+
+func TestSubstComposeAssociative(t *testing.T) {
+	// Property: (h∘g)∘f == h∘(g∘f) extensionally.
+	f := func(af, bf, ag, bg, ah, bh uint8) bool {
+		univ := []Name{"a", "b", "c", "d"}
+		pick := func(x uint8) Name { return univ[int(x)%len(univ)] }
+		sf := Single(pick(af), pick(bf))
+		sg := Single(pick(ag), pick(bg))
+		sh := Single(pick(ah), pick(bh))
+		left := sf.Compose(sg).Compose(sh)
+		right := sf.Compose(sg.Compose(sh))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstWithout(t *testing.T) {
+	s := Subst{"a": "b", "c": "d"}
+	w := s.Without("a")
+	if w.Apply("a") != "a" || w.Apply("c") != "d" {
+		t.Fatalf("Without wrong: %v", w)
+	}
+	if s.Apply("a") != "b" {
+		t.Fatal("Without mutated receiver")
+	}
+	if got := s.Without("zz"); got.Apply("a") != "b" {
+		t.Fatal("Without on absent name changed behaviour")
+	}
+}
+
+func TestSubstInjective(t *testing.T) {
+	if !Single("a", "b").Injective() {
+		t.Error("single renaming should be injective")
+	}
+	fuse := Subst{"a": "c", "b": "c"}
+	if fuse.Injective() {
+		t.Error("fusion must not be injective")
+	}
+}
+
+func TestSubstString(t *testing.T) {
+	s := Subst{"b": "x", "a": "y", "c": "c"}
+	if got := s.String(); got != "[a↦y, b↦x]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestAllFusionsCount(t *testing.T) {
+	dom := []Name{"a", "b"}
+	cod := []Name{"a", "b", "c"}
+	subs := AllFusions(dom, cod)
+	if len(subs) != 9 {
+		t.Fatalf("expected 3^2=9 fusions, got %d", len(subs))
+	}
+	seen := map[string]bool{}
+	for _, s := range subs {
+		k := string(s.Apply("a")) + "/" + string(s.Apply("b"))
+		if seen[k] {
+			t.Fatalf("duplicate fusion %v", s)
+		}
+		seen[k] = true
+	}
+}
+
+func TestAllFusionsEmptyDomain(t *testing.T) {
+	subs := AllFusions(nil, []Name{"a"})
+	if len(subs) != 1 || !subs[0].IsIdentity() {
+		t.Fatalf("empty domain should yield the identity only: %v", subs)
+	}
+}

@@ -1,0 +1,49 @@
+package papers
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Broadcast leader election — an original example in the paper's spirit
+// (group interaction where "processes may interact without having explicit
+// knowledge of each other"): n candidates race to claim leadership on a
+// shared channel. Because a broadcast reaches *every* listener atomically,
+// the first claim resolves the election in one step: the claimant becomes
+// leader, everyone else hears the claim (they cannot refuse it, rule 12/13)
+// and follows.
+//
+//	Candidate(id) = claim!(id).lead!(id) + claim?(w).follow!(id, w)
+//
+// Exactly one lead!(i) and n−1 follow!(j, i) fire in every maximal run —
+// broadcast gives mutual exclusion for free, where point-to-point protocols
+// need extra rounds.
+
+// ElectionEnv returns the candidate definition.
+func ElectionEnv() syntax.Env {
+	id, w := names.Name("id"), names.Name("w")
+	claim, lead, follow := names.Name("claim"), names.Name("lead"), names.Name("follow")
+	env := syntax.Env{}
+	env = env.Define("Candidate", []names.Name{id, claim, lead, follow},
+		syntax.Choice(
+			syntax.Send(claim, []names.Name{id}, syntax.SendN(lead, id)),
+			syntax.Recv(claim, []names.Name{w}, syntax.SendN(follow, id, w)),
+		))
+	return env
+}
+
+// ElectionSystem builds n candidates with ids cand0 … cand(n-1) sharing the
+// given claim/lead/follow channels.
+func ElectionSystem(n int, claim, lead, follow names.Name) syntax.Proc {
+	parts := make([]syntax.Proc, n)
+	for i := range parts {
+		parts[i] = syntax.Call{Id: "Candidate",
+			Args: []names.Name{CandidateID(i), claim, lead, follow}}
+	}
+	return syntax.Group(parts...)
+}
+
+// CandidateID names the i-th candidate.
+func CandidateID(i int) names.Name { return names.Name(fmt.Sprintf("cand%d", i)) }

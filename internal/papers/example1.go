@@ -1,0 +1,167 @@
+// Package papers builds the systems of the paper's Section 2.2 as reusable
+// definitions environments — Example 1 (distributed cycle detection),
+// Example 2 (transaction-inconsistency detection in partitioned replicated
+// databases) — plus the witness processes of Remarks 1–4 used throughout the
+// experiment suite.
+package papers
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Example 1: a distributed algorithm for cycle detection.
+//
+//	Detector(i,o)        ≝ i(x).i(y).(Detector(i,o) ‖ EdgeManager(o,x,y))
+//	EdgeManager(o,a,b)   ≝ νu (Emit(b,u) ‖ Listen(o,a,b,u))
+//	Emit(b,u)            ≝ b̄u.Emit(b,u)
+//	Listen(o,a,b,u)      ≝ a(w).((u=w) ō, (b̄w ‖ Listen(o,a,b,u)))
+//
+// Vertices are channels; an edge (a,b) is managed by a process that floods
+// its private token u along b and forwards every foreign token received on
+// a towards b. A token returning home means the token travelled a cycle,
+// signalled on o. Name generation (νu) gives each edge an unforgeable
+// identity; name mobility carries tokens across edges.
+
+// CycleEnv returns the definitions environment of Example 1 exactly as the
+// paper writes it: the token emitter Emit loops, flooding the private token
+// forever. That robustness (against managers joining late) makes the state
+// space infinite, so exhaustive analyses should use CycleEnvOnce, in which
+// each manager broadcasts its token exactly once — equivalent for a static
+// edge set, where every listener already exists when the token is emitted
+// (a substitution recorded in DESIGN.md).
+func CycleEnv() syntax.Env {
+	return cycleEnv(false)
+}
+
+// CycleEnvOnce is CycleEnv with single-shot token emission (finite-state for
+// finite graphs).
+func CycleEnvOnce() syntax.Env {
+	return cycleEnv(true)
+}
+
+func cycleEnv(once bool) syntax.Env {
+	i, o, x, y := names.Name("i"), names.Name("o"), names.Name("x"), names.Name("y")
+	a, b, u, w := names.Name("a"), names.Name("b"), names.Name("u"), names.Name("w")
+	env := syntax.Env{}
+	env = env.Define("Detector", []names.Name{i, o},
+		syntax.Recv(i, []names.Name{x},
+			syntax.Recv(i, []names.Name{y},
+				syntax.Group(
+					syntax.Call{Id: "Detector", Args: []names.Name{i, o}},
+					syntax.Call{Id: "EdgeManager", Args: []names.Name{o, x, y}},
+				))))
+	env = env.Define("EdgeManager", []names.Name{o, a, b},
+		syntax.Restrict(
+			syntax.Group(
+				syntax.Call{Id: "Emit", Args: []names.Name{b, u}},
+				syntax.Call{Id: "Listen", Args: []names.Name{o, a, b, u}},
+			), u))
+	if once {
+		env = env.Define("Emit", []names.Name{b, u}, syntax.SendN(b, u))
+	} else {
+		env = env.Define("Emit", []names.Name{b, u},
+			syntax.Send(b, []names.Name{u}, syntax.Call{Id: "Emit", Args: []names.Name{b, u}}))
+	}
+	env = env.Define("Listen", []names.Name{o, a, b, u},
+		syntax.Recv(a, []names.Name{w},
+			syntax.If(u, w,
+				syntax.SendN(o),
+				syntax.Group(
+					syntax.SendN(b, w),
+					syntax.Call{Id: "Listen", Args: []names.Name{o, a, b, u}},
+				))))
+	return env
+}
+
+// Edge is a directed graph edge between two vertex channels.
+type Edge struct {
+	From, To names.Name
+}
+
+// CycleSystem assembles the edge managers for a fixed edge set directly (one
+// EdgeManager per edge), signalling on the given channel. This is the state
+// the Detector reaches after consuming the edge list.
+func CycleSystem(edges []Edge, signal names.Name) syntax.Proc {
+	parts := make([]syntax.Proc, 0, len(edges))
+	for _, e := range edges {
+		parts = append(parts, syntax.Call{Id: "EdgeManager", Args: []names.Name{signal, e.From, e.To}})
+	}
+	return syntax.Group(parts...)
+}
+
+// CycleSystemWithDetector assembles the full Example 1 configuration: the
+// Detector listening on feed, composed with a feeder that broadcasts the
+// edge list (two names per edge) and the edge managers spawned dynamically.
+func CycleSystemWithDetector(edges []Edge, feed, signal names.Name) syntax.Proc {
+	var feeder syntax.Proc = syntax.PNil
+	for k := len(edges) - 1; k >= 0; k-- {
+		feeder = syntax.Send(feed, []names.Name{edges[k].From}, syntax.Send(feed, []names.Name{edges[k].To}, feeder))
+	}
+	return syntax.Group(
+		syntax.Call{Id: "Detector", Args: []names.Name{feed, signal}},
+		feeder,
+	)
+}
+
+// HasCycleOracle is the plain-Go reference: does the directed graph contain
+// a cycle? Used to validate the calculus-level detector in experiment E10.
+func HasCycleOracle(edges []Edge) bool {
+	adj := map[names.Name][]names.Name{}
+	vertices := names.NewSet()
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		vertices = vertices.Add(e.From).Add(e.To)
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[names.Name]int{}
+	var visit func(v names.Name) bool
+	visit = func(v names.Name) bool {
+		switch color[v] {
+		case grey:
+			return true
+		case black:
+			return false
+		}
+		color[v] = grey
+		for _, w := range adj[v] {
+			if visit(w) {
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range vertices.Sorted() {
+		if visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// RingGraph returns the n-cycle v0 → v1 → … → v0.
+func RingGraph(n int) []Edge {
+	edges := make([]Edge, n)
+	for k := 0; k < n; k++ {
+		edges[k] = Edge{vertex(k), vertex((k + 1) % n)}
+	}
+	return edges
+}
+
+// ChainGraph returns the acyclic chain v0 → v1 → … → v(n).
+func ChainGraph(n int) []Edge {
+	edges := make([]Edge, n)
+	for k := 0; k < n; k++ {
+		edges[k] = Edge{vertex(k), vertex(k + 1)}
+	}
+	return edges
+}
+
+func vertex(k int) names.Name { return names.Name(fmt.Sprintf("v%d", k)) }

@@ -1,0 +1,232 @@
+package papers
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Example 2: detecting inconsistencies in partitioned replicated databases.
+//
+// While the network is partitioned, transactions execute locally; when it
+// reconnects (a broadcast on "unif"), the system checks whether the
+// serialisation order is consistent by building a precedence graph between
+// transactions and looking for cycles (plus the immediate error of two
+// writes to one item in different partitions). Edges follow the paper's
+// three rules for transactions t (earlier) and t1 (later) on one item:
+//
+//	1. t read, t1 wrote, same partition        → t before t1
+//	2. t wrote, t1 read or wrote, same part.   → t before t1
+//	3. t read an item written by t1, p ≠ p1    → t before t1
+//
+// The calculus realisation mirrors the paper's managers:
+//
+//	Item(i,i2,unif)  forks a Watch per transaction broadcast on i;
+//	Watch            observes later same-item transactions, spawning a
+//	                 unif-gated EdgeManager for rules 1/2, and switching to
+//	                 the cross-partition protocol when unif fires;
+//	SWatchW/SWatchR  exchange summaries on i2 after reconnection, spawning
+//	                 rule-3 EdgeManagers and raising the write/write error.
+//
+// One deliberate deviation from the paper's text is documented in DESIGN.md:
+// each post-reconnection watcher broadcasts its summary on i2 exactly once
+// (the paper's STr_Man re-broadcasts forever), which keeps the state space
+// finite without changing what is detectable.
+
+// Names fixed by the Example 2 environment.
+const (
+	ReadTag  names.Name = "r"
+	WriteTag names.Name = "w"
+)
+
+// TxnEnv returns the definitions environment of Example 2. The error signal
+// and reconnection channels are passed at call sites; tags ReadTag/WriteTag
+// are free constants compared with matches.
+func TxnEnv() syntax.Env { return txnEnv(CycleEnv()) }
+
+// TxnEnvOnce is TxnEnv over the finite-state single-shot token emitters
+// (use for exhaustive reachability checks).
+func TxnEnvOnce() syntax.Env { return txnEnv(CycleEnvOnce()) }
+
+func txnEnv(env syntax.Env) syntax.Env {
+	var (
+		i, i2, unif = names.Name("i"), names.Name("i2"), names.Name("unif")
+		errc        = names.Name("errc")
+		t, ty, p    = names.Name("t"), names.Name("ty"), names.Name("p")
+		t1, ty1, p1 = names.Name("t1"), names.Name("ty1"), names.Name("p1")
+		call        = func(id string, args ...names.Name) syntax.Proc { return syntax.Call{Id: id, Args: args} }
+	)
+
+	// Item(i, i2, unif, errc): fork a watcher per transaction.
+	env = env.Define("Item", []names.Name{i, i2, unif, errc},
+		syntax.Recv(i, []names.Name{t, ty, p},
+			syntax.Group(
+				call("Item", i, i2, unif, errc),
+				call("Watch", i, i2, unif, errc, t, ty, p),
+			)))
+
+	// Watch(i, i2, unif, errc, t, ty, p): pre-reconnection watcher for
+	// transaction t of kind ty in partition p.
+	//
+	//	i(t1,ty1,p1). ([p1=p] ( rule 1/2 check ) , skip) ‖ Watch(...)
+	//	+ unif(). ([ty=w] SWatchW , SWatchR)
+	sameEdge := syntax.If(p1, p,
+		// same partition: edge t → t1 when ty=w or ty1=w (rules 1/2),
+		// gated on reconnection.
+		syntax.If(ty, WriteTag,
+			syntax.Recv(unif, nil, call("EdgeManager", errc, t, t1)),
+			syntax.If(ty1, WriteTag,
+				syntax.Recv(unif, nil, call("EdgeManager", errc, t, t1)),
+				syntax.PNil)),
+		syntax.PNil)
+	env = env.Define("Watch", []names.Name{i, i2, unif, errc, t, ty, p},
+		syntax.Choice(
+			syntax.Recv(i, []names.Name{t1, ty1, p1},
+				syntax.Group(sameEdge, call("Watch", i, i2, unif, errc, t, ty, p))),
+			syntax.Recv(unif, nil,
+				syntax.If(ty, WriteTag,
+					call("SWatchW", i2, errc, t, p),
+					call("SWatchR", i2, errc, t, p))),
+		))
+
+	// SWatchW(i2, errc, t, p): a writer after reconnection. It announces
+	// itself once on i2 and reacts to announcements: a cross-partition
+	// write is an immediate error (contradictory edges), a cross-partition
+	// read t1 precedes the write (rule 3: edge t1 → t).
+	env = env.Define("SWatchW", []names.Name{i2, errc, t, p},
+		syntax.Choice(
+			syntax.Recv(i2, []names.Name{t1, ty1, p1},
+				syntax.Group(
+					syntax.If(p1, p, syntax.PNil,
+						syntax.If(ty1, WriteTag,
+							syntax.SendN(errc),
+							call("EdgeManager", errc, t1, t))),
+					call("SWatchW", i2, errc, t, p))),
+			syntax.Send(i2, []names.Name{t, WriteTag, p}, call("SWatchWq", i2, errc, t, p)),
+		))
+	// Quiet variant: has already announced itself.
+	env = env.Define("SWatchWq", []names.Name{i2, errc, t, p},
+		syntax.Recv(i2, []names.Name{t1, ty1, p1},
+			syntax.Group(
+				syntax.If(p1, p, syntax.PNil,
+					syntax.If(ty1, WriteTag,
+						syntax.SendN(errc),
+						call("EdgeManager", errc, t1, t))),
+				call("SWatchWq", i2, errc, t, p))))
+
+	// SWatchR(i2, errc, t, p): a reader after reconnection. A cross-
+	// partition write t1 must have happened after the read (rule 3: edge
+	// t → t1); reads commute.
+	env = env.Define("SWatchR", []names.Name{i2, errc, t, p},
+		syntax.Choice(
+			syntax.Recv(i2, []names.Name{t1, ty1, p1},
+				syntax.Group(
+					syntax.If(p1, p, syntax.PNil,
+						syntax.If(ty1, WriteTag,
+							call("EdgeManager", errc, t, t1),
+							syntax.PNil)),
+					call("SWatchR", i2, errc, t, p))),
+			syntax.Send(i2, []names.Name{t, ReadTag, p}, call("SWatchRq", i2, errc, t, p)),
+		))
+	env = env.Define("SWatchRq", []names.Name{i2, errc, t, p},
+		syntax.Recv(i2, []names.Name{t1, ty1, p1},
+			syntax.Group(
+				syntax.If(p1, p, syntax.PNil,
+					syntax.If(ty1, WriteTag,
+						call("EdgeManager", errc, t, t1),
+						syntax.PNil)),
+				call("SWatchRq", i2, errc, t, p))))
+
+	return env
+}
+
+func call2(id string, args ...names.Name) syntax.Proc { return syntax.Call{Id: id, Args: args} }
+
+// Txn is one transaction event in temporal order: transaction ID accessed
+// Item (reading or writing) while executing in partition Part.
+type Txn struct {
+	ID    names.Name
+	Item  names.Name
+	Write bool
+	Part  names.Name
+}
+
+func (t Txn) tag() names.Name {
+	if t.Write {
+		return WriteTag
+	}
+	return ReadTag
+}
+
+// TransactionSystem assembles the Example 2 configuration for a history of
+// transactions: one Item manager per item (with its i2 summary channel), a
+// feeder broadcasting the history in temporal order followed by the
+// reconnection broadcast on unif, signalling inconsistencies on errSig.
+func TransactionSystem(history []Txn, unif, errSig names.Name) syntax.Proc {
+	items := names.NewSet()
+	for _, tx := range history {
+		items = items.Add(tx.Item)
+	}
+	var parts []syntax.Proc
+	for _, it := range items.Sorted() {
+		parts = append(parts, call2("Item", it, summaryChan(it), unif, errSig))
+	}
+	// Feeder: broadcast each event on its item channel, then reconnect.
+	var feeder syntax.Proc = syntax.SendN(unif)
+	for k := len(history) - 1; k >= 0; k-- {
+		tx := history[k]
+		feeder = syntax.Send(tx.Item, []names.Name{tx.ID, tx.tag(), tx.Part}, feeder)
+	}
+	parts = append(parts, feeder)
+	return syntax.Group(parts...)
+}
+
+// summaryChan returns the post-reconnection channel paired with an item.
+func summaryChan(item names.Name) names.Name {
+	return names.Name(fmt.Sprintf("%s2", item))
+}
+
+// PrecedenceEdges is the plain-Go reference implementation of the paper's
+// three rules, returning the precedence edges of a history.
+func PrecedenceEdges(history []Txn) []Edge {
+	var out []Edge
+	for i, t := range history {
+		for _, t1 := range history[i+1:] {
+			if t.Item != t1.Item || t.ID == t1.ID {
+				continue
+			}
+			switch {
+			case t.Part == t1.Part && (t.Write || t1.Write):
+				out = append(out, Edge{t.ID, t1.ID}) // rules 1 and 2
+			case t.Part != t1.Part && !t.Write && t1.Write:
+				out = append(out, Edge{t.ID, t1.ID}) // rule 3, read first
+			case t.Part != t1.Part && t.Write && !t1.Write:
+				out = append(out, Edge{t1.ID, t.ID}) // rule 3, write first
+			}
+		}
+	}
+	return out
+}
+
+// WriteWriteConflict reports whether two different transactions wrote the
+// same item in different partitions (the immediate inconsistency).
+func WriteWriteConflict(history []Txn) bool {
+	for i, t := range history {
+		if !t.Write {
+			continue
+		}
+		for _, t1 := range history[i+1:] {
+			if t1.Write && t1.Item == t.Item && t1.Part != t.Part && t1.ID != t.ID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InconsistentOracle is the reference verdict for a history: a write/write
+// cross-partition conflict or a cycle in the precedence graph.
+func InconsistentOracle(history []Txn) bool {
+	return WriteWriteConflict(history) || HasCycleOracle(PrecedenceEdges(history))
+}

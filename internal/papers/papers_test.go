@@ -1,0 +1,277 @@
+package papers
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpi/internal/machine"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+const (
+	feed   names.Name = "feed"
+	signal names.Name = "sig"
+	unif   names.Name = "unif"
+	errSig names.Name = "errc"
+)
+
+func TestCycleEnvValidates(t *testing.T) {
+	if err := CycleEnv().Validate(); err != nil {
+		t.Fatalf("CycleEnv: %v", err)
+	}
+	if err := CycleEnvOnce().Validate(); err != nil {
+		t.Fatalf("CycleEnvOnce: %v", err)
+	}
+	if err := TxnEnvOnce().ValidateWith(names.NewSet(ReadTag, WriteTag)); err != nil {
+		t.Fatalf("TxnEnvOnce: %v", err)
+	}
+}
+
+// E10 core: the detector signals iff the graph has a cycle.
+func TestE10CycleDetectionMatchesOracle(t *testing.T) {
+	sys := semantics.NewSystem(CycleEnvOnce())
+	graphs := []struct {
+		name  string
+		edges []Edge
+	}{
+		{"2-ring", RingGraph(2)},
+		{"3-ring", RingGraph(3)},
+		{"chain-2", ChainGraph(2)},
+		{"chain-3", ChainGraph(3)},
+		{"self-loop", []Edge{{"v0", "v0"}}},
+		{"diamond-acyclic", []Edge{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}}},
+		{"diamond-cyclic", []Edge{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"a", "d"}}},
+		{"two-components", []Edge{{"a", "b"}, {"c", "d"}, {"d", "c"}}},
+	}
+	for _, g := range graphs {
+		want := HasCycleOracle(g.edges)
+		got, err := machine.CanReachBarb(sys, CycleSystem(g.edges, signal), signal, 60000)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: detector=%v oracle=%v", g.name, got, want)
+		}
+	}
+}
+
+// Random graphs against the oracle.
+func TestE10RandomGraphs(t *testing.T) {
+	sys := semantics.NewSystem(CycleEnvOnce())
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		nv := 3 + rng.Intn(2)
+		ne := 2 + rng.Intn(3)
+		var edges []Edge
+		seen := map[Edge]bool{}
+		for len(edges) < ne {
+			e := Edge{vertex(rng.Intn(nv)), vertex(rng.Intn(nv))}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		want := HasCycleOracle(edges)
+		got, err := machine.CanReachBarb(sys, CycleSystem(edges, signal), signal, 120000)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, edges, err)
+		}
+		if got != want {
+			t.Errorf("trial %d: edges=%v detector=%v oracle=%v", trial, edges, got, want)
+		}
+	}
+}
+
+// Detection is inevitable for a ring under the single-shot emitters: every
+// maximal schedule fires the signal.
+func TestE10DetectionInevitableOnRing(t *testing.T) {
+	sys := semantics.NewSystem(CycleEnvOnce())
+	ok, witness, err := machine.AlwaysReachesBarb(sys, CycleSystem(RingGraph(2), signal), signal, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("detection avoidable; stuck at %s", syntax.String(witness))
+	}
+}
+
+// The dynamic variant: Detector consumes the edge feed and detects the cycle.
+func TestE10DetectorWithFeed(t *testing.T) {
+	sys := semantics.NewSystem(CycleEnvOnce())
+	p := CycleSystemWithDetector(RingGraph(2), feed, signal)
+	got, err := machine.CanReachBarb(sys, p, signal, 120000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("detector with dynamic feed missed the 2-ring")
+	}
+	// And a fed chain stays silent.
+	q := CycleSystemWithDetector(ChainGraph(2), feed, signal)
+	got, err = machine.CanReachBarb(sys, q, signal, 120000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("detector signalled on an acyclic feed")
+	}
+}
+
+// The paper-faithful looping emitter also detects (scheduled runs).
+func TestE10LoopingEmitterMonteCarlo(t *testing.T) {
+	sys := semantics.NewSystem(CycleEnv())
+	p := CycleSystem(RingGraph(2), signal)
+	rs, err := machine.RunMany(sys, p, 16, 5, machine.Options{
+		MaxSteps:   400,
+		StopOnBarb: []names.Name{signal},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := machine.Summarise(rs)
+	if st.Stopped == 0 {
+		t.Errorf("no random run detected the cycle: %v", st)
+	}
+}
+
+func TestOracleHelpers(t *testing.T) {
+	if HasCycleOracle(ChainGraph(4)) {
+		t.Error("chain misclassified")
+	}
+	if !HasCycleOracle(RingGraph(3)) {
+		t.Error("ring misclassified")
+	}
+	if len(RingGraph(3)) != 3 || len(ChainGraph(3)) != 3 {
+		t.Error("graph builders wrong size")
+	}
+}
+
+// ---- Example 2 ---------------------------------------------------------------
+
+func history(events ...Txn) []Txn { return events }
+
+func TestPrecedenceEdgesRules(t *testing.T) {
+	// Rule 1: read then write, same partition.
+	h := history(
+		Txn{"t1", "x", false, "p1"},
+		Txn{"t2", "x", true, "p1"},
+	)
+	es := PrecedenceEdges(h)
+	if len(es) != 1 || es[0] != (Edge{"t1", "t2"}) {
+		t.Errorf("rule 1 edges: %v", es)
+	}
+	// Rule 2: write then read, same partition.
+	h = history(
+		Txn{"t1", "x", true, "p1"},
+		Txn{"t2", "x", false, "p1"},
+	)
+	es = PrecedenceEdges(h)
+	if len(es) != 1 || es[0] != (Edge{"t1", "t2"}) {
+		t.Errorf("rule 2 edges: %v", es)
+	}
+	// Rule 3: cross-partition read/write → reader precedes writer.
+	h = history(
+		Txn{"t1", "x", true, "p1"},
+		Txn{"t2", "x", false, "p2"},
+	)
+	es = PrecedenceEdges(h)
+	if len(es) != 1 || es[0] != (Edge{"t2", "t1"}) {
+		t.Errorf("rule 3 edges: %v", es)
+	}
+	// Cross-partition reads commute.
+	h = history(
+		Txn{"t1", "x", false, "p1"},
+		Txn{"t2", "x", false, "p2"},
+	)
+	if es := PrecedenceEdges(h); len(es) != 0 {
+		t.Errorf("read/read edges: %v", es)
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	if !WriteWriteConflict(history(
+		Txn{"t1", "x", true, "p1"},
+		Txn{"t2", "x", true, "p2"},
+	)) {
+		t.Error("conflict missed")
+	}
+	if WriteWriteConflict(history(
+		Txn{"t1", "x", true, "p1"},
+		Txn{"t2", "x", true, "p1"},
+	)) {
+		t.Error("same-partition writes are not a conflict")
+	}
+}
+
+// E11 core scenarios: the calculus system flags exactly the inconsistent
+// histories.
+func TestE11TransactionScenarios(t *testing.T) {
+	sys := semantics.NewSystem(TxnEnvOnce())
+	scenarios := []struct {
+		name string
+		h    []Txn
+	}{
+		{"consistent-single-partition", history(
+			Txn{"t1", "x", true, "p1"},
+			Txn{"t2", "x", false, "p1"},
+			Txn{"t2", "y", true, "p1"},
+		)},
+		{"write-write-conflict", history(
+			Txn{"t1", "x", true, "p1"},
+			Txn{"t2", "x", true, "p2"},
+		)},
+		{"cross-partition-cycle", history(
+			// t1 reads x in p1; t2 writes x in p2 ⇒ t1 → t2.
+			// t2 reads y in p2; t1 writes y in p1 ⇒ t2 → t1. Cycle.
+			Txn{"t1", "x", false, "p1"},
+			Txn{"t2", "x", true, "p2"},
+			Txn{"t2", "y", false, "p2"},
+			Txn{"t1", "y", true, "p1"},
+		)},
+		{"consistent-cross-reads", history(
+			Txn{"t1", "x", false, "p1"},
+			Txn{"t2", "x", false, "p2"},
+		)},
+		{"same-partition-cycle", history(
+			// t1 w x; t2 r x ⇒ t1→t2. t2 w y; t1 r y ⇒ t2→t1. Cycle, p1 only.
+			Txn{"t1", "x", true, "p1"},
+			Txn{"t2", "x", false, "p1"},
+			Txn{"t2", "y", true, "p1"},
+			Txn{"t1", "y", false, "p1"},
+		)},
+	}
+	for _, sc := range scenarios {
+		want := InconsistentOracle(sc.h)
+		p := TransactionSystem(sc.h, unif, errSig)
+		got, err := machine.CanReachBarb(sys, p, errSig, 200000)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: detector=%v oracle=%v", sc.name, got, want)
+		}
+	}
+}
+
+// Monte-Carlo check on the faithful (looping) environment for one
+// inconsistent scenario: random schedules find the error too.
+func TestE11MonteCarlo(t *testing.T) {
+	sys := semantics.NewSystem(TxnEnv())
+	h := history(
+		Txn{"t1", "x", true, "p1"},
+		Txn{"t2", "x", true, "p2"},
+	)
+	rs, err := machine.RunMany(sys, TransactionSystem(h, unif, errSig), 8, 3, machine.Options{
+		MaxSteps:   600,
+		StopOnBarb: []names.Name{errSig},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machine.Summarise(rs).Stopped == 0 {
+		t.Error("no random run flagged the write/write conflict")
+	}
+}

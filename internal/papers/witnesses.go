@@ -1,0 +1,97 @@
+package papers
+
+import (
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Witness is a named process pair together with the paper's claims about it.
+type Witness struct {
+	Name string
+	// Where in the paper the pair appears.
+	Source string
+	P, Q   syntax.Proc
+	// Expected verdicts (strong relations).
+	Labelled, Barbed, Step, OneStep, Congruent bool
+}
+
+// Witnesses returns the process pairs of Remarks 1–4 (and the noisy law)
+// with the verdicts the paper claims. The experiment suite re-derives every
+// verdict with the equivalence checkers.
+func Witnesses() []Witness {
+	var (
+		a names.Name = "a"
+		b names.Name = "b"
+		c names.Name = "c"
+		d names.Name = "d"
+		x names.Name = "x"
+		y names.Name = "y"
+	)
+	// Remark 1: p0 = āb, q0 = āb.c̄d.
+	p0 := syntax.SendN(a, b)
+	q0 := syntax.Send(a, []names.Name{b}, syntax.SendN(c, d))
+	// Remark 2.1: p1 = b̄+τ.c̄, q1 = b̄+b̄.c̄.
+	p1 := syntax.Choice(syntax.SendN(b), syntax.TauP(syntax.SendN(c)))
+	q1 := syntax.Choice(syntax.SendN(b), syntax.Send(b, nil, syntax.SendN(c)))
+	// Remark 2.2: p2 = b̄a.ā, q2 = b̄c.ā.
+	p2 := syntax.Send(b, []names.Name{a}, syntax.SendN(a))
+	q2 := syntax.Send(b, []names.Name{c}, syntax.SendN(a))
+	// Noisy inputs.
+	ia := syntax.RecvN(a)
+	ib := syntax.RecvN(b)
+	// Remark 3/4 expansion pair.
+	ep := syntax.Choice(
+		syntax.Recv(x, nil, syntax.Recv(y, nil, syntax.SendN(c))),
+		syntax.Recv(y, nil, syntax.Group(syntax.RecvN(x), syntax.SendN(c))),
+	)
+	eq := syntax.Group(syntax.RecvN(x), syntax.Recv(y, nil, syntax.SendN(c)))
+
+	return []Witness{
+		{
+			Name: "remark1-unrestricted", Source: "Remark 1",
+			P: p0, Q: q0,
+			Labelled: false, Barbed: true, Step: false, OneStep: false, Congruent: false,
+		},
+		{
+			Name: "remark1-restricted", Source: "Remark 1",
+			P: syntax.Restrict(p0, a), Q: syntax.Restrict(q0, a),
+			Labelled: false, Barbed: false, Step: false, OneStep: false, Congruent: false,
+		},
+		{
+			Name: "remark2-step-pair", Source: "Remark 2(1)",
+			P: p1, Q: q1,
+			Labelled: false, Barbed: false, Step: true, OneStep: false, Congruent: false,
+		},
+		{
+			Name: "remark2-restriction-pair", Source: "Remark 2(2)",
+			P: p2, Q: q2,
+			Labelled: false, Barbed: true, Step: true, OneStep: false, Congruent: false,
+		},
+		{
+			Name: "remark2-restricted", Source: "Remark 2(2)",
+			P: syntax.Restrict(p2, a), Q: syntax.Restrict(q2, a),
+			Labelled: false, Barbed: true, Step: false, OneStep: false, Congruent: false,
+		},
+		{
+			Name: "noisy-inputs", Source: "Remark 3 material",
+			P: ia, Q: ib,
+			Labelled: true, Barbed: true, Step: true, OneStep: false, Congruent: false,
+		},
+		{
+			Name: "expansion-pair", Source: "Remarks 3 and 4",
+			P: ep, Q: eq,
+			Labelled: true, Barbed: true, Step: true, OneStep: true, Congruent: false,
+		},
+		{
+			Name: "identical", Source: "sanity",
+			P: p0, Q: p0,
+			Labelled: true, Barbed: true, Step: true, OneStep: true, Congruent: true,
+		},
+	}
+}
+
+// ParallelContext returns the distinguishing context of Remark 2(1):
+// r1 = b + ā composed in parallel.
+func ParallelContext() syntax.Proc {
+	return syntax.Choice(syntax.RecvN("b"), syntax.SendN("a"))
+}

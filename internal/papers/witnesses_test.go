@@ -1,0 +1,61 @@
+package papers
+
+import (
+	"testing"
+
+	"bpi/internal/equiv"
+	"bpi/internal/syntax"
+)
+
+// TestWitnessVerdicts re-derives every claim of Remarks 1–4 with the
+// equivalence checkers (experiment E3).
+func TestWitnessVerdicts(t *testing.T) {
+	ch := equiv.NewChecker(nil)
+	for _, w := range Witnesses() {
+		if r, err := ch.Labelled(w.P, w.Q, false); err != nil {
+			t.Fatalf("%s labelled: %v", w.Name, err)
+		} else if r.Related != w.Labelled {
+			t.Errorf("%s (%s): labelled = %v, paper claims %v", w.Name, w.Source, r.Related, w.Labelled)
+		}
+		if r, err := ch.Barbed(w.P, w.Q, false); err != nil {
+			t.Fatalf("%s barbed: %v", w.Name, err)
+		} else if r.Related != w.Barbed {
+			t.Errorf("%s (%s): barbed = %v, paper claims %v", w.Name, w.Source, r.Related, w.Barbed)
+		}
+		if r, err := ch.Step(w.P, w.Q, false); err != nil {
+			t.Fatalf("%s step: %v", w.Name, err)
+		} else if r.Related != w.Step {
+			t.Errorf("%s (%s): step = %v, paper claims %v", w.Name, w.Source, r.Related, w.Step)
+		}
+		if got, err := ch.OneStep(w.P, w.Q, false); err != nil {
+			t.Fatalf("%s one-step: %v", w.Name, err)
+		} else if got != w.OneStep {
+			t.Errorf("%s (%s): ~+ = %v, paper claims %v", w.Name, w.Source, got, w.OneStep)
+		}
+		if got, err := ch.Congruence(w.P, w.Q, false); err != nil {
+			t.Fatalf("%s congruence: %v", w.Name, err)
+		} else if got != w.Congruent {
+			t.Errorf("%s (%s): ~c = %v, paper claims %v", w.Name, w.Source, got, w.Congruent)
+		}
+	}
+}
+
+// TestWitnessParallelContext reproduces Remark 2(1)'s distinguishing
+// composition.
+func TestWitnessParallelContext(t *testing.T) {
+	ch := equiv.NewChecker(nil)
+	var pair Witness
+	for _, w := range Witnesses() {
+		if w.Name == "remark2-step-pair" {
+			pair = w
+		}
+	}
+	r1 := ParallelContext()
+	res, err := ch.Step(syntax.Group(pair.P, r1), syntax.Group(pair.Q, r1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Related {
+		t.Error("parallel context failed to distinguish the step-bisimilar pair")
+	}
+}

@@ -1,0 +1,98 @@
+package pi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelStrings(t *testing.T) {
+	cases := map[string]Label{
+		"tau":    {Kind: 't'},
+		"a!b":    {Kind: '!', Ch: a, Obj: b},
+		"a!(^z)": {Kind: 'b', Ch: a, Obj: z},
+		"a?x":    {Kind: '?', Ch: a, Obj: x},
+	}
+	for want, l := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("label %q, want %q", got, want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := Res{z, Par{Out{a, z, Nil{}}, Sum{In{a, x, Tau{Nil{}}}, Match{x, y, Nil{}, Nil{}}}}}
+	s := String(p)
+	for _, frag := range []string{"nu z.", "a!z.", "a?(x).", "tau.", "[x=y]", "|", "+"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q in %s", frag, s)
+		}
+	}
+}
+
+func TestKeyAlphaInvariance(t *testing.T) {
+	p := Res{z, Out{a, z, In{z, x, Nil{}}}}
+	q := Res{w, Out{a, w, In{w, y, Nil{}}}}
+	if Key(p) != Key(q) {
+		t.Error("alpha-equivalent π terms should share keys")
+	}
+	r := Res{z, Out{a, z, In{a, x, Nil{}}}}
+	if Key(p) == Key(r) {
+		t.Error("key collision")
+	}
+}
+
+func TestSumSteps(t *testing.T) {
+	p := Sum{Out{a, b, Nil{}}, Tau{Nil{}}}
+	ts := Steps(p)
+	if len(ts) != 2 {
+		t.Fatalf("sum steps: %v", ts)
+	}
+}
+
+func TestMatchSteps(t *testing.T) {
+	eq := Match{a, a, Out{b, b, Nil{}}, Out{c, c, Nil{}}}
+	if ts := Steps(eq); len(ts) != 1 || ts[0].Label.Ch != b {
+		t.Fatalf("match-true: %v", ts)
+	}
+	ne := Match{a, b, Out{b, b, Nil{}}, Out{c, c, Nil{}}}
+	if ts := Steps(ne); len(ts) != 1 || ts[0].Label.Ch != c {
+		t.Fatalf("match-false: %v", ts)
+	}
+}
+
+func TestBoundOutputBinderAvoidsSibling(t *testing.T) {
+	// (νz āz) | z̄w: the extruded binder must be renamed away from the
+	// sibling's free z.
+	p := Par{Res{z, Out{a, z, Nil{}}}, Out{z, w, Nil{}}}
+	var bound []Label
+	for _, tr := range Steps(p) {
+		if tr.Label.Kind == 'b' {
+			bound = append(bound, tr.Label)
+		}
+	}
+	if len(bound) != 1 {
+		t.Fatalf("bound outputs: %v", bound)
+	}
+	if bound[0].Obj == z {
+		t.Fatalf("binder collided with sibling: %v", bound[0])
+	}
+}
+
+func TestFreeOfAllNodes(t *testing.T) {
+	p := Res{z, Par{Out{a, z, Nil{}}, Sum{In{b, x, Out{x, c, Nil{}}}, Match{c, d, Tau{Nil{}}, Nil{}}}}}
+	fn := Free(p)
+	for _, n := range []Name{a, b, c, d} {
+		if !fn.Contains(n) {
+			t.Errorf("free names missing %s: %v", n, fn)
+		}
+	}
+	if fn.Contains(z) || fn.Contains(x) {
+		t.Errorf("bound name leaked: %v", fn)
+	}
+}
+
+func TestWeakBarbsBudget(t *testing.T) {
+	if _, err := WeakBarbs(Par{Tau{Tau{Nil{}}}, Tau{Nil{}}}, 1); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}

@@ -1,0 +1,120 @@
+package pi
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Encode translates a choice-free π-calculus process into the bπ-calculus
+// (the direction the paper states is possible, §6: a "uniform" encoding
+// adequate with respect to barbed equivalence; the reverse direction is
+// impossible by the authors' separation result [3]).
+//
+// Rendezvous over a broadcast medium is implemented with a lock protocol:
+//
+//	⟦a̅b.P⟧   = rec S. νl ā⟨l⟩.( l(r).r̄⟨b⟩.⟦P⟧ + τ.S )
+//	⟦a(x).P⟧ = rec R. a(l).νr l̄⟨r⟩.( r(x).⟦P⟧ + τ.R )
+//
+// A sender offers a fresh lock l on a; every current listener on a receives
+// the offer (broadcast cannot be refused) and competes by returning a fresh
+// reply channel r on l; the sender commits to the first reply and transfers
+// the payload point-to-point on r. The τ-escapes let a participant whose
+// offer or reply was lost in a race retry, so every π-reachable
+// configuration remains reachable (adequacy with respect to may-barbs,
+// checked in tests); the price is administrative divergence, as usual for
+// such encodings. Sum is not in the encoded fragment and is rejected.
+func Encode(p Proc) (syntax.Proc, error) {
+	e := &encoder{}
+	return e.encode(p)
+}
+
+type encoder struct{ recs int }
+
+func (e *encoder) fresh(base string) names.Name {
+	e.recs++
+	return names.Name(fmt.Sprintf("%s%s%d", base, names.FreshMarker, e.recs))
+}
+
+func (e *encoder) recId() string {
+	e.recs++
+	return fmt.Sprintf("Enc%d", e.recs)
+}
+
+func (e *encoder) encode(p Proc) (syntax.Proc, error) {
+	switch t := p.(type) {
+	case Nil:
+		return syntax.PNil, nil
+	case Tau:
+		c, err := e.encode(t.Cont)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.TauP(c), nil
+	case Par:
+		l, err := e.encode(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.encode(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Par{L: l, R: r}, nil
+	case Res:
+		b, err := e.encode(t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Res{X: t.X, Body: b}, nil
+	case Match:
+		th, err := e.encode(t.Then)
+		if err != nil {
+			return nil, err
+		}
+		el, err := e.encode(t.Else)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.If(t.X, t.Y, th, el), nil
+	case Out:
+		cont, err := e.encode(t.Cont)
+		if err != nil {
+			return nil, err
+		}
+		fns := Free(p).Sorted()
+		id := e.recId()
+		l := e.fresh("l")
+		r := e.fresh("r")
+		body := syntax.Restrict(
+			syntax.Send(t.Ch, []names.Name{l},
+				syntax.Choice(
+					syntax.Recv(l, []names.Name{r},
+						syntax.Send(r, []names.Name{t.Arg}, cont)),
+					syntax.TauP(syntax.Call{Id: id, Args: fns}),
+				)), l)
+		return syntax.Rec{Id: id, Params: fns, Body: body, Args: fns}, nil
+	case In:
+		cont, err := e.encode(t.Cont)
+		if err != nil {
+			return nil, err
+		}
+		fns := Free(p).Sorted()
+		id := e.recId()
+		l := e.fresh("l")
+		r := e.fresh("r")
+		// Keep the protocol names clear of the π binder.
+		body := syntax.Recv(t.Ch, []names.Name{l},
+			syntax.Restrict(
+				syntax.Send(l, []names.Name{r},
+					syntax.Choice(
+						syntax.Recv(r, []names.Name{t.Param}, cont),
+						syntax.TauP(syntax.Call{Id: id, Args: fns}),
+					)), r))
+		return syntax.Rec{Id: id, Params: fns, Body: body, Args: fns}, nil
+	case Sum:
+		return nil, fmt.Errorf("pi: Encode covers the choice-free fragment (found a sum)")
+	}
+	panic("pi: unknown node")
+}

@@ -1,0 +1,196 @@
+package pi
+
+import (
+	"testing"
+
+	"bpi/internal/machine"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+)
+
+const (
+	a names.Name = "a"
+	b names.Name = "b"
+	c names.Name = "c"
+	d names.Name = "d"
+	w names.Name = "w"
+	x names.Name = "x"
+	y names.Name = "y"
+	z names.Name = "z"
+)
+
+func TestStepsPrefixes(t *testing.T) {
+	ts := Steps(Out{a, b, Nil{}})
+	if len(ts) != 1 || ts[0].Label.String() != "a!b" {
+		t.Fatalf("out: %v", ts)
+	}
+	ts = Steps(In{a, x, Out{x, b, Nil{}}})
+	if len(ts) != 1 || ts[0].Label.Kind != '?' {
+		t.Fatalf("in: %v", ts)
+	}
+	ts = Steps(Tau{Nil{}})
+	if len(ts) != 1 || ts[0].Label.Kind != 't' {
+		t.Fatalf("tau: %v", ts)
+	}
+}
+
+func TestComm(t *testing.T) {
+	// a̅b | a(x).x̄c --τ--> 0 | b̄c: exactly one receiver takes the message.
+	p := Par{Out{a, b, Nil{}}, In{a, x, Out{x, c, Nil{}}}}
+	var taus []Trans
+	for _, tr := range Steps(p) {
+		if tr.Label.Kind == 't' {
+			taus = append(taus, tr)
+		}
+	}
+	if len(taus) != 1 {
+		t.Fatalf("taus: %v", taus)
+	}
+	if Key(taus[0].Target) != Key(Par{Nil{}, Out{b, c, Nil{}}}) {
+		t.Fatalf("comm target: %s", String(taus[0].Target))
+	}
+}
+
+func TestPointToPointOneReceiverOnly(t *testing.T) {
+	// a̅b | a(x).x̄c | a(y).ȳd: the π communication reaches exactly ONE
+	// receiver (contrast with the broadcast tests in semantics).
+	p := Par{Out{a, b, Nil{}}, Par{In{a, x, Out{x, c, Nil{}}}, In{a, y, Out{y, d, Nil{}}}}}
+	var taus []Trans
+	for _, tr := range Steps(p) {
+		if tr.Label.Kind == 't' {
+			taus = append(taus, tr)
+		}
+	}
+	if len(taus) != 2 {
+		t.Fatalf("want 2 distinct pairings, got %d", len(taus))
+	}
+	for _, tr := range taus {
+		// In each target exactly one of the receivers is instantiated.
+		barbs, err := WeakBarbs(tr.Target, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if barbs.Contains(b) && barbs.Contains(c) && barbs.Contains(d) {
+			t.Fatalf("both receivers fired: %s", String(tr.Target))
+		}
+	}
+}
+
+func TestCloseExtrusion(t *testing.T) {
+	// νz(a̅z.z̄w) | a(x).x(y).c̄y --τ--> νz(z̄w | z(y).c̄y): private z shared;
+	// the secret dialogue then surfaces as a barb on c.
+	p := Par{
+		Res{z, Out{a, z, Out{z, w, Nil{}}}},
+		In{a, x, In{x, y, Out{c, y, Nil{}}}},
+	}
+	var taus []Trans
+	for _, tr := range Steps(p) {
+		if tr.Label.Kind == 't' {
+			taus = append(taus, tr)
+		}
+	}
+	if len(taus) != 1 {
+		t.Fatalf("close: %v", Steps(p))
+	}
+	if _, ok := taus[0].Target.(Res); !ok {
+		t.Fatalf("extruded name not re-bound: %s", String(taus[0].Target))
+	}
+	// The private dialogue continues: next τ carries w, then c̄ barb.
+	barbs, err := WeakBarbs(taus[0].Target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !barbs.Contains(c) {
+		t.Fatalf("continuation lost: %v", barbs)
+	}
+}
+
+func TestResBlocksPrivate(t *testing.T) {
+	p := Res{a, Out{a, b, Nil{}}}
+	if ts := Steps(p); len(ts) != 0 {
+		t.Fatalf("private offer escaped: %v", ts)
+	}
+}
+
+func TestWeakBarbs(t *testing.T) {
+	p := Par{Out{a, b, Nil{}}, In{a, x, Out{x, c, Nil{}}}}
+	barbs, err := WeakBarbs(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !barbs.Contains(a) || !barbs.Contains(b) {
+		t.Fatalf("barbs: %v", barbs)
+	}
+	if barbs.Contains(c) {
+		t.Fatalf("c̄ should never be offered (no b-receiver): %v", barbs)
+	}
+}
+
+func TestSubstCapture(t *testing.T) {
+	// (a(x).x̄y)[y→x] must not capture.
+	p := In{a, x, Out{x, y, Nil{}}}
+	q := Subst(p, y, x).(In)
+	if q.Param == x {
+		t.Fatalf("capture: %s", String(q))
+	}
+	// νx under [y→x].
+	r := Res{x, Out{y, x, Nil{}}}
+	rr := Subst(r, y, x).(Res)
+	if rr.X == x {
+		t.Fatalf("res capture: %s", String(rr))
+	}
+}
+
+// ---- E14: the encoding into bπ ------------------------------------------------
+
+func TestEncodeRejectsSum(t *testing.T) {
+	if _, err := Encode(Sum{Nil{}, Nil{}}); err == nil {
+		t.Fatal("sum must be rejected")
+	}
+}
+
+func TestE14EncodingMayBarbs(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	samples := []struct {
+		name string
+		p    Proc
+	}{
+		{"single-comm", Par{Out{a, b, Nil{}}, In{a, x, Out{x, c, Nil{}}}}},
+		{"no-receiver", Out{a, b, Out{b, c, Nil{}}}},
+		{"two-receivers", Par{Out{a, b, Nil{}},
+			Par{In{a, x, Out{c, x, Nil{}}}, In{a, y, Out{d, y, Nil{}}}}}},
+		{"chain", Par{Out{a, b, Nil{}}, In{a, x, Par{Out{x, c, Nil{}}, In{x, y, Out{d, y, Nil{}}}}}}},
+		{"tau-guard", Tau{Out{a, b, Nil{}}}},
+		{"match", Par{Out{a, b, Nil{}}, In{a, x, Match{x, b, Out{c, x, Nil{}}, Out{d, x, Nil{}}}}}},
+		{"extrusion", Par{Res{z, Out{a, z, In{z, y, Out{c, y, Nil{}}}}},
+			In{a, x, Out{x, w, Nil{}}}}},
+	}
+	for _, sc := range samples {
+		enc, err := Encode(sc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		want, err := WeakBarbs(sc.p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		for _, ch := range Free(sc.p).Sorted() {
+			got, err := machine.CanReachBarb(sys, enc, ch, 150000)
+			if err != nil {
+				t.Fatalf("%s barb %s: %v", sc.name, ch, err)
+			}
+			if got != want.Contains(ch) {
+				t.Errorf("%s: barb %s: encoding=%v source=%v", sc.name, ch, got, want.Contains(ch))
+			}
+		}
+	}
+}
+
+func TestTauStepsMetric(t *testing.T) {
+	// A chain of two communications needs two τ steps.
+	p := Par{Out{a, b, Nil{}},
+		Par{In{a, x, Out{c, x, Nil{}}}, In{c, y, Nil{}}}}
+	if got := TauSteps(p, 10); got != 2 {
+		t.Fatalf("TauSteps = %d", got)
+	}
+}

@@ -1,0 +1,301 @@
+// Package pvm implements Example 3 of the paper: a small PVM-like surface
+// language of tasks with asynchronous point-to-point and dynamic group
+// communication, compiled into the bπ-calculus exactly along the paper's
+// encoding:
+//
+//   - every task at address a runs beside a mailbox Pool(a,r,k) that
+//     captures every message broadcast to a and stores it in a Cell;
+//   - x = receive() broadcasts a fresh request token on the task's private
+//     buffer channel r; every Cell hears it and the race is resolved by the
+//     broadcast itself — the first Cell to answer on the token channel is
+//     heard both by the requester (which gets the value) and by the other
+//     cells (which therefore keep their values);
+//   - groups are channels: joingroup(g) spawns another Pool listening on g
+//     with the same buffer r, so group broadcasts land in the member's own
+//     mailbox; leavegroup(g) kills that pool via its private kill channel;
+//     newgroup() is ν-creation of a group channel;
+//   - spawn starts a sibling task at a fresh address.
+//
+// The encoding uses the full expressive power the paper advertises:
+// reconfigurable dynamic groups via name generation, mobility (group names
+// travel in messages) and broadcast as the only primitive.
+package pvm
+
+import (
+	"fmt"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Instr is one surface instruction.
+type Instr interface{ isInstr() }
+
+// Send transmits Msg to the task address To (asynchronous, buffered at the
+// receiver).
+type Send struct{ To, Msg names.Name }
+
+// Bcast transmits Msg to every current member of group Group.
+type Bcast struct{ Group, Msg names.Name }
+
+// Receive takes the next buffered message into Var (binding it for the rest
+// of the task).
+type Receive struct{ Var names.Name }
+
+// NewGroup creates a fresh group and binds its name to Var.
+type NewGroup struct{ Var names.Name }
+
+// Join adds this task to group Group.
+type Join struct{ Group names.Name }
+
+// Leave removes this task from group Group (it must currently be a member,
+// joined under exactly that name).
+type Leave struct{ Group names.Name }
+
+// Spawn starts Body as a new task at a fresh address bound to Var.
+type Spawn struct {
+	Var  names.Name
+	Body *Task
+}
+
+func (Send) isInstr()     {}
+func (Bcast) isInstr()    {}
+func (Receive) isInstr()  {}
+func (NewGroup) isInstr() {}
+func (Join) isInstr()     {}
+func (Leave) isInstr()    {}
+func (Spawn) isInstr()    {}
+
+// Task is a finite sequence of instructions (the paper's P ::= I;P | STOP).
+type Task struct{ Instrs []Instr }
+
+// Env returns the definitions environment shared by every compiled task:
+// the mailbox Pool and the value Cell.
+//
+//	Pool(a,r,k) = k() + a(x).(Pool(a,r,k) ‖ Cell(r,x))
+//	Cell(r,x)   = r(c).(c̄x + c(y).Cell(r,x))
+func Env() syntax.Env {
+	a, r, k := names.Name("a"), names.Name("r"), names.Name("k")
+	x, c, y := names.Name("x"), names.Name("c"), names.Name("y")
+	env := syntax.Env{}
+	env = env.Define("Pool", []names.Name{a, r, k},
+		syntax.Choice(
+			syntax.RecvN(k),
+			syntax.Recv(a, []names.Name{x},
+				syntax.Group(
+					syntax.Call{Id: "Pool", Args: []names.Name{a, r, k}},
+					syntax.Call{Id: "Cell", Args: []names.Name{r, x}},
+				)),
+		))
+	env = env.Define("Cell", []names.Name{r, x},
+		syntax.Recv(r, []names.Name{c},
+			syntax.Choice(
+				syntax.SendN(c, x),
+				syntax.Recv(c, []names.Name{y},
+					syntax.Call{Id: "Cell", Args: []names.Name{r, x}}),
+			)))
+	return env
+}
+
+// Compile translates a task to run at the given address: νr νk
+// (Pool(addr,r,k) ‖ ⟦body⟧). Group membership is tracked statically by the
+// group's name in scope, as the paper's M set does.
+//
+// Receives use the paper's literal one-shot request νt(r̄t ‖ t(x).⟦P⟧). The
+// request is itself a broadcast, so if it fires before any message has been
+// buffered it is lost and the receive blocks forever — a genuine race of
+// the paper's encoding ("no guarantee in what concerns the order of
+// messages' arrival"). Exhaustive may-analyses (CanReachBarb) are unaffected;
+// for scheduled executions use CompileReliable.
+func Compile(task *Task, addr names.Name) (syntax.Proc, error) {
+	c := &compiler{}
+	return c.task(task, addr)
+}
+
+// CompileReliable is Compile with retrying receives:
+//
+//	rec Req. νt ( r̄t ‖ ( t(x).⟦P⟧ + t̄t.Req ) )
+//
+// Firing the abort output resolves the choice and simultaneously notifies
+// any cell committed to this token (its c(y) branch restores the stored
+// value), so no message is lost and the request is re-issued until a cell
+// answers. The retry cycles enlarge the state space considerably — prefer
+// Compile for exhaustive exploration and CompileReliable for scheduled or
+// Monte-Carlo runs. Recorded in DESIGN.md as a deviation from the paper's
+// literal term.
+func CompileReliable(task *Task, addr names.Name) (syntax.Proc, error) {
+	c := &compiler{reliable: true}
+	return c.task(task, addr)
+}
+
+type compiler struct {
+	counter  int
+	reliable bool
+}
+
+func (c *compiler) fresh(base string) names.Name {
+	c.counter++
+	return names.Name(fmt.Sprintf("%s%s%d", base, names.FreshMarker, c.counter))
+}
+
+func (c *compiler) recId() string {
+	c.counter++
+	return fmt.Sprintf("Req%d", c.counter)
+}
+
+func (c *compiler) task(task *Task, addr names.Name) (syntax.Proc, error) {
+	r := c.fresh("r")
+	k := c.fresh("k")
+	body, err := c.seq(task.Instrs, addr, r, map[names.Name]names.Name{addr: k})
+	if err != nil {
+		return nil, err
+	}
+	return syntax.Restrict(
+		syntax.Group(
+			syntax.Call{Id: "Pool", Args: []names.Name{addr, r, k}},
+			body,
+		), r, k), nil
+}
+
+// seq compiles an instruction sequence; members maps a joined group (or the
+// own address) to its pool's kill channel.
+func (c *compiler) seq(instrs []Instr, addr, r names.Name, members map[names.Name]names.Name) (syntax.Proc, error) {
+	if len(instrs) == 0 {
+		// STOP: kill every remaining pool (the paper's k̄g1…k̄gn.τ.nil); the
+		// own pool dies too, releasing its address.
+		var stop syntax.Proc = syntax.TauP(syntax.PNil)
+		for _, g := range sortedKeys(members) {
+			stop = syntax.Send(members[g], nil, stop)
+		}
+		return stop, nil
+	}
+	rest := instrs[1:]
+	switch in := instrs[0].(type) {
+	case Send:
+		cont, err := c.seq(rest, addr, r, members)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Send(in.To, []names.Name{in.Msg}, cont), nil
+	case Bcast:
+		cont, err := c.seq(rest, addr, r, members)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Send(in.Group, []names.Name{in.Msg}, cont), nil
+	case Receive:
+		cont, err := c.seq(rest, addr, r, members)
+		if err != nil {
+			return nil, err
+		}
+		t := c.fresh("t")
+		if !c.reliable {
+			// The paper's literal one-shot request: νt(r̄t ‖ t(x).⟦P⟧).
+			return syntax.Restrict(
+				syntax.Group(
+					syntax.SendN(r, t),
+					syntax.Recv(t, []names.Name{in.Var}, cont),
+				), t), nil
+		}
+		// Reliable mode: abort-and-retry (see CompileReliable).
+		id := c.recId()
+		params := syntax.FreeNames(cont).Add(r)
+		params.Remove(in.Var)
+		fns := params.Sorted()
+		body := syntax.Restrict(
+			syntax.Group(
+				syntax.SendN(r, t),
+				syntax.Choice(
+					syntax.Recv(t, []names.Name{in.Var}, cont),
+					syntax.Send(t, []names.Name{t}, syntax.Call{Id: id, Args: fns}),
+				),
+			), t)
+		return syntax.Rec{Id: id, Params: fns, Body: body, Args: fns}, nil
+	case NewGroup:
+		kg := c.fresh("k")
+		m2 := cloneMembers(members)
+		m2[in.Var] = kg
+		cont, err := c.seq(rest, addr, r, m2)
+		if err != nil {
+			return nil, err
+		}
+		// νg νkg ( Pool(g,r,kg) ‖ ⟦P⟧ ): the creator is a member.
+		return syntax.Restrict(
+			syntax.Group(
+				syntax.Call{Id: "Pool", Args: []names.Name{in.Var, r, kg}},
+				cont,
+			), in.Var, kg), nil
+	case Join:
+		kg := c.fresh("k")
+		m2 := cloneMembers(members)
+		m2[in.Group] = kg
+		cont, err := c.seq(rest, addr, r, m2)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Restrict(
+			syntax.Group(
+				syntax.Call{Id: "Pool", Args: []names.Name{in.Group, r, kg}},
+				cont,
+			), kg), nil
+	case Leave:
+		kg, ok := members[in.Group]
+		if !ok {
+			return nil, fmt.Errorf("pvm: leavegroup(%s) without a matching join", in.Group)
+		}
+		m2 := cloneMembers(members)
+		delete(m2, in.Group)
+		cont, err := c.seq(rest, addr, r, m2)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Send(kg, nil, cont), nil
+	case Spawn:
+		child, err := c.task(in.Body, in.Var)
+		if err != nil {
+			return nil, err
+		}
+		cont, err := c.seq(rest, addr, r, members)
+		if err != nil {
+			return nil, err
+		}
+		// νa' ( {Q}_a' ‖ ⟦P⟧ ): the child's fresh address is in scope as Var.
+		return syntax.Restrict(syntax.Group(child, cont), in.Var), nil
+	}
+	panic("pvm: unknown instruction")
+}
+
+func cloneMembers(m map[names.Name]names.Name) map[names.Name]names.Name {
+	out := make(map[names.Name]names.Name, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedKeys(m map[names.Name]names.Name) []names.Name {
+	s := names.NewSet()
+	for k := range m {
+		s = s.Add(k)
+	}
+	return s.Sorted()
+}
+
+// System composes compiled root tasks at the given addresses (addresses are
+// free names, so external observers can send to them).
+func System(tasks map[names.Name]*Task) (syntax.Proc, error) {
+	c := &compiler{}
+	var parts []syntax.Proc
+	s := names.NewSet()
+	for addr := range tasks {
+		s = s.Add(addr)
+	}
+	for _, addr := range s.Sorted() {
+		p, err := c.task(tasks[addr], addr)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return syntax.Group(parts...), nil
+}

@@ -1,0 +1,205 @@
+// Package ram implements the paper's §6 expressiveness claim: "it is easy
+// to give an implementation (very similar to those given in [2] for a
+// process algebraic approach of Linda) of a Random Access Machine" in the
+// bπ-calculus. A two-counter Minsky machine — Turing-complete — is encoded
+// with registers as bags of token processes and an atomic broadcast protocol
+// for decrement-or-zero-test.
+//
+// The protocol exploits broadcast atomicity twice:
+//
+//  1. the probe p̄r⟨t⟩ reaches *every* token of the register in one step
+//     (tokens cannot refuse, rule 12), committing them all to the fresh
+//     round channel t;
+//  2. the first token's reply t̄⟨tok⟩ simultaneously serves the program (one
+//     decrement) and releases every other committed token back to its
+//     register — exactly-one-decrement for free.
+//
+// The zero branch is a guess: the program aborts the round with t̄⟨zz⟩. On
+// an empty register nobody objects; on a non-empty register every committed
+// token hears the abort, restores itself, and flags the poison channel err.
+// A computation is *honest* when err never fires, giving the faithful
+// may-characterisation tested here:
+//
+//	the Minsky machine halts  ⟺  the encoding can reach halt̄ on an
+//	                              err-free path (CanReachBarbAvoiding).
+package ram
+
+import (
+	"fmt"
+
+	"bpi/internal/machine"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// Reg identifies a register (0-based).
+type Reg int
+
+// Instr is a Minsky machine instruction.
+type Instr interface{ isInstr() }
+
+// Inc increments register R and continues at Next.
+type Inc struct {
+	R    Reg
+	Next int
+}
+
+// DecJz decrements R and continues at NextPos if R > 0; otherwise continues
+// at NextZero.
+type DecJz struct {
+	R        Reg
+	NextPos  int
+	NextZero int
+}
+
+// Halt stops the machine.
+type Halt struct{}
+
+func (Inc) isInstr()   {}
+func (DecJz) isInstr() {}
+func (Halt) isInstr()  {}
+
+// Program is a Minsky machine: instructions addressed by index, execution
+// starting at 0.
+type Program []Instr
+
+// Run interprets the program directly (the oracle), returning whether it
+// halts within maxSteps and the final register file.
+func (p Program) Run(regs []int, maxSteps int) (halted bool, final []int) {
+	r := append([]int{}, regs...)
+	pc := 0
+	for step := 0; step < maxSteps; step++ {
+		if pc < 0 || pc >= len(p) {
+			return false, r
+		}
+		switch in := p[pc].(type) {
+		case Halt:
+			return true, r
+		case Inc:
+			for int(in.R) >= len(r) {
+				r = append(r, 0)
+			}
+			r[in.R]++
+			pc = in.Next
+		case DecJz:
+			for int(in.R) >= len(r) {
+				r = append(r, 0)
+			}
+			if r[in.R] > 0 {
+				r[in.R]--
+				pc = in.NextPos
+			} else {
+				pc = in.NextZero
+			}
+		}
+	}
+	return false, r
+}
+
+// Channel names fixed by the encoding.
+const (
+	// HaltChan is broadcast once when the encoded machine halts.
+	HaltChan names.Name = "halt"
+	// ErrChan is the poison channel flagged by a dishonest zero guess.
+	ErrChan names.Name = "errz"
+	// tokTag / zzTag distinguish a token reply from a zero abort.
+	tokTag names.Name = "tok"
+	// zzTag marks the zero guess.
+	zzTag names.Name = "zz"
+)
+
+func probeChan(r Reg) names.Name { return names.Name(fmt.Sprintf("pr%d", r)) }
+
+// Env returns the shared definitions: the register token.
+//
+//	Tok(pr) = pr(t).( t̄⟨tok⟩ + t(y).((y=zz)(Tok(pr) ‖ err̄), Tok(pr)) )
+func Env() syntax.Env {
+	pr, t, y := names.Name("pr"), names.Name("t"), names.Name("y")
+	env := syntax.Env{}
+	env = env.Define("Tok", []names.Name{pr},
+		syntax.Recv(pr, []names.Name{t},
+			syntax.Choice(
+				syntax.SendN(t, tokTag),
+				syntax.Recv(t, []names.Name{y},
+					syntax.If(y, zzTag,
+						syntax.Group(
+							syntax.Call{Id: "Tok", Args: []names.Name{pr}},
+							syntax.SendN(ErrChan),
+						),
+						syntax.Call{Id: "Tok", Args: []names.Name{pr}})),
+			)))
+	return env
+}
+
+// Encode compiles the program with the given initial register values into a
+// closed bπ process over Env(). Instruction k becomes a definition Ik added
+// to the returned environment.
+func Encode(p Program, regs []int) (syntax.Proc, syntax.Env, error) {
+	env := Env()
+	maxReg := Reg(len(regs) - 1)
+	for _, in := range p {
+		switch t := in.(type) {
+		case Inc:
+			if t.R > maxReg {
+				maxReg = t.R
+			}
+			if t.Next < 0 || t.Next >= len(p) {
+				return nil, nil, fmt.Errorf("ram: Inc jumps to %d (program size %d)", t.Next, len(p))
+			}
+		case DecJz:
+			if t.R > maxReg {
+				maxReg = t.R
+			}
+			if t.NextPos < 0 || t.NextPos >= len(p) || t.NextZero < 0 || t.NextZero >= len(p) {
+				return nil, nil, fmt.Errorf("ram: DecJz jump out of range")
+			}
+		}
+	}
+	for k, in := range p {
+		id := instrID(k)
+		switch t := in.(type) {
+		case Halt:
+			env = env.Define(id, nil, syntax.SendN(HaltChan))
+		case Inc:
+			// τ.(Tok(pr_R) ‖ Inext): materialise a token, proceed.
+			env = env.Define(id, nil, syntax.TauP(syntax.Group(
+				syntax.Call{Id: "Tok", Args: []names.Name{probeChan(t.R)}},
+				syntax.Call{Id: instrID(t.Next)},
+			)))
+		case DecJz:
+			// νt p̄r⟨t⟩.( t(y).Ipos + t̄⟨zz⟩.Izero )
+			tch := names.Name("t")
+			y := names.Name("y")
+			env = env.Define(id, nil,
+				syntax.Restrict(
+					syntax.Send(probeChan(t.R), []names.Name{tch},
+						syntax.Choice(
+							syntax.Recv(tch, []names.Name{y}, syntax.Call{Id: instrID(t.NextPos)}),
+							syntax.Send(tch, []names.Name{zzTag}, syntax.Call{Id: instrID(t.NextZero)}),
+						)), tch))
+		}
+	}
+	parts := []syntax.Proc{}
+	for r, n := range regs {
+		for i := 0; i < n; i++ {
+			parts = append(parts, syntax.Call{Id: "Tok", Args: []names.Name{probeChan(Reg(r))}})
+		}
+	}
+	parts = append(parts, syntax.Call{Id: instrID(0)})
+	return syntax.Group(parts...), env, nil
+}
+
+func instrID(k int) string { return fmt.Sprintf("I%d", k) }
+
+// HaltsMaybe reports whether the encoded machine can halt honestly: halt̄
+// reachable on an err-free path. By the protocol's construction this holds
+// exactly when the Minsky machine halts (within the state budget).
+func HaltsMaybe(p Program, regs []int, maxStates int) (bool, error) {
+	enc, env, err := Encode(p, regs)
+	if err != nil {
+		return false, err
+	}
+	sys := semantics.NewSystem(env)
+	return machine.CanReachBarbAvoiding(sys, enc, HaltChan, names.NewSet(ErrChan), maxStates)
+}

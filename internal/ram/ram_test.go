@@ -1,0 +1,141 @@
+package ram
+
+import (
+	"testing"
+
+	"bpi/internal/names"
+)
+
+func TestOracleInterpreter(t *testing.T) {
+	// Doubling: r1 += 2 per r0 decrement.
+	double := Program{
+		DecJz{R: 0, NextPos: 1, NextZero: 3}, // 0
+		Inc{R: 1, Next: 2},                   // 1
+		Inc{R: 1, Next: 0},                   // 2
+		Halt{},                               // 3
+	}
+	halted, regs := double.Run([]int{3, 0}, 1000)
+	if !halted || regs[0] != 0 || regs[1] != 6 {
+		t.Fatalf("oracle: halted=%v regs=%v", halted, regs)
+	}
+	// A non-terminating loop.
+	loop := Program{DecJz{R: 0, NextPos: 0, NextZero: 0}}
+	halted, _ = loop.Run([]int{0}, 200)
+	if halted {
+		t.Fatal("loop halted")
+	}
+}
+
+func TestEnvValidates(t *testing.T) {
+	globals := names.NewSet(ErrChan, HaltChan, tokTag, zzTag, "pr0", "pr1")
+	if err := Env().ValidateWith(globals); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadJumps(t *testing.T) {
+	if _, _, err := Encode(Program{Inc{R: 0, Next: 7}}, []int{0}); err == nil {
+		t.Fatal("out-of-range jump accepted")
+	}
+	if _, _, err := Encode(Program{DecJz{R: 0, NextPos: 0, NextZero: 9}}, []int{0}); err == nil {
+		t.Fatal("out-of-range DecJz accepted")
+	}
+}
+
+// The faithful may-characterisation: the encoding can halt honestly exactly
+// when the Minsky machine halts.
+func TestHaltsMaybeMatchesOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+		regs []int
+		want bool
+	}{
+		{"immediate-halt", Program{Halt{}}, []int{0}, true},
+		{"inc-then-halt", Program{Inc{R: 0, Next: 1}, Halt{}}, []int{0}, true},
+		{"drain-two", Program{
+			DecJz{R: 0, NextPos: 0, NextZero: 1},
+			Halt{},
+		}, []int{2}, true},
+		{"zero-loop-never-halts", Program{
+			DecJz{R: 0, NextPos: 1, NextZero: 0},
+			DecJz{R: 0, NextPos: 1, NextZero: 0},
+		}, []int{0}, false},
+		{"halts-only-via-wrong-guess", Program{
+			// r0 = 1: the machine takes the positive branch into a zero-loop
+			// and never halts; only a dishonest zero guess reaches Halt.
+			DecJz{R: 0, NextPos: 1, NextZero: 2},
+			DecJz{R: 1, NextPos: 1, NextZero: 1}, // r1 = 0: spin forever
+			Halt{},
+		}, []int{1, 0}, false},
+		{"exact-count-assertion", Program{
+			// Drain exactly 2 tokens from r0 then require emptiness: halts
+			// iff r0 == 2.
+			DecJz{R: 0, NextPos: 1, NextZero: 4}, // 0: first must be pos
+			DecJz{R: 0, NextPos: 2, NextZero: 4}, // 1: second must be pos
+			DecJz{R: 0, NextPos: 4, NextZero: 3}, // 2: third must be zero
+			Halt{},                               // 3
+			DecJz{R: 1, NextPos: 4, NextZero: 4}, // 4: r1=0 spin (failure)
+		}, []int{2, 0}, true},
+		{"exact-count-assertion-wrong", Program{
+			DecJz{R: 0, NextPos: 1, NextZero: 4},
+			DecJz{R: 0, NextPos: 2, NextZero: 4},
+			DecJz{R: 0, NextPos: 4, NextZero: 3},
+			Halt{},
+			DecJz{R: 1, NextPos: 4, NextZero: 4},
+		}, []int{3, 0}, false},
+	}
+	for _, cse := range cases {
+		oracleHalts, _ := cse.prog.Run(cse.regs, 5000)
+		if oracleHalts != cse.want {
+			t.Fatalf("%s: oracle says %v, case expects %v (test bug)", cse.name, oracleHalts, cse.want)
+		}
+		got, err := HaltsMaybe(cse.prog, cse.regs, 200000)
+		if err != nil {
+			t.Fatalf("%s: %v", cse.name, err)
+		}
+		if got != cse.want {
+			t.Errorf("%s: encoding halts=%v, machine halts=%v", cse.name, got, cse.want)
+		}
+	}
+}
+
+// End-to-end arithmetic through the encoding: doubling r0=2 into r1, then
+// asserting r1 == 4 in-language (drain four, require the fifth to be zero).
+func TestDoublingComputesInsideTheCalculus(t *testing.T) {
+	prog := Program{
+		DecJz{R: 0, NextPos: 1, NextZero: 3}, // 0: while r0 > 0
+		Inc{R: 1, Next: 2},                   // 1:   r1++
+		Inc{R: 1, Next: 0},                   // 2:   r1++
+		DecJz{R: 1, NextPos: 4, NextZero: 9}, // 3: assert r1 >= 1
+		DecJz{R: 1, NextPos: 5, NextZero: 9}, // 4: assert r1 >= 2
+		DecJz{R: 1, NextPos: 6, NextZero: 9}, // 5: assert r1 >= 3
+		DecJz{R: 1, NextPos: 7, NextZero: 9}, // 6: assert r1 >= 4
+		DecJz{R: 1, NextPos: 9, NextZero: 8}, // 7: assert r1 == 4
+		Halt{},                               // 8
+		DecJz{R: 2, NextPos: 9, NextZero: 9}, // 9: fail: spin on empty r2
+	}
+	if halts, regs := prog.Run([]int{2, 0, 0}, 5000); !halts || regs[1] != 0 {
+		t.Fatalf("oracle setup wrong: halts=%v regs=%v", halts, regs)
+	}
+	got, err := HaltsMaybe(prog, []int{2, 0, 0}, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("the doubling computation should verify r1 == 4 and halt")
+	}
+	// And with the wrong assertion bound (expecting 5) it must not halt.
+	wrong := append(Program{}, prog...)
+	wrong[7] = DecJz{R: 1, NextPos: 10, NextZero: 9}
+	wrong = append(wrong, Program{
+		DecJz{R: 1, NextPos: 9, NextZero: 8}, // 10: assert r1 == 5 instead
+	}...)
+	got, err = HaltsMaybe(wrong, []int{2, 0, 0}, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("r1 == 5 must be refuted by the encoding")
+	}
+}

@@ -1,0 +1,181 @@
+// Package rand generates random bπ-calculus terms for property-based tests
+// and benchmarks. Generation is seeded and deterministic, with controls for
+// term size, name pool, polyadicity and which constructors may appear, so a
+// failing seed reproduces exactly.
+package rand
+
+import (
+	"math/rand"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Config controls term generation.
+type Config struct {
+	// Names is the free-name pool (defaults to a, b, c).
+	Names []names.Name
+	// MaxDepth bounds the AST depth (default 4).
+	MaxDepth int
+	// MaxArity bounds prefix polyadicity: payload sizes are drawn from
+	// 0..MaxArity. A negative value forces every prefix to be nullary
+	// (the uniform-arity fragment where Table 8 applies verbatim).
+	MaxArity int
+	// AllowRestriction, AllowMatch, AllowPar, AllowTau gate constructors.
+	AllowRestriction bool
+	AllowMatch       bool
+	AllowPar         bool
+	AllowTau         bool
+	// FiniteOnly suppresses recursion (always true in this generator; kept
+	// for future extension symmetry).
+	FiniteOnly bool
+}
+
+// Default returns a configuration producing small finite terms exercising
+// every finite constructor.
+func Default() Config {
+	return Config{
+		Names:            []names.Name{"a", "b", "c"},
+		MaxDepth:         4,
+		MaxArity:         1,
+		AllowRestriction: true,
+		AllowMatch:       true,
+		AllowPar:         true,
+		AllowTau:         true,
+		FiniteOnly:       true,
+	}
+}
+
+// Gen is a seeded term generator.
+type Gen struct {
+	cfg Config
+	rng *rand.Rand
+	// bound tracks binders introduced so far (usable as subjects/objects).
+	counter int
+}
+
+// New returns a generator with the given seed.
+func New(seed int64, cfg Config) *Gen {
+	if len(cfg.Names) == 0 {
+		cfg.Names = []names.Name{"a", "b", "c"}
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 4
+	}
+	return &Gen{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Term generates one random finite process.
+func (g *Gen) Term() syntax.Proc {
+	return g.term(g.cfg.MaxDepth, g.cfg.Names)
+}
+
+// Pair generates two random terms over the same name pool — raw material for
+// equivalence cross-checks.
+func (g *Gen) Pair() (syntax.Proc, syntax.Proc) {
+	return g.Term(), g.Term()
+}
+
+// Mutate produces a structural variant of p that is often (but not always)
+// behaviourally equivalent: it applies a random sound-or-unsound rewrite.
+// Useful to get a mix of equivalent and inequivalent pairs.
+func (g *Gen) Mutate(p syntax.Proc) syntax.Proc {
+	switch g.rng.Intn(6) {
+	case 0: // sound: add nil summand
+		return syntax.Choice(p, syntax.PNil)
+	case 1: // sound: parallel nil
+		return syntax.Group(p, syntax.PNil)
+	case 2: // sound: duplicate summand
+		return syntax.Choice(p, p)
+	case 3: // sound: wrap in fresh restriction
+		return syntax.Restrict(p, g.freshName())
+	case 4: // unsound-ish: swap two names
+		ns := g.cfg.Names
+		if len(ns) >= 2 {
+			return syntax.Apply(p, names.FromSlices(
+				[]names.Name{ns[0], ns[1]}, []names.Name{ns[1], ns[0]}))
+		}
+		return p
+	default: // unsound-ish: prepend a τ
+		return syntax.TauP(p)
+	}
+}
+
+func (g *Gen) freshName() names.Name {
+	g.counter++
+	return names.Name("r" + names.FreshMarker + itoa(g.counter))
+}
+
+func (g *Gen) pick(pool []names.Name) names.Name {
+	return pool[g.rng.Intn(len(pool))]
+}
+
+func (g *Gen) arity() int {
+	if g.cfg.MaxArity < 0 {
+		return 0
+	}
+	return g.rng.Intn(g.cfg.MaxArity + 1)
+}
+
+// term generates a process of depth ≤ d with the given usable name pool.
+func (g *Gen) term(d int, pool []names.Name) syntax.Proc {
+	if d == 0 || g.rng.Intn(6) == 0 {
+		return syntax.PNil
+	}
+	for {
+		switch g.rng.Intn(8) {
+		case 0, 1: // output prefix
+			k := g.arity()
+			args := make([]names.Name, k)
+			for i := range args {
+				args[i] = g.pick(pool)
+			}
+			return syntax.Send(g.pick(pool), args, g.term(d-1, pool))
+		case 2, 3: // input prefix
+			k := g.arity()
+			params := make([]names.Name, k)
+			inner := pool
+			for i := range params {
+				params[i] = g.freshName()
+				inner = append(inner[:len(inner):len(inner)], params[i])
+			}
+			return syntax.Recv(g.pick(pool), params, g.term(d-1, inner))
+		case 4: // sum
+			return syntax.Choice(g.term(d-1, pool), g.term(d-1, pool))
+		case 5: // par
+			if !g.cfg.AllowPar {
+				continue
+			}
+			return syntax.Group(g.term(d-1, pool), g.term(d-1, pool))
+		case 6: // restriction
+			if !g.cfg.AllowRestriction {
+				continue
+			}
+			x := g.freshName()
+			inner := append(pool[:len(pool):len(pool)], x)
+			return syntax.Restrict(g.term(d-1, inner), x)
+		default:
+			if g.cfg.AllowTau && g.rng.Intn(2) == 0 {
+				return syntax.TauP(g.term(d-1, pool))
+			}
+			if !g.cfg.AllowMatch {
+				continue
+			}
+			return syntax.If(g.pick(pool), g.pick(pool), g.term(d-1, pool), g.term(d-1, pool))
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}

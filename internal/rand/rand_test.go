@@ -1,0 +1,93 @@
+package rand
+
+import (
+	"testing"
+
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+func TestDeterministic(t *testing.T) {
+	g1 := New(42, Default())
+	g2 := New(42, Default())
+	for i := 0; i < 50; i++ {
+		p1, p2 := g1.Term(), g2.Term()
+		if !syntax.Equal(p1, p2) {
+			t.Fatalf("iteration %d: same seed produced %s and %s", i, syntax.String(p1), syntax.String(p2))
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	g1 := New(1, Default())
+	g2 := New(2, Default())
+	same := 0
+	for i := 0; i < 50; i++ {
+		if syntax.Equal(g1.Term(), g2.Term()) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestTermsAreFiniteAndWellFormed(t *testing.T) {
+	g := New(7, Default())
+	sys := semantics.NewSystem(nil)
+	for i := 0; i < 200; i++ {
+		p := g.Term()
+		if !syntax.IsFinite(p) {
+			t.Fatalf("generator emitted non-finite term %s", syntax.String(p))
+		}
+		if _, err := sys.Steps(p); err != nil {
+			t.Fatalf("term %s has broken semantics: %v", syntax.String(p), err)
+		}
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	cfg := Default()
+	cfg.MaxDepth = 3
+	g := New(9, cfg)
+	for i := 0; i < 100; i++ {
+		p := g.Term()
+		if d := astDepth(p); d > 3 {
+			t.Fatalf("depth %d > 3 for %s", d, syntax.String(p))
+		}
+	}
+}
+
+func astDepth(p syntax.Proc) int {
+	switch t := p.(type) {
+	case syntax.Nil, syntax.Call:
+		return 0
+	case syntax.Prefix:
+		return 1 + astDepth(t.Cont)
+	case syntax.Sum:
+		return 1 + max(astDepth(t.L), astDepth(t.R))
+	case syntax.Par:
+		return 1 + max(astDepth(t.L), astDepth(t.R))
+	case syntax.Res:
+		return 1 + astDepth(t.Body)
+	case syntax.Match:
+		return 1 + max(astDepth(t.Then), astDepth(t.Else))
+	case syntax.Rec:
+		return 1 + astDepth(t.Body)
+	}
+	return 0
+}
+
+func TestMutateProducesVariants(t *testing.T) {
+	g := New(11, Default())
+	p := g.Term()
+	distinct := 0
+	for i := 0; i < 20; i++ {
+		if !syntax.Equal(g.Mutate(p), p) {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Fatal("Mutate never changed the term")
+	}
+}

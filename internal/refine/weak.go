@@ -1,0 +1,195 @@
+package refine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bpi/internal/lts"
+)
+
+// weakGraph is the saturated view of an autonomous graph: for every state,
+// the τ*-closure, the weak step successors (→* over autonomous edges,
+// including staying put), and the weak barbs.
+type weakGraph struct {
+	g *lts.Graph
+	// tauClo[i] lists states reachable by τ* from i (sorted, includes i).
+	tauClo [][]int
+	// autoClo[i] lists states reachable by (τ ∪ output)* (sorted, incl. i).
+	autoClo [][]int
+}
+
+func saturate(g *lts.Graph) *weakGraph {
+	n := g.NumStates()
+	w := &weakGraph{g: g, tauClo: g.TauClosure(), autoClo: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{i: true}
+		stack := []int{i}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Edges[s] {
+				if !seen[e.Dst] {
+					seen[e.Dst] = true
+					stack = append(stack, e.Dst)
+				}
+			}
+		}
+		idx := make([]int, 0, len(seen))
+		for s := range seen {
+			idx = append(idx, s)
+		}
+		sort.Ints(idx)
+		w.autoClo[i] = idx
+	}
+	return w
+}
+
+// weakBarbKey renders the weak barbs of state i: the union of strong barbs
+// over the given closure.
+func (w *weakGraph) weakBarbKey(i int, closure [][]int) string {
+	set := map[string]bool{}
+	for _, s := range closure[i] {
+		for _, b := range w.g.Barbs(s).Sorted() {
+			set[string(b)] = true
+		}
+	}
+	parts := make([]string, 0, len(set))
+	for b := range set {
+		parts = append(parts, b)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// WeakStep decides weak step bisimilarity (Definition 5, weak) between the
+// graph's first two roots via fixpoint refinement over the saturated
+// relation: an autonomous move of one state must be answered by a weak
+// autonomous sequence (possibly empty) of the other, with related targets,
+// and weak step barbs must match.
+func WeakStep(g *lts.Graph) (bool, error) {
+	if len(g.Roots) < 2 {
+		return false, fmt.Errorf("refine: need two roots")
+	}
+	if g.Truncated {
+		return false, fmt.Errorf("refine: graph truncated; verdict would be unsound")
+	}
+	w := saturate(g)
+	return weakFixpoint(w, g,
+		func(i int) []int { // strong moves to be matched
+			var out []int
+			for _, e := range g.Edges[i] {
+				out = append(out, e.Dst)
+			}
+			return out
+		},
+		w.autoClo, // weak answers
+		func(i int) string { return w.weakBarbKey(i, w.autoClo) },
+	), nil
+}
+
+// WeakBarbed decides weak barbed bisimilarity (Definition 3, weak): τ moves
+// answered by τ*, and p ↓a implies q ⇓a.
+func WeakBarbed(g *lts.Graph) (bool, error) {
+	if len(g.Roots) < 2 {
+		return false, fmt.Errorf("refine: need two roots")
+	}
+	if g.Truncated {
+		return false, fmt.Errorf("refine: graph truncated; verdict would be unsound")
+	}
+	w := saturate(g)
+	return weakFixpoint(w, g,
+		func(i int) []int {
+			var out []int
+			for _, e := range g.Edges[i] {
+				if e.Act.IsTau() {
+					out = append(out, e.Dst)
+				}
+			}
+			return out
+		},
+		w.tauClo,
+		func(i int) string { return w.weakBarbKey(i, w.tauClo) },
+	), nil
+}
+
+// weakFixpoint computes the greatest symmetric relation R with
+//   - barbCompatible(i) vs barbCompatible(j) (strong barbs of i must be
+//     within the weak barbs of j and vice versa),
+//   - every strong move of i answered by some weak answer of j with related
+//     targets (and symmetrically),
+//
+// and reports whether the two roots are related. Barb compatibility is
+// asymmetric-in-form (strong vs weak) but the relation is kept symmetric.
+func weakFixpoint(w *weakGraph, g *lts.Graph,
+	strongMoves func(int) []int, answers [][]int, weakBarbs func(int) string) bool {
+	n := g.NumStates()
+	// related[i*n+j]
+	rel := make([]bool, n*n)
+	strongB := make([]string, n)
+	weakB := make([]string, n)
+	for i := 0; i < n; i++ {
+		strongB[i] = barbKey(g, i)
+		weakB[i] = weakBarbs(i)
+	}
+	contains := func(weak, strong string) bool {
+		if strong == "" {
+			return true
+		}
+		wset := map[string]bool{}
+		for _, b := range strings.Split(weak, ",") {
+			wset[b] = true
+		}
+		for _, b := range strings.Split(strong, ",") {
+			if !wset[b] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rel[i*n+j] = contains(weakB[j], strongB[i]) && contains(weakB[i], strongB[j])
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !rel[i*n+j] {
+					continue
+				}
+				ok := matchAll(strongMoves(i), answers[j], rel, n, false) &&
+					matchAll(strongMoves(j), answers[i], rel, n, true)
+				if !ok {
+					rel[i*n+j] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return rel[g.Roots[0]*n+g.Roots[1]]
+}
+
+// matchAll: every move target must be related to some answer target.
+func matchAll(moves, answers []int, rel []bool, n int, flipped bool) bool {
+	for _, m := range moves {
+		found := false
+		for _, a := range answers {
+			var r bool
+			if flipped {
+				r = rel[a*n+m]
+			} else {
+				r = rel[m*n+a]
+			}
+			if r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

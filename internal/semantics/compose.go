@@ -1,0 +1,189 @@
+package semantics
+
+import (
+	"sort"
+
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// pairUp rebuilds a parallel composition with the mover on its original
+// side: Par{moved, other} when the mover was the left component.
+func pairUp(moverIsLeft bool, moved, other syntax.Proc) syntax.Proc {
+	if moverIsLeft {
+		return syntax.Par{L: moved, R: other}
+	}
+	return syntax.Par{L: other, R: moved}
+}
+
+// broadcastSide combines each output transition of movers with every way the
+// sibling process sib (whose symbolic transitions are sibTrans) can absorb
+// the broadcast: receiving it (rule 13) or discarding the channel (rule 14).
+func broadcastSide(movers, sibTrans []Trans, sib syntax.Proc, ctx *stepCtx,
+	moverIsLeft bool) ([]Trans, error) {
+	combine := func(moved, other syntax.Proc) syntax.Proc { return pairUp(moverIsLeft, moved, other) }
+	var out []Trans
+	var sibFree names.Set
+	for _, mv := range movers {
+		if !mv.Act.IsOutput() {
+			continue
+		}
+		act, tgt := mv.Act, mv.Target
+		// Rule 13 side condition bn(α) ∩ fn(p2) = ∅: alpha-rename the
+		// extruded names (jointly in label and continuation) away from the
+		// sibling's free names.
+		if len(act.Bound) > 0 {
+			if sibFree == nil {
+				sibFree = syntax.FreeNames(sib)
+			}
+			act, tgt = renameLabelBinders(act, tgt, sibFree)
+		}
+		// Rule 13: the sibling receives the payload.
+		for _, st := range sibTrans {
+			if !st.Act.IsInput() || st.Act.Subj != act.Subj || len(st.Act.Objs) != len(act.Objs) {
+				continue
+			}
+			recv := syntax.Instantiate(st.Target, st.Act.Objs, act.Objs)
+			out = append(out, Trans{act, combine(tgt, recv)})
+		}
+		// Rule 14: the sibling ignores the channel.
+		disc, err := discards(sib, act.Subj, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if disc {
+			out = append(out, Trans{act, combine(tgt, sib)})
+		}
+	}
+	return out, nil
+}
+
+// inputSide produces the composite input transitions in which movers'
+// receptions participate: paired with a reception of the sibling on the same
+// channel at the same arity (rule 12), or alone while the sibling discards
+// (rule 14). To avoid emitting each rule-12 combination twice, only the
+// orientation in which the mover is the left component creates the paired
+// transitions; the discard case is created for both orientations.
+func inputSide(movers, sibTrans []Trans, sib syntax.Proc, ctx *stepCtx,
+	moverIsLeft bool) ([]Trans, error) {
+	combine := func(moved, other syntax.Proc) syntax.Proc { return pairUp(moverIsLeft, moved, other) }
+	leftOriented := moverIsLeft
+	var out []Trans
+	for _, mv := range movers {
+		if !mv.Act.IsInput() {
+			continue
+		}
+		a, params, cont := mv.Act.Subj, mv.Act.Objs, mv.Target
+		// Rule 12: the sibling receives the same message.
+		if leftOriented {
+			for _, st := range sibTrans {
+				if !st.Act.IsInput() || st.Act.Subj != a || len(st.Act.Objs) != len(params) {
+					continue
+				}
+				// Unify the two binder tuples on fresh parameters.
+				avoid := syntax.FreeNames(cont).Union(syntax.FreeNames(st.Target)).
+					AddSlice(params).AddSlice(st.Act.Objs).Add(a)
+				fresh := make([]names.Name, len(params))
+				for i := range params {
+					fresh[i] = syntax.FreshVariant(params[i], avoid)
+					avoid = avoid.Add(fresh[i])
+				}
+				l := syntax.Instantiate(cont, params, fresh)
+				r := syntax.Instantiate(st.Target, st.Act.Objs, fresh)
+				out = append(out, Trans{actions.NewIn(a, fresh), combine(l, r)})
+			}
+		}
+		// Rule 14: the sibling discards the channel. The binder parameters
+		// must not capture free names of the sibling.
+		disc, err := discards(sib, a, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if disc {
+			act, tgt := mv.Act, cont
+			sibFree := syntax.FreeNames(sib)
+			if sibFree.ContainsAny(params) {
+				act, tgt = renameLabelBinders(act, tgt, sibFree)
+			}
+			out = append(out, Trans{act, combine(tgt, sib)})
+		}
+	}
+	return out, nil
+}
+
+// Instantiate grounds a symbolic input transition with the received names:
+// given p --a(x̃)--> cont (symbolic), it returns the early transition
+// p --a(c̃)--> cont[c̃/x̃]. It panics if the transition is not an input or the
+// arity differs (caller bug).
+func Instantiate(t Trans, received []names.Name) (actions.Act, syntax.Proc) {
+	if !t.Act.IsInput() {
+		panic("semantics: Instantiate on non-input transition")
+	}
+	if len(received) != len(t.Act.Objs) {
+		panic("semantics: Instantiate arity mismatch")
+	}
+	return actions.NewIn(t.Act.Subj, received), syntax.Instantiate(t.Target, t.Act.Objs, received)
+}
+
+// dedupe removes transitions that are duplicates up to alpha-equivalence of
+// the (label, target) pair, and returns them in a deterministic order.
+func dedupe(ts []Trans) []Trans {
+	seen := make(map[string]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		k := TransKey(t)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return TransKey(out[i]) < TransKey(out[j]) })
+	return out
+}
+
+// TransKey returns a canonical string for a transition, treating the label's
+// binders (input parameters, extruded output names) as alpha-convertible
+// jointly with the target. Two transitions get the same key iff they are
+// the same transition up to alpha.
+func TransKey(t Trans) string {
+	act, tgt := CanonTrans(t.Act, t.Target)
+	return act.String() + " " + syntax.Key(tgt)
+}
+
+// CanonTrans canonicalises the binders of a label jointly with its target:
+// input parameters and extruded names are renamed to a deterministic
+// sequence of fresh variants that avoid every free name of the label and
+// target (so successive extrusions can never be conflated). The choice
+// depends only on the alpha-class of (label, target), making it suitable for
+// keying and deduplication.
+func CanonTrans(act actions.Act, tgt syntax.Proc) (actions.Act, syntax.Proc) {
+	var binders []names.Name
+	switch act.Kind {
+	case actions.In:
+		binders = act.Objs
+	case actions.Out:
+		binders = act.Bound
+	}
+	if len(binders) == 0 {
+		return act, tgt
+	}
+	// The avoid set must be alpha-invariant (independent of the current
+	// binder names), so subtract the binders before choosing replacements.
+	avoid := syntax.FreeNames(tgt).AddAll(act.Names())
+	for _, b := range binders {
+		avoid.Remove(b)
+	}
+	base := "v"
+	if act.Kind == actions.Out {
+		base = "e"
+	}
+	ren := names.Subst{}
+	for _, b := range binders {
+		nb := syntax.FreshVariant(names.Name(base), avoid)
+		avoid = avoid.Add(nb)
+		ren[b] = nb
+	}
+	return act.RenameAll(ren), syntax.Apply(tgt, ren)
+}

@@ -1,0 +1,173 @@
+package semantics
+
+import (
+	"testing"
+
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Polyadic joint reception: both receivers bind two names from one
+// broadcast, in order.
+func TestPolyadicJointInput(t *testing.T) {
+	p := syntax.Group(
+		syntax.Recv(a, []names.Name{x, y}, syntax.SendN(x, y)),
+		syntax.Recv(a, []names.Name{"u", "v"}, syntax.SendN("v", "u")),
+	)
+	ts := filter(mustSteps(t, p), actions.In, a)
+	if len(ts) != 1 {
+		t.Fatalf("joint polyadic input: %v", ts)
+	}
+	_, tgt := Instantiate(ts[0], []names.Name{b, c})
+	want := syntax.Group(syntax.SendN(b, c), syntax.SendN(c, b))
+	if !syntax.AlphaEqual(tgt, want) {
+		t.Fatalf("instantiated: %v", syntax.String(tgt))
+	}
+}
+
+// Polyadic broadcast delivering two names at once, one of them private
+// (partial extrusion).
+func TestPolyadicPartialExtrusion(t *testing.T) {
+	p := syntax.Group(
+		syntax.Restrict(syntax.Send(a, []names.Name{z, b}, syntax.RecvN(z, "w")), z),
+		syntax.Recv(a, []names.Name{x, y}, syntax.SendN(x, y)),
+	)
+	ts := filter(mustSteps(t, p), actions.Out, a)
+	if len(ts) != 1 {
+		t.Fatalf("transitions: %v", ts)
+	}
+	act := ts[0].Act
+	if len(act.Bound) != 1 || len(act.Objs) != 2 {
+		t.Fatalf("label: %s", act)
+	}
+	fresh := act.Bound[0]
+	if act.Objs[0] != fresh || act.Objs[1] != b {
+		t.Fatalf("payload order mangled: %s", act)
+	}
+	// The receiver now knows the private name and answers on it.
+	after := filter(mustSteps(t, ts[0].Target), actions.Out, fresh)
+	if len(after) != 1 {
+		t.Fatalf("reply on extruded channel: %v", mustSteps(t, ts[0].Target))
+	}
+}
+
+// Mutually recursive environment definitions unfold through Steps.
+func TestMutualRecursionThroughEnv(t *testing.T) {
+	env := syntax.Env{}.
+		Define("Ping", []names.Name{x, y},
+			syntax.Send(x, nil, syntax.Call{Id: "Pong", Args: []names.Name{x, y}})).
+		Define("Pong", []names.Name{x, y},
+			syntax.Send(y, nil, syntax.Call{Id: "Ping", Args: []names.Name{x, y}}))
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(env)
+	cur := syntax.Proc(syntax.Call{Id: "Ping", Args: []names.Name{a, b}})
+	want := []names.Name{a, b, a, b}
+	for i, wch := range want {
+		ts, err := s.Steps(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) != 1 || ts[0].Act.Subj != wch {
+			t.Fatalf("round %d: %v", i, ts)
+		}
+		cur = ts[0].Target
+	}
+}
+
+// A restriction inside one parallel branch scopes extrusion to the siblings
+// only after the broadcast.
+func TestScopeGrowsExactlyToReceivers(t *testing.T) {
+	// (νz āz) ‖ a(x).x̄ ‖ b(y): the z reaches the a-listener; the b-listener
+	// discards and must NOT have z in its continuation.
+	p := syntax.Group(
+		syntax.Restrict(syntax.SendN(a, z), z),
+		syntax.Recv(a, []names.Name{x}, syntax.SendN(x)),
+		syntax.RecvN(b, y),
+	)
+	ts := filter(mustSteps(t, p), actions.Out, a)
+	if len(ts) != 1 {
+		t.Fatalf("transitions: %v", ts)
+	}
+	fresh := ts[0].Act.Bound[0]
+	parts := syntax.ParList(ts[0].Target)
+	if len(parts) != 3 {
+		t.Fatalf("shape: %v", syntax.String(ts[0].Target))
+	}
+	if !syntax.FreeNames(parts[1]).Contains(fresh) {
+		t.Error("receiver did not learn the private name")
+	}
+	if syntax.FreeNames(parts[2]).Contains(fresh) {
+		t.Error("discarding sibling leaked the private name")
+	}
+}
+
+// Restriction blocks of mixed relevance: νx νy (x̄a ‖ b(w)) — x internalises,
+// y is dropped by interning, and the b-listener stays intact.
+func TestNestedRestrictionMixed(t *testing.T) {
+	p := syntax.Restrict(
+		syntax.Group(syntax.SendN(x, a), syntax.RecvN(b, "w")),
+		x, y)
+	ts := mustSteps(t, p)
+	if len(taus(ts)) != 1 {
+		t.Fatalf("internalised output: %v", ts)
+	}
+	ins := filter(ts, actions.In, b)
+	if len(ins) != 1 {
+		t.Fatalf("the b input must survive: %v", ts)
+	}
+}
+
+// Choice between an input and an output under composition: the output side
+// may fire while the sum still offers the input to the environment.
+func TestMixedChoiceUnderComposition(t *testing.T) {
+	mixed := syntax.Choice(
+		syntax.Recv(a, []names.Name{x}, syntax.SendN(x)),
+		syntax.SendN(c),
+	)
+	p := syntax.Group(mixed, syntax.SendN(a, b))
+	ts := mustSteps(t, p)
+	// The sibling's broadcast on a must be received (sum cannot discard a).
+	onA := filter(ts, actions.Out, a)
+	if len(onA) != 1 {
+		t.Fatalf("broadcast on a: %v", ts)
+	}
+	want := syntax.Group(syntax.SendN(b), syntax.PNil)
+	if !syntax.AlphaEqual(onA[0].Target, want) {
+		t.Fatalf("sum did not resolve to the receiving branch: %v", syntax.String(onA[0].Target))
+	}
+	// And the sum's own output resolves the choice the other way.
+	onC := filter(ts, actions.Out, c)
+	if len(onC) != 1 {
+		t.Fatalf("own output: %v", ts)
+	}
+}
+
+// Unfold budget is respected through deep nesting inside compositions.
+func TestUnfoldBudgetInsideComposition(t *testing.T) {
+	s := &System{MaxUnfold: 8}
+	bad := syntax.Rec{Id: "A", Params: nil, Body: syntax.Call{Id: "A"}, Args: nil}
+	p := syntax.Group(syntax.SendN(a), bad)
+	if _, err := s.Steps(p); err == nil {
+		t.Fatal("expected unfold budget error through Par")
+	}
+}
+
+// Alpha-invariance of Steps: transitions of alpha-variants have identical
+// canonical keys.
+func TestStepsAlphaInvariant(t *testing.T) {
+	p1 := syntax.Restrict(syntax.Send(a, []names.Name{z}, syntax.RecvN(z, x)), z)
+	p2 := syntax.Restrict(syntax.Send(a, []names.Name{"q"}, syntax.RecvN("q", "r")), "q")
+	t1 := mustSteps(t, p1)
+	t2 := mustSteps(t, p2)
+	if len(t1) != len(t2) {
+		t.Fatalf("branching differs: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if TransKey(t1[i]) != TransKey(t2[i]) {
+			t.Fatalf("transition %d differs:\n %s\n %s", i, t1[i], t2[i])
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package semantics implements the structural operational semantics of the
+// bπ-calculus: the discard relation of Table 2 and the early labelled
+// transition system of Table 3 (Ene & Muntean 2001).
+//
+// Transitions are produced in *symbolic early* form: an input transition
+// carries the input's binding parameters and an open continuation, and is
+// instantiated on demand (Instantiate) with received names. This is exactly
+// the early semantics — the instantiation points are the rule-(3) instances
+// — presented so that the broadcast composition rules (12–14) can unify the
+// receivers of one message without enumerating name tuples.
+package semantics
+
+import (
+	"fmt"
+
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// Trans is a transition p --α--> target.
+//
+// For input labels (actions.In) the transition is symbolic: Act.Objs are
+// binder parameters and Target is the open continuation; use Instantiate to
+// obtain the ground transition for a given tuple of received names. τ and
+// output transitions are ground.
+type Trans struct {
+	Act    actions.Act
+	Target syntax.Proc
+}
+
+// String renders "--α--> p".
+func (t Trans) String() string {
+	return fmt.Sprintf("--%s--> %s", t.Act, syntax.String(t.Target))
+}
+
+// System fixes the semantic context: a definitions environment and guard
+// budgets. The zero value is usable (empty environment, default budget).
+type System struct {
+	// Env resolves process identifier calls.
+	Env syntax.Env
+	// MaxUnfold bounds the number of rec/call unfoldings performed while
+	// computing the transitions of a single term, protecting against
+	// unguarded recursion (0 means the default of 10000).
+	MaxUnfold int
+}
+
+// NewSystem returns a System over the given definitions environment.
+func NewSystem(env syntax.Env) *System { return &System{Env: env} }
+
+// ErrUnfoldBudget is reported when computing one step required more
+// recursion unfoldings than MaxUnfold — the symptom of an unguarded
+// recursion.
+type ErrUnfoldBudget struct{ Limit int }
+
+func (e ErrUnfoldBudget) Error() string {
+	return fmt.Sprintf("semantics: unfold budget %d exhausted (unguarded recursion?)", e.Limit)
+}
+
+type stepCtx struct {
+	sys     *System
+	unfolds int
+}
+
+func (c *stepCtx) spendUnfold() error {
+	limit := c.sys.MaxUnfold
+	if limit == 0 {
+		limit = 10000
+	}
+	c.unfolds++
+	if c.unfolds > limit {
+		return ErrUnfoldBudget{limit}
+	}
+	return nil
+}
+
+// Steps returns the symbolic transitions of p (rules 1–14 of Table 3),
+// deduplicated up to alpha-equivalence of (label, target).
+func (s *System) Steps(p syntax.Proc) ([]Trans, error) {
+	ctx := &stepCtx{sys: s}
+	ts, err := steps(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return dedupe(ts), nil
+}
+
+// Discards implements the discard relation of Table 2: p -a↛, "p ignores
+// any broadcast on a".
+func (s *System) Discards(p syntax.Proc, a names.Name) (bool, error) {
+	ctx := &stepCtx{sys: s}
+	return discards(p, a, ctx)
+}
+
+func discards(p syntax.Proc, a names.Name, ctx *stepCtx) (bool, error) {
+	switch t := p.(type) {
+	case syntax.Nil:
+		return true, nil // rule (1)
+	case syntax.Prefix:
+		switch pre := t.Pre.(type) {
+		case syntax.Tau:
+			return true, nil // rule (2)
+		case syntax.Out:
+			return true, nil // rule (3)
+		case syntax.In:
+			return pre.Ch != a, nil // rule (4)
+		}
+		panic("semantics: unknown prefix")
+	case syntax.Res:
+		if t.X == a {
+			return true, nil // rule (5), x = a case: the outer a is not the local x
+		}
+		return discards(t.Body, a, ctx) // rule (5)
+	case syntax.Sum:
+		l, err := discards(t.L, a, ctx)
+		if err != nil || !l {
+			return false, err
+		}
+		return discards(t.R, a, ctx) // rule (6)
+	case syntax.Match:
+		if t.X == t.Y {
+			return discards(t.Then, a, ctx) // rule (7)
+		}
+		return discards(t.Else, a, ctx) // rule (8)
+	case syntax.Par:
+		l, err := discards(t.L, a, ctx)
+		if err != nil || !l {
+			return false, err
+		}
+		return discards(t.R, a, ctx) // rule (9)
+	case syntax.Rec:
+		if err := ctx.spendUnfold(); err != nil {
+			return false, err
+		}
+		return discards(syntax.Unfold(t), a, ctx) // rule (10)
+	case syntax.Call:
+		if err := ctx.spendUnfold(); err != nil {
+			return false, err
+		}
+		q, err := ctx.sys.Env.Expand(t)
+		if err != nil {
+			return false, err
+		}
+		return discards(q, a, ctx)
+	default:
+		panic("semantics: unknown process node")
+	}
+}
+
+func steps(p syntax.Proc, ctx *stepCtx) ([]Trans, error) {
+	switch t := p.(type) {
+	case syntax.Nil:
+		return nil, nil
+	case syntax.Prefix:
+		switch pre := t.Pre.(type) {
+		case syntax.Tau: // rule (2)
+			return []Trans{{actions.NewTau(), t.Cont}}, nil
+		case syntax.Out: // rule (4)
+			return []Trans{{actions.NewOut(pre.Ch, pre.Args), t.Cont}}, nil
+		case syntax.In: // rule (3), symbolic early form
+			return []Trans{{actions.NewIn(pre.Ch, pre.Params), t.Cont}}, nil
+		}
+		panic("semantics: unknown prefix")
+	case syntax.Sum: // rule (8)
+		l, err := steps(t.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := steps(t.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	case syntax.Match: // rules (9), (10)
+		if t.X == t.Y {
+			return steps(t.Then, ctx)
+		}
+		return steps(t.Else, ctx)
+	case syntax.Rec: // rule (11)
+		if err := ctx.spendUnfold(); err != nil {
+			return nil, err
+		}
+		return steps(syntax.Unfold(t), ctx)
+	case syntax.Call:
+		if err := ctx.spendUnfold(); err != nil {
+			return nil, err
+		}
+		q, err := ctx.sys.Env.Expand(t)
+		if err != nil {
+			return nil, err
+		}
+		return steps(q, ctx)
+	case syntax.Res:
+		return stepsRes(t, ctx)
+	case syntax.Par:
+		return stepsPar(t, ctx)
+	default:
+		panic("semantics: unknown process node")
+	}
+}
+
+// stepsRes implements rules (5), (6), (7) for νx p.
+func stepsRes(r syntax.Res, ctx *stepCtx) ([]Trans, error) {
+	inner, err := steps(r.Body, ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []Trans
+	for _, tr := range inner {
+		act, tgt := tr.Act, tr.Target
+		// Textual collisions between the restricted name and the label's
+		// binders (extruded names of outputs, parameters of inputs) mean
+		// shadowing, not identity: alpha-rename the label's binders away.
+		if collides(r.X, act) {
+			act, tgt = renameLabelBinders(act, tgt, names.NewSet(r.X))
+		}
+		switch act.Kind {
+		case actions.Tau: // rule (7)
+			out = append(out, Trans{act, syntax.Res{X: r.X, Body: tgt}})
+		case actions.In:
+			if act.Subj == r.X {
+				continue // nobody outside can broadcast on the private channel
+			}
+			// rule (7): the received names are instantiated outside the
+			// scope of x, so x stays restricted around the continuation.
+			out = append(out, Trans{act, syntax.Res{X: r.X, Body: tgt}})
+		case actions.Out:
+			if act.Subj == r.X {
+				// rule (6): output on the private channel is internalised;
+				// the extruded names stay bound around the continuation.
+				tgt2 := syntax.Restrict(tgt, act.Bound...)
+				out = append(out, Trans{actions.NewTau(), syntax.Res{X: r.X, Body: tgt2}})
+				continue
+			}
+			if freePosition(act, r.X) {
+				// rule (5): scope extrusion; x becomes a bound name of the label.
+				na := act
+				na.Bound = append(append([]names.Name{}, act.Bound...), r.X)
+				out = append(out, Trans{na, tgt})
+				continue
+			}
+			// rule (7): x not mentioned by the label.
+			out = append(out, Trans{act, syntax.Res{X: r.X, Body: tgt}})
+		}
+	}
+	return out, nil
+}
+
+// collides reports whether x clashes with the binders of the label (bound
+// output names or input parameters).
+func collides(x names.Name, act actions.Act) bool {
+	switch act.Kind {
+	case actions.Out:
+		for _, b := range act.Bound {
+			if b == x {
+				return true
+			}
+		}
+	case actions.In:
+		for _, b := range act.Objs {
+			if b == x {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// freePosition reports whether x occurs among the label's free objects
+// (x ∈ x̃ \ ỹ for νỹ āx̃).
+func freePosition(act actions.Act, x names.Name) bool {
+	bound := act.BoundSet()
+	for _, o := range act.Objs {
+		if o == x && !bound.Contains(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// renameLabelBinders alpha-renames the label's binders (output extrusions or
+// input parameters) jointly in label and target so that they avoid the given
+// set (plus everything already in sight).
+func renameLabelBinders(act actions.Act, tgt syntax.Proc, avoidExtra names.Set) (actions.Act, syntax.Proc) {
+	var binders []names.Name
+	switch act.Kind {
+	case actions.Out:
+		binders = act.Bound
+	case actions.In:
+		binders = act.Objs
+	default:
+		return act, tgt
+	}
+	avoid := syntax.FreeNames(tgt).Union(avoidExtra).AddAll(act.Names())
+	ren := names.Subst{}
+	for _, b := range binders {
+		if avoidExtra.Contains(b) {
+			nb := syntax.FreshVariant(b, avoid)
+			avoid = avoid.Add(nb)
+			ren[b] = nb
+		}
+	}
+	if ren.IsIdentity() {
+		return act, tgt
+	}
+	return act.RenameAll(ren), syntax.Apply(tgt, ren)
+}
+
+// stepsPar implements the broadcast composition rules (12), (13), (14).
+func stepsPar(pp syntax.Par, ctx *stepCtx) ([]Trans, error) {
+	ls, err := steps(pp.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := steps(pp.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []Trans
+	// τ moves: everything discards τ (rule (14) with sub(τ)=τ).
+	for _, tl := range ls {
+		if tl.Act.IsTau() {
+			out = append(out, Trans{tl.Act, syntax.Par{L: tl.Target, R: pp.R}})
+		}
+	}
+	for _, tr := range rs {
+		if tr.Act.IsTau() {
+			out = append(out, Trans{tr.Act, syntax.Par{L: pp.L, R: tr.Target}})
+		}
+	}
+	// Outputs from the left, heard or discarded by the right (13)/(14).
+	o1, err := broadcastSide(ls, rs, pp.R, ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, o1...)
+	// Outputs from the right (symmetric).
+	o2, err := broadcastSide(rs, ls, pp.L, ctx, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, o2...)
+	// Inputs: both receive (12), or one receives and the other discards (14).
+	i1, err := inputSide(ls, rs, pp.R, ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, i1...)
+	i2, err := inputSide(rs, ls, pp.L, ctx, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, i2...)
+	return out, nil
+}

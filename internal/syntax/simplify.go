@@ -1,0 +1,163 @@
+package syntax
+
+import (
+	"sort"
+
+	"bpi/internal/names"
+)
+
+// Simplify rewrites p with laws that preserve its strong labelled
+// bisimilarity class, its one-step transition structure (up to duplicate
+// transitions) and its discard relation:
+//
+//	p + nil = p, p + p = p, commutativity/associativity of +   (S1–S4)
+//	p ‖ nil = p, commutativity/associativity of ‖              (P1 + expansion)
+//	(x=x)p,q = p                                                (C5 family)
+//	(x=y)p,q = q for distinct x,y that can never be identified  (see below)
+//	νx p = p when x ∉ fn(p)                                     (R1)
+//	νx νy p = νy νx p (ordered canonically)                     (R2)
+//
+// It is used to intern states during LTS exploration and equivalence
+// checking, shrinking the state space without affecting any verdict.
+//
+// Match elimination soundness: (x=y)p,q with x ≠ y may only be rewritten to
+// q when the inequality is stable under the *semantics*, i.e. neither name
+// can later be instantiated: input parameters and rec parameters in scope
+// can be filled with arbitrary received names, so matches mentioning them
+// are kept. Names that are free in the whole term, or ν-bound, are never
+// identified by the transition rules (extrusion keeps bound names fresh via
+// alpha-conversion), so those matches are decided now — the rewrite mirrors
+// SOS rules (9)/(10) and Table 2 rules (7)/(8) exactly, which is why both
+// the transitions and the discards of the term are unchanged.
+//
+// CAUTION: stable-match elimination is NOT sound under substitution
+// contexts — a later fusion σ with σ(x)=σ(y) would have taken the then
+// branch. Every checker that closes over substitutions (~c / ≈c) therefore
+// applies σ to the original term *before* any simplification; Simplify
+// must never be applied to a term that will still be substituted into.
+func Simplify(p Proc) Proc {
+	return simplify(p, nil)
+}
+
+// simplify carries the set of instantiable binders currently in scope
+// (input parameters and rec parameters).
+func simplify(p Proc, inst names.Set) Proc {
+	switch t := p.(type) {
+	case Nil, Call:
+		return p
+	case Prefix:
+		if in, ok := t.Pre.(In); ok {
+			inner := extend(inst, in.Params)
+			return Prefix{t.Pre, simplify(t.Cont, inner)}
+		}
+		return Prefix{t.Pre, simplify(t.Cont, inst)}
+	case Sum:
+		parts := collectSum(p)
+		for i := range parts {
+			parts[i] = simplify(parts[i], inst)
+		}
+		parts = dedupeDropNil(parts)
+		sortByKey(parts)
+		return Choice(parts...)
+	case Par:
+		parts := collectPar(p)
+		out := parts[:0]
+		for _, q := range parts {
+			q = simplify(q, inst)
+			if _, isNil := q.(Nil); isNil {
+				continue
+			}
+			out = append(out, q)
+		}
+		sortByKey(out)
+		return Group(out...)
+	case Res:
+		body := simplify(t.Body, inst)
+		if !FreeNames(body).Contains(t.X) {
+			return body
+		}
+		return sortRes(Res{t.X, body})
+	case Match:
+		if t.X == t.Y {
+			return simplify(t.Then, inst)
+		}
+		if !inst.Contains(t.X) && !inst.Contains(t.Y) {
+			return simplify(t.Else, inst)
+		}
+		return Match{t.X, t.Y, simplify(t.Then, inst), simplify(t.Else, inst)}
+	case Rec:
+		return p // unfolding (and thus simplification of unfoldings) is the semantics' job
+	default:
+		panic("syntax: unknown process node")
+	}
+}
+
+func collectSum(p Proc) []Proc {
+	if s, ok := p.(Sum); ok {
+		return append(collectSum(s.L), collectSum(s.R)...)
+	}
+	return []Proc{p}
+}
+
+func collectPar(p Proc) []Proc {
+	if s, ok := p.(Par); ok {
+		return append(collectPar(s.L), collectPar(s.R)...)
+	}
+	return []Proc{p}
+}
+
+// dedupeDropNil removes nil summands and duplicate (alpha-equal) summands.
+func dedupeDropNil(ps []Proc) []Proc {
+	seen := map[string]bool{}
+	out := ps[:0]
+	for _, q := range ps {
+		if _, isNil := q.(Nil); isNil {
+			continue
+		}
+		k := Key(q)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+func sortByKey(ps []Proc) {
+	sort.SliceStable(ps, func(i, j int) bool { return Key(ps[i]) < Key(ps[j]) })
+}
+
+// sortRes canonically orders a maximal block νx1 … νxn so that commuting
+// restrictions (law R2 / Lemma 6(i)) yields one representative. Reordering
+// is skipped when binder names repeat (shadowing would change capture).
+func sortRes(r Res) Proc {
+	var xs []Name
+	var body Proc = r
+	for {
+		rr, ok := body.(Res)
+		if !ok {
+			break
+		}
+		xs = append(xs, rr.X)
+		body = rr.Body
+	}
+	if len(xs) < 2 {
+		return r
+	}
+	seen := map[Name]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			return r
+		}
+		seen[x] = true
+	}
+	orig := append([]Name(nil), xs...)
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for i := range xs {
+		if xs[i] != orig[i] {
+			return Restrict(body, xs...)
+		}
+	}
+	return r
+}

@@ -1,0 +1,98 @@
+package syntax
+
+import (
+	"fmt"
+	"sort"
+
+	"bpi/internal/names"
+)
+
+// SortIssue reports a channel used at conflicting arities. In the polyadic
+// calculus a listener at the wrong arity can neither receive nor discard a
+// broadcast (rules 4 and 12–14 only fire on matching tuples), silently
+// blocking the sender — almost always a modelling mistake.
+type SortIssue struct {
+	Channel names.Name
+	Arities []int
+}
+
+func (s SortIssue) String() string {
+	return fmt.Sprintf("channel %s used at arities %v", s.Channel, s.Arities)
+}
+
+// CheckSorts infers the arity at which every literal channel name is used
+// (as a prefix subject) across p and the bodies of env, and reports channels
+// used at more than one arity. Names received at runtime cannot be tracked
+// and are ignored, so this is a conservative lint: no issue does not prove
+// well-sortedness, but every reported issue is a genuine conflict between
+// syntactic occurrences.
+func CheckSorts(p Proc, env Env) []SortIssue {
+	use := map[names.Name]map[int]bool{}
+	record := func(ch names.Name, arity int) {
+		if use[ch] == nil {
+			use[ch] = map[int]bool{}
+		}
+		use[ch][arity] = true
+	}
+	var walk func(q Proc, bound names.Set)
+	walk = func(q Proc, bound names.Set) {
+		switch t := q.(type) {
+		case Nil, Call:
+		case Prefix:
+			switch pre := t.Pre.(type) {
+			case Tau:
+			case Out:
+				if !bound.Contains(pre.Ch) {
+					record(pre.Ch, len(pre.Args))
+				}
+			case In:
+				if !bound.Contains(pre.Ch) {
+					record(pre.Ch, len(pre.Params))
+				}
+			}
+			inner := bound
+			if in, ok := t.Pre.(In); ok {
+				inner = extend(bound, in.Params)
+			}
+			walk(t.Cont, inner)
+		case Sum:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case Par:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case Res:
+			// A restricted channel is still sort-checked: the conflict is
+			// just as fatal inside the scope. Track it under its own name
+			// (shadowing may conflate distinct binders; conservative lint).
+			walk(t.Body, bound)
+		case Match:
+			walk(t.Then, bound)
+			walk(t.Else, bound)
+		case Rec:
+			walk(t.Body, extend(bound, t.Params))
+		}
+	}
+	walk(p, nil)
+	for _, id := range env.Idents() {
+		d, _ := env.Lookup(id)
+		walk(d.Body, names.NewSet(d.Params...))
+	}
+	var out []SortIssue
+	chans := make([]names.Name, 0, len(use))
+	for ch := range use {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	for _, ch := range chans {
+		if len(use[ch]) > 1 {
+			ar := make([]int, 0, len(use[ch]))
+			for a := range use[ch] {
+				ar = append(ar, a)
+			}
+			sort.Ints(ar)
+			out = append(out, SortIssue{ch, ar})
+		}
+	}
+	return out
+}
