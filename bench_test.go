@@ -9,6 +9,9 @@ package bpi_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"bpi/internal/axioms"
@@ -458,6 +461,66 @@ func BenchmarkE19_Refinement(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEquivParallel measures a batch of labelled-bisimilarity queries
+// against one shared term store: the sequential baseline (workers=1,
+// single-goroutine) versus fan-out across goroutines sharing one parallel
+// checker. At GOMAXPROCS>1 the fan-out variants should show wall-clock
+// speedup; at GOMAXPROCS=1 they must not regress beyond scheduling noise.
+func BenchmarkEquivParallel(b *testing.B) {
+	cfg := brand.Default()
+	cfg.MaxDepth = 3
+	g := brand.New(12345, cfg)
+	pairs := make([][2]syntax.Proc, 24)
+	for i := range pairs {
+		p := g.Term()
+		pairs[i] = [2]syntax.Proc{p, g.Mutate(p)}
+	}
+	queries := func(b *testing.B, ch *equiv.Checker, fanout int) {
+		if fanout <= 1 {
+			for _, pr := range pairs {
+				if _, err := ch.Labelled(pr[0], pr[1], false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < fanout; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(pairs) {
+						return
+					}
+					if _, err := ch.Labelled(pairs[j][0], pairs[j][1], false); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ch := equiv.NewParallelChecker(nil, w)
+				if w == 1 {
+					ch = equiv.NewChecker(nil)
+				}
+				queries(b, ch, w)
+			}
+		})
+	}
 }
 
 // BenchmarkNormalForm measures the syntactic §5.2 normalisation.

@@ -4,15 +4,24 @@
 // paper-claim vs measured-result table. EXPERIMENTS.md is produced from this
 // output.
 //
-// Usage: bpibench [-run regexp-free-substring] [-v]
+// The suite is first run sequentially (the per-experiment timings in the
+// table come from this run), then — unless -parallel=false — re-run with
+// independent experiments fanned out over a worker pool and equivalence
+// checkers in parallel-engine mode, so the footer reports both wall-clocks.
+//
+// Usage: bpibench [-run regexp-free-substring] [-v] [-parallel] [-workers n]
+// [-json file]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bpi/internal/axioms"
@@ -39,36 +48,158 @@ type experiment struct {
 	run   func() (measured string, ok bool, err error)
 }
 
+// newChecker builds the equivalence checker experiments use. The parallel
+// re-run swaps in shared-store parallel checkers (set once, before any
+// concurrent experiment starts).
+var newChecker = func() *equiv.Checker { return equiv.NewChecker(nil) }
+
+type outcome struct {
+	status   string
+	measured string
+	dur      time.Duration
+}
+
+func (o outcome) failed() bool { return o.status != "PASS" }
+
+func runOne(e experiment) outcome {
+	start := time.Now()
+	measured, ok, err := e.run()
+	dur := time.Since(start).Round(time.Millisecond)
+	status := "PASS"
+	if err != nil {
+		status, measured = "ERROR", err.Error()
+	} else if !ok {
+		status = "FAIL"
+	}
+	return outcome{status, measured, dur}
+}
+
+// runSuite executes the experiments with the given fan-out and returns the
+// per-experiment outcomes (in suite order) plus the total wall-clock.
+func runSuite(exps []experiment, workers int) ([]outcome, time.Duration) {
+	start := time.Now()
+	outs := make([]outcome, len(exps))
+	if workers <= 1 {
+		for i, e := range exps {
+			outs[i] = runOne(e)
+		}
+		return outs, time.Since(start)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				outs[i] = runOne(exps[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return outs, time.Since(start)
+}
+
+type expJSON struct {
+	ID       string  `json:"id"`
+	Item     string  `json:"item"`
+	Status   string  `json:"status"`
+	Measured string  `json:"measured"`
+	MS       float64 `json:"ms"`
+}
+
+type benchJSON struct {
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	Workers      int       `json:"workers"`
+	SequentialMS float64   `json:"sequential_ms"`
+	ParallelMS   float64   `json:"parallel_ms,omitempty"`
+	Speedup      float64   `json:"speedup,omitempty"`
+	Experiments  []expJSON `json:"experiments"`
+}
+
 func main() {
 	filter := flag.String("run", "", "only run experiments whose id contains this substring")
 	verbose := flag.Bool("v", false, "verbose")
+	parallel := flag.Bool("parallel", true, "after the sequential run, re-run the suite with experiments and pair queries fanned out concurrently")
+	workers := flag.Int("workers", 0, "parallel fan-out width (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_equiv.json style) to this file")
 	flag.Parse()
 	_ = verbose
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	exps := suite()
+	if *filter != "" {
+		kept := exps[:0]
+		for _, e := range exps {
+			if strings.Contains(e.id, *filter) {
+				kept = append(kept, e)
+			}
+		}
+		exps = kept
+	}
+
 	fmt.Printf("bπ-calculus reproduction suite — %d experiments (GOMAXPROCS=%d)\n\n",
 		len(exps), runtime.GOMAXPROCS(0))
 	fmt.Printf("%-4s %-26s %-8s %-9s %s\n", "ID", "Paper item", "Status", "Time", "Measured")
 	fmt.Println(strings.Repeat("-", 110))
+	seq, seqWall := runSuite(exps, 1)
 	failures := 0
-	for _, e := range exps {
-		if *filter != "" && !strings.Contains(e.id, *filter) {
-			continue
-		}
-		start := time.Now()
-		measured, ok, err := e.run()
-		dur := time.Since(start).Round(time.Millisecond)
-		status := "PASS"
-		if err != nil {
-			status, measured = "ERROR", err.Error()
-			failures++
-		} else if !ok {
-			status = "FAIL"
+	for i, e := range exps {
+		o := seq[i]
+		if o.failed() {
 			failures++
 		}
-		fmt.Printf("%-4s %-26s %-8s %-9s %s\n", e.id, e.item, status, dur, measured)
+		fmt.Printf("%-4s %-26s %-8s %-9s %s\n", e.id, e.item, o.status, o.dur, o.measured)
 	}
 	fmt.Println(strings.Repeat("-", 110))
+
+	report := benchJSON{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: *workers,
+		SequentialMS: float64(seqWall.Microseconds()) / 1000}
+	for i, e := range exps {
+		report.Experiments = append(report.Experiments, expJSON{
+			ID: e.id, Item: e.item, Status: seq[i].status, Measured: seq[i].measured,
+			MS: float64(seq[i].dur.Microseconds()) / 1000,
+		})
+	}
+
+	if *parallel {
+		newChecker = func() *equiv.Checker { return equiv.NewParallelChecker(nil, 0) }
+		par, parWall := runSuite(exps, *workers)
+		for i, e := range exps {
+			if par[i].failed() && !seq[i].failed() {
+				failures++
+				fmt.Printf("parallel re-run diverged on %s: %s %s\n", e.id, par[i].status, par[i].measured)
+			}
+		}
+		speedup := float64(seqWall) / float64(parWall)
+		report.ParallelMS = float64(parWall.Microseconds()) / 1000
+		report.Speedup = speedup
+		fmt.Printf("wall-clock: sequential %s, parallel %s (%d workers, %.1fx speedup)\n",
+			seqWall.Round(time.Millisecond), parWall.Round(time.Millisecond), *workers, speedup)
+	} else {
+		fmt.Printf("wall-clock: sequential %s (parallel re-run disabled)\n", seqWall.Round(time.Millisecond))
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpibench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+
 	if failures > 0 {
 		fmt.Printf("%d experiment(s) failed\n", failures)
 		os.Exit(1)
@@ -124,7 +255,7 @@ func e19() experiment {
 		cfg := brand.Default()
 		cfg.MaxDepth = 3
 		g := brand.New(808, cfg)
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		sys := semantics.NewSystem(nil)
 		agree := 0
 		for i := 0; i < 25; i++ {
@@ -163,7 +294,7 @@ func e19() experiment {
 // and the τ-law separates ≈ from ≈c.
 func e16() experiment {
 	return experiment{"E16", "Theorems 4-5 (weak)", "≈c preserved by contexts; τ.p ≈ p but ≉c", func() (string, bool, error) {
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		p := syntax.TauP(syntax.SendN("c"))
 		q := syntax.SendN("c")
 		w, err := ch.Labelled(p, q, true)
@@ -214,7 +345,7 @@ func e17() experiment {
 		q := syntax.Choice(
 			syntax.Send("a", nil, syntax.SendN("b")),
 			syntax.Send("a", nil, syntax.SendN("c")))
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		res, err := ch.Labelled(p, q, true)
 		if err != nil {
 			return "", false, err
@@ -295,7 +426,7 @@ func e2() experiment {
 // E3: the counterexamples of Remarks 1–4.
 func e3() experiment {
 	return experiment{"E3", "Remarks 1-4", "all claimed (in)equivalences hold", func() (string, bool, error) {
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		pass := 0
 		for _, w := range papers.Witnesses() {
 			l, err := ch.Labelled(w.P, w.Q, false)
@@ -330,7 +461,7 @@ func e3() experiment {
 // E4: the structural laws of Lemmas 2/4/6.
 func e4() experiment {
 	return experiment{"E4", "Lemmas 2, 4, 6 (a-l)", "the 11 structural laws hold for ~b, ~φ and ~", func() (string, bool, error) {
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		p := syntax.Send("a", []names.Name{"b"}, syntax.RecvN("c", "x"))
 		q := syntax.TauP(syntax.SendN("b"))
 		laws := [][2]syntax.Proc{
@@ -366,7 +497,7 @@ func e4() experiment {
 // E5: preservation by parallel composition (Lemmas 3/9).
 func e5() experiment {
 	return experiment{"E5", "Lemmas 3 and 9", "~ and ~b preserved by parallel contexts", func() (string, bool, error) {
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		pa, pb := syntax.RecvN("a"), syntax.RecvN("b")
 		ctxs := []syntax.Proc{
 			syntax.SendN("c"),
@@ -399,7 +530,7 @@ func e7() experiment {
 		cfg := brand.Default()
 		cfg.MaxDepth = 3
 		g := brand.New(12345, cfg)
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		related := 0
 		for i := 0; i < 40; i++ {
 			p := g.Term()
@@ -431,7 +562,7 @@ func e7() experiment {
 // E8: soundness of the axiom catalogue.
 func e8() experiment {
 	return experiment{"E8", "Theorem 6 (+Tables 6-8)", "every axiom instance is ~c-sound", func() (string, bool, error) {
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		cfg := brand.Default()
 		cfg.MaxDepth = 2
 		cfg.Names = []names.Name{"a", "b"}
@@ -461,7 +592,7 @@ func e8() experiment {
 // E9: completeness — prover agreement with the semantic ~c.
 func e9() experiment {
 	return experiment{"E9", "Theorem 7", "A ⊢ p=q iff p ~c q on sampled finite pairs", func() (string, bool, error) {
-		ch := equiv.NewChecker(nil)
+		ch := newChecker()
 		pr := axioms.NewProver(nil)
 		cfg := brand.Default()
 		cfg.MaxDepth = 3

@@ -23,26 +23,43 @@ func (c *Checker) Step(p, q syntax.Proc, weak bool) (Result, error) {
 	return c.memoRun(p, q, spec{relStep, weak})
 }
 
+// verdictKey identifies a cached verdict: the relation plus the store IDs of
+// the canonical pair (IDs are stable for the lifetime of the store).
+type verdictKey struct {
+	sp   spec
+	p, q uint64
+}
+
 // memoRun caches verdicts per (spec, canonical pair): every pair surviving a
 // completed greatest fixpoint is in the bisimilarity, every discarded pair
-// is not, so whole runs can be reused across queries.
+// is not, so whole runs can be reused across queries. The cache is guarded
+// by a mutex; concurrent identical queries may both run the engine, but the
+// engine is deterministic so they store the same verdict.
 func (c *Checker) memoRun(p, q syntax.Proc, sp spec) (Result, error) {
-	if c.verdicts == nil {
-		c.verdicts = map[string]bool{}
+	pi, err := c.intern(p)
+	if err != nil {
+		return Result{}, err
 	}
-	pk := syntax.Key(syntax.Simplify(p))
-	qk := syntax.Key(syntax.Simplify(q))
-	key := sp.String() + "\x00" + pairKey(pk, qk)
-	if v, ok := c.verdicts[key]; ok {
+	qi, err := c.intern(q)
+	if err != nil {
+		return Result{}, err
+	}
+	key := verdictKey{sp, pi.id, qi.id}
+	c.mu.Lock()
+	v, ok := c.verdicts[key]
+	c.mu.Unlock()
+	if ok {
 		return Result{Related: v, Pairs: 0, Reason: cachedReason(v)}, nil
 	}
-	res, err := c.run(p, q, sp)
+	res, err := c.run(pi, qi, sp)
 	if err != nil {
 		return res, err
 	}
+	c.mu.Lock()
 	c.verdicts[key] = res.Related
 	// Symmetric closure: all the paper's relations are symmetric.
-	c.verdicts[sp.String()+"\x00"+pairKey(qk, pk)] = res.Related
+	c.verdicts[verdictKey{sp, qi.id, pi.id}] = res.Related
+	c.mu.Unlock()
 	return res, nil
 }
 

@@ -13,10 +13,31 @@
 // them; this is the standard finite-universe argument for early
 // bisimulation, sound because bisimilarity is closed under injective
 // renamings (Lemma 18 of the paper).
+//
+// # Concurrency
+//
+// All memoised semantic data (transitions, discards, τ- and autonomous
+// closures) lives in a sharded Store that interns terms to dense uint64 IDs
+// and is safe for concurrent use; a Checker is a thin view over one store
+// plus a verdict cache, and may itself be shared across goroutines. Stores
+// can also be shared across several Checkers (NewCheckerWithStore) so
+// independent queries reuse each other's derivations.
+//
+// The fixpoint engine optionally parallelises obligation construction over
+// the pair frontier (the Workers option / NewParallelChecker): each BFS wave
+// is built by a bounded worker pool, then merged in submission order, so
+// node numbering, explored-pair counts and verdicts are identical to the
+// sequential run — determinism is by construction, not by luck. The
+// greatest-fixpoint sweep itself is a reverse-dependency worklist and is
+// O(edges) regardless of worker count. Prefer sequential mode (Workers ≤ 1,
+// the default) for small one-shot queries where goroutine fan-out costs more
+// than it saves; prefer a shared parallel Checker for batches of queries or
+// large pair spaces.
 package equiv
 
 import (
-	"sort"
+	"runtime"
+	"sync"
 
 	"bpi/internal/names"
 	"bpi/internal/semantics"
@@ -24,27 +45,54 @@ import (
 )
 
 // Checker decides equivalences against a fixed semantic system. It memoises
-// term data and verdicts across queries and is therefore NOT safe for
-// concurrent use; create one Checker per goroutine.
+// term data (in its Store) and verdicts across queries. A Checker is safe
+// for concurrent use; the exported budget/worker fields must be set before
+// the first query and not mutated afterwards.
 type Checker struct {
 	Sys *semantics.System
 	// MaxPairs bounds the number of explored pairs per query (default 20000).
 	MaxPairs int
 	// MaxClosure bounds the size of a τ-closure (default 2048).
 	MaxClosure int
+	// Workers sets the engine's obligation-construction parallelism:
+	// values ≤ 1 build the pair frontier sequentially, larger values use a
+	// bounded worker pool of that size. Verdicts and explored-pair counts
+	// are identical either way.
+	Workers int
 
-	terms    map[string]*termInfo
-	verdicts map[string]bool
+	store *Store
+
+	mu       sync.Mutex
+	verdicts map[verdictKey]bool
 }
 
-// NewChecker returns a Checker over the given system (nil means the empty
-// definitions environment).
+// NewChecker returns a sequential Checker over the given system (nil means
+// the empty definitions environment).
 func NewChecker(sys *semantics.System) *Checker {
-	if sys == nil {
-		sys = semantics.NewSystem(nil)
-	}
-	return &Checker{Sys: sys, terms: map[string]*termInfo{}}
+	return NewCheckerWithStore(NewStore(sys))
 }
+
+// NewParallelChecker returns a Checker whose engine builds pair frontiers
+// with `workers` goroutines (≤ 0 means GOMAXPROCS). The checker and its
+// store may be shared freely across goroutines.
+func NewParallelChecker(sys *semantics.System, workers int) *Checker {
+	c := NewChecker(sys)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c.Workers = workers
+	return c
+}
+
+// NewCheckerWithStore returns a Checker sharing an existing term store (and
+// its semantic system), so memoised transitions and closures are reused
+// across checkers.
+func NewCheckerWithStore(store *Store) *Checker {
+	return &Checker{Sys: store.System(), store: store, verdicts: map[verdictKey]bool{}}
+}
+
+// Store returns the checker's term store, for sharing with other checkers.
+func (c *Checker) Store() *Store { return c.store }
 
 func (c *Checker) maxPairs() int {
 	if c.MaxPairs <= 0 {
@@ -60,108 +108,46 @@ func (c *Checker) maxClosure() int {
 	return c.MaxClosure
 }
 
+func (c *Checker) workers() int {
+	if c.Workers <= 1 {
+		return 1
+	}
+	return c.Workers
+}
+
 // ErrBudget reports that a query exceeded its exploration budget; the
 // verdict is inconclusive.
 type ErrBudget struct{ What string }
 
 func (e ErrBudget) Error() string { return "equiv: budget exhausted while exploring " + e.What }
 
-// termInfo caches per-term semantic data.
-type termInfo struct {
-	proc     syntax.Proc
-	key      string
-	trans    []semantics.Trans
-	discards map[names.Name]bool
-	// tauClosure lists the keys of terms reachable by τ* (including self);
-	// computed lazily.
-	tauClosure []string
-}
+// Thin delegation to the shared store ---------------------------------------
 
-// intern canonicalises and caches a term.
-func (c *Checker) intern(p syntax.Proc) (*termInfo, error) {
-	p = syntax.Simplify(p)
-	k := syntax.Key(p)
-	if ti, ok := c.terms[k]; ok {
-		return ti, nil
-	}
-	ts, err := c.Sys.Steps(p)
-	if err != nil {
-		return nil, err
-	}
-	ti := &termInfo{proc: p, key: k, trans: ts, discards: map[names.Name]bool{}}
-	c.terms[k] = ti
-	return ti, nil
-}
+func (c *Checker) intern(p syntax.Proc) (*termInfo, error) { return c.store.intern(p) }
 
-// discardsOn reports whether the term ignores channel a (memoised).
 func (c *Checker) discardsOn(ti *termInfo, a names.Name) (bool, error) {
-	if v, ok := ti.discards[a]; ok {
-		return v, nil
-	}
-	v, err := c.Sys.Discards(ti.proc, a)
-	if err != nil {
-		return false, err
-	}
-	ti.discards[a] = v
-	return v, nil
+	return c.store.discardsOn(ti, a)
 }
 
-// tauSucc returns the interned τ-successors of ti.
-func (c *Checker) tauSucc(ti *termInfo) ([]*termInfo, error) {
-	var out []*termInfo
-	for _, t := range ti.trans {
-		if t.Act.IsTau() {
-			s, err := c.intern(t.Target)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, s)
-		}
-	}
-	return out, nil
-}
+func (c *Checker) tauSucc(ti *termInfo) ([]*termInfo, error) { return c.store.tauSucc(ti) }
 
-// tauClosure returns every term reachable from ti by τ* (including ti).
 func (c *Checker) tauClosure(ti *termInfo) ([]*termInfo, error) {
-	if ti.tauClosure != nil {
-		out := make([]*termInfo, len(ti.tauClosure))
-		for i, k := range ti.tauClosure {
-			out[i] = c.terms[k]
-		}
-		return out, nil
-	}
-	seen := map[string]*termInfo{ti.key: ti}
-	work := []*termInfo{ti}
-	for len(work) > 0 {
-		cur := work[len(work)-1]
-		work = work[:len(work)-1]
-		succ, err := c.tauSucc(cur)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range succ {
-			if _, ok := seen[s.key]; ok {
-				continue
-			}
-			if len(seen) >= c.maxClosure() {
-				return nil, ErrBudget{"tau closure"}
-			}
-			seen[s.key] = s
-			work = append(work, s)
-		}
-	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	ti.tauClosure = keys
-	out := make([]*termInfo, len(keys))
-	for i, k := range keys {
-		out[i] = c.terms[k]
-	}
-	return out, nil
+	return c.store.tauClosure(ti, c.maxClosure())
 }
+
+func (c *Checker) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
+	return c.store.autonomousSucc(ti)
+}
+
+func (c *Checker) autonomousClosure(ti *termInfo) ([]*termInfo, error) {
+	return c.store.autonomousClosure(ti, c.maxClosure())
+}
+
+func (c *Checker) reactions(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+	return c.store.reactions(ti, ch, payload)
+}
+
+// Derived observations -------------------------------------------------------
 
 // strongBarbs returns the subjects of ti's output transitions (p ↓a).
 func strongBarbs(ti *termInfo) names.Set {
@@ -234,39 +220,17 @@ type shape struct {
 	arity int
 }
 
-// reactions returns the possible reactions of ti to an environment
-// broadcast a(c̃): every input derivative at that channel and arity
-// instantiated with c̃, plus ti itself when it discards a. An empty result
-// means ti can neither receive nor ignore the message (ill-sorted usage).
-func (c *Checker) reactions(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
-	var out []*termInfo
-	for _, t := range ti.trans {
-		if !t.Act.IsInput() || t.Act.Subj != ch || len(t.Act.Objs) != len(payload) {
-			continue
-		}
-		_, tgt := semantics.Instantiate(t, payload)
-		s, err := c.intern(tgt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	d, err := c.discardsOn(ti, ch)
-	if err != nil {
-		return nil, err
-	}
-	if d {
-		out = append(out, ti)
-	}
-	return out, nil
+// freeUnion returns a fresh set fn(p) ∪ fn(q) (the cached per-term sets are
+// shared and must not be mutated).
+func freeUnion(p, q *termInfo) names.Set {
+	return p.free.Clone().AddAll(q.free)
 }
 
 // pairUniverse returns the instantiation universe for a pair: the free names
 // of both sides plus `extra` deterministic reservoir names fresh for the pair.
 func pairUniverse(p, q *termInfo, extra int) []names.Name {
-	fn := syntax.FreeNames(p.proc).AddAll(syntax.FreeNames(q.proc))
-	u := fn.Sorted()
-	avoid := fn.Clone()
+	avoid := freeUnion(p, q)
+	u := avoid.Sorted()
 	for i := 0; i < extra; i++ {
 		w := syntax.FreshVariant("w", avoid)
 		avoid = avoid.Add(w)
@@ -275,22 +239,39 @@ func pairUniverse(p, q *termInfo, extra int) []names.Name {
 	return u
 }
 
-// tuples enumerates u^k as fresh slices.
+// tuples enumerates u^k as fresh slices, iteratively (odometer order:
+// position 0 most significant), with the exponential result preallocated.
 func tuples(u []names.Name, k int) [][]names.Name {
 	if k == 0 {
 		return [][]names.Name{nil}
 	}
-	smaller := tuples(u, k-1)
-	out := make([][]names.Name, 0, len(smaller)*len(u))
-	for _, n := range u {
-		for _, t := range smaller {
-			tt := make([]names.Name, 0, k)
-			tt = append(tt, n)
-			tt = append(tt, t...)
-			out = append(out, tt)
+	if len(u) == 0 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= len(u)
+	}
+	out := make([][]names.Name, 0, total)
+	backing := make([]names.Name, total*k)
+	idx := make([]int, k)
+	for {
+		t := backing[:k:k]
+		backing = backing[k:]
+		for i, j := range idx {
+			t[i] = u[j]
+		}
+		out = append(out, t)
+		i := k - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(u) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out
 		}
 	}
-	return out
 }
-
-func pairKey(pk, qk string) string { return pk + "\x00" + qk }

@@ -2,10 +2,10 @@ package equiv
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"bpi/internal/names"
-	"bpi/internal/semantics"
-	"bpi/internal/syntax"
 )
 
 // relKind selects which of the paper's bisimilarities an engine decides.
@@ -48,79 +48,170 @@ type obligation struct {
 }
 
 type pairNode struct {
-	p, q   *termInfo
-	obs    []obligation
+	p, q *termInfo
+	obs  []obligation
+	bad  bool
+	// staticBad records that the pair failed a build-time check (barbs)
+	// rather than the fixpoint, so its reason is already deterministic.
+	staticBad bool
+	reason    string
+}
+
+// built is the result of constructing one pair's obligations. Builders only
+// read the (concurrency-safe) store, never engine state, so a wave of pairs
+// can be built by parallel workers and merged deterministically afterwards.
+type built struct {
 	bad    bool
 	reason string
+	obs    []obSpec
+	err    error
+}
+
+type obSpec struct {
+	desc  string
+	cands [][2]*termInfo
+}
+
+func (b *built) add(desc string, cands [][2]*termInfo) {
+	b.obs = append(b.obs, obSpec{desc: desc, cands: cands})
+}
+
+func (b *built) fail(format string, args ...any) {
+	b.bad = true
+	b.reason = fmt.Sprintf(format, args...)
 }
 
 type engine struct {
-	c     *Checker
-	sp    spec
-	nodes []*pairNode
-	index map[string]int
-	queue []int
+	c        *Checker
+	sp       spec
+	nodes    []*pairNode
+	index    map[[2]uint64]int
+	frontier []int
 }
 
-func (c *Checker) run(p, q syntax.Proc, sp spec) (Result, error) {
-	e := &engine{c: c, sp: sp, index: map[string]int{}}
-	pi, err := c.intern(p)
-	if err != nil {
-		return Result{}, err
-	}
-	qi, err := c.intern(q)
-	if err != nil {
-		return Result{}, err
-	}
+func (c *Checker) run(pi, qi *termInfo, sp spec) (Result, error) {
+	e := &engine{c: c, sp: sp, index: map[[2]uint64]int{}}
 	root, err := e.node(pi, qi)
 	if err != nil {
 		return Result{}, err
 	}
-	// Build obligations breadth-first until the pair space is closed.
-	for len(e.queue) > 0 {
-		i := e.queue[0]
-		e.queue = e.queue[1:]
-		if err := e.build(i); err != nil {
-			return Result{}, err
-		}
+	if err := e.explore(); err != nil {
+		return Result{}, err
 	}
-	// Greatest fixpoint: drop pairs with an unsatisfiable obligation.
-	for changed := true; changed; {
-		changed = false
-		for _, n := range e.nodes {
-			if n.bad {
-				continue
-			}
-			for _, ob := range n.obs {
-				ok := false
-				for _, ci := range ob.candidates {
-					if !e.nodes[ci].bad {
-						ok = true
-						break
-					}
-				}
-				if !ok {
-					n.bad = true
-					n.reason = ob.desc
-					changed = true
-					break
-				}
-			}
-		}
-	}
+	e.fixpoint()
 	rn := e.nodes[root]
 	res := Result{Related: !rn.bad, Pairs: len(e.nodes)}
 	if rn.bad {
-		res.Reason = fmt.Sprintf("%s: %s (comparing %s with %s)", sp, rn.reason,
-			syntax.String(rn.p.proc), syntax.String(rn.q.proc))
+		reason := rn.reason
+		if !rn.staticBad {
+			reason = e.failReason(rn)
+		}
+		res.Reason = fmt.Sprintf("%s: %s (comparing %s with %s)", sp, reason,
+			stringOf(rn.p), stringOf(rn.q))
 	}
 	return res, nil
 }
 
-// node interns the ordered pair (p,q), scheduling obligation construction
-// for new pairs.
+// explore closes the pair space breadth-first. Each BFS wave is built (pure
+// store reads) either inline or by a bounded worker pool, then merged into
+// the engine in submission order — so node numbering, budget errors and the
+// explored set are identical whatever the worker count.
+func (e *engine) explore() error {
+	workers := e.c.workers()
+	for len(e.frontier) > 0 {
+		wave := e.frontier
+		e.frontier = nil
+		if workers <= 1 || len(wave) == 1 {
+			for _, i := range wave {
+				b := e.buildPair(e.nodes[i])
+				if b.err != nil {
+					return b.err
+				}
+				if err := e.merge(i, b); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		builds := make([]*built, len(wave))
+		n := workers
+		if n > len(wave) {
+			n = len(wave)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(wave) {
+						return
+					}
+					builds[j] = e.buildPair(e.nodes[wave[j]])
+				}
+			}()
+		}
+		wg.Wait()
+		// ID-ordered merge: the first error (in wave order) wins, matching
+		// the sequential run.
+		for j, i := range wave {
+			if builds[j].err != nil {
+				return builds[j].err
+			}
+			if err := e.merge(i, builds[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildPair computes the static checks and matching obligations of one pair,
+// touching only the shared store (safe to call from worker goroutines).
+func (e *engine) buildPair(n *pairNode) *built {
+	b := &built{}
+	var err error
+	switch e.sp.kind {
+	case relBarbed:
+		err = e.buildBarbed(n, b)
+	case relStep:
+		err = e.buildStep(n, b)
+	default:
+		err = e.buildLabelled(n, b)
+	}
+	b.err = err
+	return b
+}
+
+// merge installs one built pair: statically bad pairs keep their reason,
+// obligation candidates are interned to node indices (scheduling fresh pairs
+// onto the next frontier).
+func (e *engine) merge(i int, b *built) error {
+	n := e.nodes[i]
+	if b.bad {
+		n.bad, n.staticBad, n.reason = true, true, b.reason
+		return nil
+	}
+	for _, ob := range b.obs {
+		o := obligation{desc: ob.desc, candidates: make([]int, 0, len(ob.cands))}
+		for _, cd := range ob.cands {
+			ci, err := e.node(cd[0], cd[1])
+			if err != nil {
+				return err
+			}
+			o.candidates = append(o.candidates, ci)
+		}
+		n.obs = append(n.obs, o)
+	}
+	return nil
+}
+
+// node interns the ordered pair (p,q) by store IDs, scheduling obligation
+// construction for new pairs.
 func (e *engine) node(p, q *termInfo) (int, error) {
-	k := pairKey(p.key, q.key)
+	k := [2]uint64{p.id, q.id}
 	if i, ok := e.index[k]; ok {
 		return i, nil
 	}
@@ -130,69 +221,106 @@ func (e *engine) node(p, q *termInfo) (int, error) {
 	i := len(e.nodes)
 	e.nodes = append(e.nodes, &pairNode{p: p, q: q})
 	e.index[k] = i
-	e.queue = append(e.queue, i)
+	e.frontier = append(e.frontier, i)
 	return i, nil
 }
 
-// build computes the static checks and matching obligations of pair i.
-func (e *engine) build(i int) error {
-	n := e.nodes[i]
-	switch e.sp.kind {
-	case relBarbed:
-		return e.buildBarbed(n)
-	case relStep:
-		return e.buildStep(n)
-	default:
-		return e.buildLabelled(n)
+// fixpoint computes the greatest fixpoint by worklist over reverse
+// dependency edges (candidate → obligations it supports): when a pair dies,
+// only the obligations actually depending on it are revisited, so the sweep
+// is O(total candidate edges) instead of O(rescans × relation size).
+func (e *engine) fixpoint() {
+	type dep struct{ node, ob int32 }
+	rev := make([][]dep, len(e.nodes))
+	alive := make([][]int32, len(e.nodes))
+	var work []int
+	for i, n := range e.nodes {
+		if n.bad {
+			work = append(work, i)
+			continue
+		}
+		alive[i] = make([]int32, len(n.obs))
+		for j, ob := range n.obs {
+			alive[i][j] = int32(len(ob.candidates))
+			if len(ob.candidates) == 0 {
+				if !n.bad {
+					n.bad = true
+					n.reason = ob.desc
+					work = append(work, i)
+				}
+				continue
+			}
+			for _, ci := range ob.candidates {
+				rev[ci] = append(rev[ci], dep{int32(i), int32(j)})
+			}
+		}
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, d := range rev[i] {
+			dn := e.nodes[d.node]
+			if dn.bad {
+				continue
+			}
+			alive[d.node][d.ob]--
+			if alive[d.node][d.ob] == 0 {
+				dn.bad = true
+				dn.reason = dn.obs[d.ob].desc
+				work = append(work, int(d.node))
+			}
+		}
 	}
 }
 
-// addMoveObligation appends an obligation for a single move of `who` with
-// the given successor candidates.
-func (e *engine) addObligation(n *pairNode, desc string, cands [][2]*termInfo) error {
-	ob := obligation{desc: desc}
-	for _, cd := range cands {
-		ci, err := e.node(cd[0], cd[1])
-		if err != nil {
-			return err
+// failReason picks the deterministic explanation for a fixpoint-discarded
+// pair: the first obligation (in construction order) with no surviving
+// candidate. Worklist processing order marked the pair bad via *some*
+// obligation; rescanning keeps Reason independent of scheduling.
+func (e *engine) failReason(n *pairNode) string {
+	for _, ob := range n.obs {
+		ok := false
+		for _, ci := range ob.candidates {
+			if !e.nodes[ci].bad {
+				ok = true
+				break
+			}
 		}
-		ob.candidates = append(ob.candidates, ci)
+		if !ok {
+			return ob.desc
+		}
 	}
-	n.obs = append(n.obs, ob)
-	return nil
+	return n.reason
 }
 
 // ---- barbed bisimulation (Definition 3) -----------------------------------
 
-func (e *engine) buildBarbed(n *pairNode) error {
+func (e *engine) buildBarbed(n *pairNode, b *built) error {
 	// Barb conditions.
 	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
 	if !e.sp.weak {
 		if !pb.Equal(qb) {
-			n.bad = true
-			n.reason = fmt.Sprintf("strong barbs differ: %v vs %v", pb, qb)
+			b.fail("strong barbs differ: %v vs %v", pb, qb)
 			return nil
 		}
 	} else {
-		for a := range pb {
+		for _, a := range pb.Sorted() {
 			ok, err := e.c.weakBarb(n.q, a)
 			if err != nil {
 				return err
 			}
 			if !ok {
-				n.bad = true
-				n.reason = fmt.Sprintf("right side lacks weak barb on %s", a)
+				b.fail("right side lacks weak barb on %s", a)
 				return nil
 			}
 		}
-		for a := range qb {
+		for _, a := range qb.Sorted() {
 			ok, err := e.c.weakBarb(n.p, a)
 			if err != nil {
 				return err
 			}
 			if !ok {
-				n.bad = true
-				n.reason = fmt.Sprintf("left side lacks weak barb on %s", a)
+				b.fail("left side lacks weak barb on %s", a)
 				return nil
 			}
 		}
@@ -219,18 +347,14 @@ func (e *engine) buildBarbed(n *pairNode) error {
 		for _, qs := range qMatch {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		if err := e.addObligation(n, "tau move of left unmatched", cands); err != nil {
-			return err
-		}
+		b.add("tau move of left unmatched", cands)
 	}
 	for _, qs := range qt {
 		var cands [][2]*termInfo
 		for _, ps := range pMatch {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		if err := e.addObligation(n, "tau move of right unmatched", cands); err != nil {
-			return err
-		}
+		b.add("tau move of right unmatched", cands)
 	}
 	return nil
 }
@@ -247,54 +371,51 @@ func (e *engine) weakOrStrongTauTargets(ti *termInfo, strong []*termInfo) ([]*te
 
 // ---- step bisimulation (Definition 5) --------------------------------------
 
-func (e *engine) buildStep(n *pairNode) error {
+func (e *engine) buildStep(n *pairNode, b *built) error {
 	// ↓φ barbs: subjects of output transitions.
 	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
 	if !e.sp.weak {
 		if !pb.Equal(qb) {
-			n.bad = true
-			n.reason = fmt.Sprintf("step barbs differ: %v vs %v", pb, qb)
+			b.fail("step barbs differ: %v vs %v", pb, qb)
 			return nil
 		}
 	} else {
-		for a := range pb {
+		for _, a := range pb.Sorted() {
 			ok, err := e.weakStepBarb(n.q, a)
 			if err != nil {
 				return err
 			}
 			if !ok {
-				n.bad = true
-				n.reason = fmt.Sprintf("right side lacks weak step barb on %s", a)
+				b.fail("right side lacks weak step barb on %s", a)
 				return nil
 			}
 		}
-		for a := range qb {
+		for _, a := range qb.Sorted() {
 			ok, err := e.weakStepBarb(n.p, a)
 			if err != nil {
 				return err
 			}
 			if !ok {
-				n.bad = true
-				n.reason = fmt.Sprintf("left side lacks weak step barb on %s", a)
+				b.fail("left side lacks weak step barb on %s", a)
 				return nil
 			}
 		}
 	}
 	// Autonomous moves, label-blind.
-	pa, err := e.autonomousSucc(n.p)
+	pa, err := e.c.autonomousSucc(n.p)
 	if err != nil {
 		return err
 	}
-	qa, err := e.autonomousSucc(n.q)
+	qa, err := e.c.autonomousSucc(n.q)
 	if err != nil {
 		return err
 	}
 	qTargets, pTargets := qa, pa
 	if e.sp.weak {
-		if qTargets, err = e.autonomousClosure(n.q); err != nil {
+		if qTargets, err = e.c.autonomousClosure(n.q); err != nil {
 			return err
 		}
-		if pTargets, err = e.autonomousClosure(n.p); err != nil {
+		if pTargets, err = e.c.autonomousClosure(n.p); err != nil {
 			return err
 		}
 	}
@@ -303,78 +424,21 @@ func (e *engine) buildStep(n *pairNode) error {
 		for _, qs := range qTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		if err := e.addObligation(n, "autonomous step of left unmatched", cands); err != nil {
-			return err
-		}
+		b.add("autonomous step of left unmatched", cands)
 	}
 	for _, qs := range qa {
 		var cands [][2]*termInfo
 		for _, ps := range pTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		if err := e.addObligation(n, "autonomous step of right unmatched", cands); err != nil {
-			return err
-		}
+		b.add("autonomous step of right unmatched", cands)
 	}
 	return nil
 }
 
-// autonomousSucc returns the τ- and output-successors of ti (outputs with
-// extruded names canonicalised deterministically).
-func (e *engine) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
-	var out []*termInfo
-	for _, t := range ti.trans {
-		if !t.Act.IsStep() {
-			continue
-		}
-		tt := t
-		if t.Act.IsOutput() && len(t.Act.Bound) > 0 {
-			act, tgt := semantics.CanonTrans(t.Act, t.Target)
-			tt = semantics.Trans{Act: act, Target: tgt}
-		}
-		s, err := e.c.intern(tt.Target)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
-}
-
-// autonomousClosure returns the states reachable by (τ ∪ output)*,
-// including ti itself.
-func (e *engine) autonomousClosure(ti *termInfo) ([]*termInfo, error) {
-	seen := map[string]*termInfo{ti.key: ti}
-	work := []*termInfo{ti}
-	for len(work) > 0 {
-		cur := work[len(work)-1]
-		work = work[:len(work)-1]
-		succ, err := e.autonomousSucc(cur)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range succ {
-			if _, ok := seen[s.key]; ok {
-				continue
-			}
-			if len(seen) >= e.c.maxClosure() {
-				return nil, ErrBudget{"autonomous closure"}
-			}
-			seen[s.key] = s
-			work = append(work, s)
-		}
-	}
-	out := make([]*termInfo, 0, len(seen))
-	for _, s := range seen {
-		out = append(out, s)
-	}
-	sortTerms(out)
-	return out, nil
-}
-
 // weakStepBarb reports that some (τ ∪ output)*-derivative strongly barbs on a.
 func (e *engine) weakStepBarb(ti *termInfo, a names.Name) (bool, error) {
-	cl, err := e.autonomousClosure(ti)
+	cl, err := e.c.autonomousClosure(ti)
 	if err != nil {
 		return false, err
 	}
@@ -384,12 +448,4 @@ func (e *engine) weakStepBarb(ti *termInfo, a names.Name) (bool, error) {
 		}
 	}
 	return false, nil
-}
-
-func sortTerms(ts []*termInfo) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].key < ts[j-1].key; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
 }

@@ -2,11 +2,14 @@ package equiv
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"bpi/internal/names"
 	"bpi/internal/syntax"
 )
+
+func stringOf(ti *termInfo) string { return syntax.String(ti.proc) }
 
 // buildLabelled creates the obligations of Definition 8 (strong) or
 // Definition 7 (weak) for the pair n:
@@ -16,8 +19,8 @@ import (
 //  3. receptions-or-discards a(c̃)? matched by receptions-or-discards,
 //     for every channel either side listens on and every payload tuple over
 //     the pair universe.
-func (e *engine) buildLabelled(n *pairNode) error {
-	avoid := syntax.FreeNames(n.p.proc).AddAll(syntax.FreeNames(n.q.proc))
+func (e *engine) buildLabelled(n *pairNode, b *built) error {
+	avoid := freeUnion(n.p, n.q)
 
 	// Clause 1: τ.
 	pt, err := e.c.tauSucc(n.p)
@@ -41,35 +44,31 @@ func (e *engine) buildLabelled(n *pairNode) error {
 		for _, qs := range qTauTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		if err := e.addObligation(n, "tau move of left unmatched", cands); err != nil {
-			return err
-		}
+		b.add("tau move of left unmatched", cands)
 	}
 	for _, qs := range qt {
 		var cands [][2]*termInfo
 		for _, ps := range pTauTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		if err := e.addObligation(n, "tau move of right unmatched", cands); err != nil {
-			return err
-		}
+		b.add("tau move of right unmatched", cands)
 	}
 
 	// Clause 2: outputs on identical canonical labels.
-	if err := e.outputObligations(n, avoid, true); err != nil {
+	if err := e.outputObligations(n, b, avoid, true); err != nil {
 		return err
 	}
-	if err := e.outputObligations(n, avoid, false); err != nil {
+	if err := e.outputObligations(n, b, avoid, false); err != nil {
 		return err
 	}
 
 	// Clause 3: receptions-or-discards.
-	return e.reactionObligations(n)
+	return e.reactionObligations(n, b)
 }
 
 // outputObligations adds, for every output move of the `left` (or right)
 // component, the candidates derived from matching outputs of the other side.
-func (e *engine) outputObligations(n *pairNode, avoid names.Set, leftMoves bool) error {
+func (e *engine) outputObligations(n *pairNode, b *built, avoid names.Set, leftMoves bool) error {
 	mover, other := n.p, n.q
 	if !leftMoves {
 		mover, other = n.q, n.p
@@ -125,10 +124,7 @@ func (e *engine) outputObligations(n *pairNode, avoid names.Set, leftMoves bool)
 				cands = append(cands, [2]*termInfo{ans, mtgt})
 			}
 		}
-		desc := fmt.Sprintf("output %s of %s unmatched", mt.Act, side)
-		if err := e.addObligation(n, desc, cands); err != nil {
-			return err
-		}
+		b.add(fmt.Sprintf("output %s of %s unmatched", mt.Act, side), cands)
 	}
 	return nil
 }
@@ -137,7 +133,7 @@ func (e *engine) outputObligations(n *pairNode, avoid names.Set, leftMoves bool)
 // which either side listens, and every payload c̃ over the pair universe,
 // every reaction (reception or discard) of one side must be matched by a
 // reaction of the other.
-func (e *engine) reactionObligations(n *pairNode) error {
+func (e *engine) reactionObligations(n *pairNode, b *built) error {
 	shapes := inputShapes(n.p)
 	for s := range inputShapes(n.q) {
 		shapes[s] = true
@@ -173,18 +169,14 @@ func (e *engine) reactionObligations(n *pairNode) error {
 				for _, t := range qr {
 					cands = append(cands, [2]*termInfo{r, t})
 				}
-				if err := e.addObligation(n, "reaction "+lab+" of left unmatched", cands); err != nil {
-					return err
-				}
+				b.add("reaction "+lab+" of left unmatched", cands)
 			}
 			for _, r := range qm {
 				var cands [][2]*termInfo
 				for _, t := range pr {
 					cands = append(cands, [2]*termInfo{t, r})
 				}
-				if err := e.addObligation(n, "reaction "+lab+" of right unmatched", cands); err != nil {
-					return err
-				}
+				b.add("reaction "+lab+" of right unmatched", cands)
 			}
 		}
 	}
@@ -201,7 +193,7 @@ func (e *engine) reactTargets(ti *termInfo, ch names.Name, payload []names.Name)
 	if err != nil {
 		return nil, err
 	}
-	seen := map[string]*termInfo{}
+	seen := map[uint64]*termInfo{}
 	for _, s := range pre {
 		rs, err := e.c.reactions(s, ch, payload)
 		if err != nil {
@@ -213,7 +205,7 @@ func (e *engine) reactTargets(ti *termInfo, ch names.Name, payload []names.Name)
 				return nil, err
 			}
 			for _, t := range post {
-				seen[t.key] = t
+				seen[t.id] = t
 			}
 		}
 	}
@@ -226,18 +218,12 @@ func (e *engine) reactTargets(ti *termInfo, ch names.Name, payload []names.Name)
 }
 
 func sortShapes(ss []shape) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && less(ss[j], ss[j-1]); j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].ch != ss[j].ch {
+			return ss[i].ch < ss[j].ch
 		}
-	}
-}
-
-func less(a, b shape) bool {
-	if a.ch != b.ch {
-		return a.ch < b.ch
-	}
-	return a.arity < b.arity
+		return ss[i].arity < ss[j].arity
+	})
 }
 
 func joinNames(ns []names.Name) string {

@@ -36,7 +36,7 @@ func (c *Checker) OneStep(p, q syntax.Proc, weak bool) (bool, error) {
 	// free names coincide. Weak (clause 4 of Definition 15): a discard of
 	// one side must be weakly available on the other (after τ*), with the
 	// resting state related to the still-discarding side.
-	chans := syntax.FreeNames(pi.proc).AddAll(syntax.FreeNames(qi.proc)).Sorted()
+	chans := freeUnion(pi, qi).Sorted()
 	for _, a := range chans {
 		dp, err := c.discardsOn(pi, a)
 		if err != nil {
@@ -110,7 +110,7 @@ func (c *Checker) oneStepDirected(mover, answerer *termInfo, weak, flipped bool)
 		}
 		return r.Related, nil
 	}
-	avoid := syntax.FreeNames(mover.proc).AddAll(syntax.FreeNames(answerer.proc))
+	avoid := freeUnion(mover, answerer)
 
 	// τ moves. In the weak case a τ of the mover must be answered by at
 	// least one τ of the answerer (τ·τ*, as in observational congruence):
@@ -126,14 +126,14 @@ func (c *Checker) oneStepDirected(mover, answerer *termInfo, weak, flipped bool)
 		if err != nil {
 			return false, err
 		}
-		seen := map[string]*termInfo{}
+		seen := map[uint64]*termInfo{}
 		for _, f := range first {
 			cl, err := c.tauClosure(f)
 			if err != nil {
 				return false, err
 			}
 			for _, s := range cl {
-				seen[s.key] = s
+				seen[s.id] = s
 			}
 		}
 		tauTargets = tauTargets[:0]
@@ -188,7 +188,12 @@ func (c *Checker) oneStepDirected(mover, answerer *termInfo, weak, flipped bool)
 	}
 
 	// Input moves: strictly input-by-input on the same ground label.
+	mshapes := make([]shape, 0)
 	for s := range inputShapes(mover) {
+		mshapes = append(mshapes, s)
+	}
+	sortShapes(mshapes)
+	for _, s := range mshapes {
 		u := pairUniverse(mover, answerer, s.arity)
 		for _, payload := range tuples(u, s.arity) {
 			mIns, err := c.inputDerivatives(mover, s.ch, payload)
@@ -240,7 +245,7 @@ func (c *Checker) weakInputDerivatives(ti *termInfo, ch names.Name, payload []na
 	if err != nil {
 		return nil, err
 	}
-	seen := map[string]*termInfo{}
+	seen := map[uint64]*termInfo{}
 	for _, s := range pre {
 		ds, err := c.inputDerivatives(s, ch, payload)
 		if err != nil {
@@ -252,7 +257,7 @@ func (c *Checker) weakInputDerivatives(ti *termInfo, ch names.Name, payload []na
 				return nil, err
 			}
 			for _, t := range post {
-				seen[t.key] = t
+				seen[t.id] = t
 			}
 		}
 	}

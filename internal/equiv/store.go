@@ -1,0 +1,294 @@
+package equiv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// Store is the concurrency-safe semantic layer shared by Checkers. It
+// interns canonical terms to dense uint64 IDs and memoises the per-term
+// semantic data every equivalence query re-derives otherwise: transitions,
+// the discard relation, τ-closures and autonomous closures.
+//
+// The store is sharded: term interning takes one mutex out of storeShards,
+// chosen by a hash of the canonical key, so concurrent goroutines interning
+// different terms rarely contend. Per-term derived data is computed
+// singleflight-style — transitions under a sync.Once, closures by
+// compute-unlocked-then-publish (a lost race recomputes an identical value,
+// which keeps the lock graph acyclic even for τ-cyclic terms).
+//
+// Memoised slices are shared between callers and must not be mutated.
+// Closures are returned sorted by canonical key, so every consumer sees the
+// same deterministic order regardless of interning order.
+type Store struct {
+	sys    *semantics.System
+	nextID atomic.Uint64
+	shards [storeShards]shard
+}
+
+const storeShards = 64
+
+type shard struct {
+	mu    sync.Mutex
+	terms map[string]*termInfo
+}
+
+// NewStore returns a store over the given system (nil means the empty
+// definitions environment). The underlying semantics layer is pure — a
+// System is immutable after construction and Steps/Discards share no mutable
+// state — so one store may serve any number of goroutines.
+func NewStore(sys *semantics.System) *Store {
+	if sys == nil {
+		sys = semantics.NewSystem(nil)
+	}
+	s := &Store{sys: sys}
+	for i := range s.shards {
+		s.shards[i].terms = make(map[string]*termInfo)
+	}
+	return s
+}
+
+// System returns the semantic system the store derives data from.
+func (s *Store) System() *semantics.System { return s.sys }
+
+// termInfo caches per-term semantic data. The id is dense (assigned in
+// interning order by an atomic counter) and unique within one store; pair
+// engines key their state on id pairs instead of concatenated keys.
+type termInfo struct {
+	id   uint64
+	proc syntax.Proc
+	key  string
+	free names.Set // free names; treat as immutable — Clone before mutating
+
+	// trans is computed once, singleflight, on first demand.
+	transOnce sync.Once
+	trans     []semantics.Trans
+	transErr  error
+
+	// mu guards the lazily memoised fields below. Never held while calling
+	// into the store for other terms.
+	mu          sync.Mutex
+	discards    map[names.Name]bool
+	tauSuccs    []*termInfo
+	tauSuccsOK  bool
+	tauClosure  []*termInfo
+	autoSuccs   []*termInfo
+	autoSuccsOK bool
+	autoClosure []*termInfo
+}
+
+func shardOf(key string) uint32 {
+	// FNV-1a, inlined to avoid the hash.Hash allocation per intern.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % storeShards
+}
+
+// intern canonicalises p and returns its unique termInfo, computing the
+// transitions singleflight. Concurrent interns of the same term return the
+// same pointer.
+func (s *Store) intern(p syntax.Proc) (*termInfo, error) {
+	p = syntax.Simplify(p)
+	k := syntax.Key(p)
+	sh := &s.shards[shardOf(k)]
+	sh.mu.Lock()
+	ti, ok := sh.terms[k]
+	if !ok {
+		ti = &termInfo{id: s.nextID.Add(1), proc: p, key: k, free: syntax.FreeNames(p)}
+		sh.terms[k] = ti
+	}
+	sh.mu.Unlock()
+	ti.transOnce.Do(func() {
+		ti.trans, ti.transErr = s.sys.Steps(ti.proc)
+	})
+	if ti.transErr != nil {
+		return nil, ti.transErr
+	}
+	return ti, nil
+}
+
+// discardsOn reports whether the term ignores channel a (memoised).
+func (s *Store) discardsOn(ti *termInfo, a names.Name) (bool, error) {
+	ti.mu.Lock()
+	v, ok := ti.discards[a]
+	ti.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	v, err := s.sys.Discards(ti.proc, a)
+	if err != nil {
+		return false, err
+	}
+	ti.mu.Lock()
+	if ti.discards == nil {
+		ti.discards = make(map[names.Name]bool)
+	}
+	ti.discards[a] = v
+	ti.mu.Unlock()
+	return v, nil
+}
+
+// tauSucc returns the interned τ-successors of ti (memoised; shared slice).
+func (s *Store) tauSucc(ti *termInfo) ([]*termInfo, error) {
+	ti.mu.Lock()
+	if ti.tauSuccsOK {
+		out := ti.tauSuccs
+		ti.mu.Unlock()
+		return out, nil
+	}
+	ti.mu.Unlock()
+	out := []*termInfo{}
+	for _, t := range ti.trans {
+		if t.Act.IsTau() {
+			succ, err := s.intern(t.Target)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, succ)
+		}
+	}
+	ti.mu.Lock()
+	ti.tauSuccs, ti.tauSuccsOK = out, true
+	ti.mu.Unlock()
+	return out, nil
+}
+
+// autonomousSucc returns the τ- and output-successors of ti, outputs with
+// extruded names canonicalised deterministically (memoised; shared slice).
+func (s *Store) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
+	ti.mu.Lock()
+	if ti.autoSuccsOK {
+		out := ti.autoSuccs
+		ti.mu.Unlock()
+		return out, nil
+	}
+	ti.mu.Unlock()
+	out := []*termInfo{}
+	for _, t := range ti.trans {
+		if !t.Act.IsStep() {
+			continue
+		}
+		tgt := t.Target
+		if t.Act.IsOutput() && len(t.Act.Bound) > 0 {
+			_, tgt = semantics.CanonTrans(t.Act, t.Target)
+		}
+		succ, err := s.intern(tgt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, succ)
+	}
+	ti.mu.Lock()
+	ti.autoSuccs, ti.autoSuccsOK = out, true
+	ti.mu.Unlock()
+	return out, nil
+}
+
+// tauClosure returns every term reachable from ti by τ* (including ti),
+// sorted by canonical key. Memoised; the returned slice is shared.
+func (s *Store) tauClosure(ti *termInfo, budget int) ([]*termInfo, error) {
+	ti.mu.Lock()
+	cl := ti.tauClosure
+	ti.mu.Unlock()
+	if cl != nil {
+		return cl, nil
+	}
+	cl, err := s.closure(ti, budget, s.tauSucc, "tau closure")
+	if err != nil {
+		return nil, err
+	}
+	ti.mu.Lock()
+	ti.tauClosure = cl
+	ti.mu.Unlock()
+	return cl, nil
+}
+
+// autonomousClosure returns the states reachable by (τ ∪ output)*, including
+// ti, sorted by canonical key. Memoised; the returned slice is shared.
+func (s *Store) autonomousClosure(ti *termInfo, budget int) ([]*termInfo, error) {
+	ti.mu.Lock()
+	cl := ti.autoClosure
+	ti.mu.Unlock()
+	if cl != nil {
+		return cl, nil
+	}
+	cl, err := s.closure(ti, budget, s.autonomousSucc, "autonomous closure")
+	if err != nil {
+		return nil, err
+	}
+	ti.mu.Lock()
+	ti.autoClosure = cl
+	ti.mu.Unlock()
+	return cl, nil
+}
+
+// closure is the shared reflexive-transitive reachability sweep. It runs
+// without holding any term mutex, so mutually reachable terms cannot
+// deadlock computing each other's closures.
+func (s *Store) closure(ti *termInfo, budget int, succ func(*termInfo) ([]*termInfo, error), what string) ([]*termInfo, error) {
+	seen := map[uint64]bool{ti.id: true}
+	out := []*termInfo{ti}
+	work := []*termInfo{ti}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		next, err := succ(cur)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range next {
+			if seen[n.id] {
+				continue
+			}
+			if len(seen) >= budget {
+				return nil, ErrBudget{what}
+			}
+			seen[n.id] = true
+			out = append(out, n)
+			work = append(work, n)
+		}
+	}
+	sortTerms(out)
+	return out, nil
+}
+
+// reactions returns the possible reactions of ti to an environment
+// broadcast a(c̃): every input derivative at that channel and arity
+// instantiated with c̃, plus ti itself when it discards a. An empty result
+// means ti can neither receive nor ignore the message (ill-sorted usage).
+func (s *Store) reactions(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+	var out []*termInfo
+	for _, t := range ti.trans {
+		if !t.Act.IsInput() || t.Act.Subj != ch || len(t.Act.Objs) != len(payload) {
+			continue
+		}
+		_, tgt := semantics.Instantiate(t, payload)
+		succ, err := s.intern(tgt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, succ)
+	}
+	d, err := s.discardsOn(ti, ch)
+	if err != nil {
+		return nil, err
+	}
+	if d {
+		out = append(out, ti)
+	}
+	return out, nil
+}
+
+// sortTerms orders terms by canonical key (deterministic across runs,
+// unlike store IDs, which depend on interning order).
+func sortTerms(ts []*termInfo) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].key < ts[j].key })
+}

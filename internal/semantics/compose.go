@@ -8,6 +8,11 @@ import (
 	"bpi/internal/syntax"
 )
 
+// This file implements the broadcast composition rules (12–14). Everything
+// here follows the package's reentrancy contract: helpers receive all state
+// as arguments (the stepCtx is per-call) and build fresh transition targets,
+// so parallel callers never observe shared mutation.
+
 // pairUp rebuilds a parallel composition with the mover on its original
 // side: Par{moved, other} when the mover was the left component.
 func pairUp(moverIsLeft bool, moved, other syntax.Proc) syntax.Proc {

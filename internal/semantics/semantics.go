@@ -8,6 +8,16 @@
 // the early semantics — the instantiation points are the rule-(3) instances
 // — presented so that the broadcast composition rules (12–14) can unify the
 // receivers of one message without enumerating name tuples.
+//
+// # Reentrancy
+//
+// The package is purely functional and safe for concurrent use: a System is
+// immutable after construction (Env is treated as read-only, per its
+// contract), and every Steps/Discards call allocates its own stepCtx for the
+// unfold budget, sharing no mutable state between calls. Transitions never
+// alias mutable internals of their source term — targets are fresh process
+// values built by substitution. Callers (notably equiv.Store) rely on this
+// to derive transitions for the same System from many goroutines at once.
 package semantics
 
 import (
