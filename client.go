@@ -1,0 +1,238 @@
+package bpi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"bpi/internal/service"
+)
+
+// Wire types of the bpid daemon API, re-exported for Client callers.
+type (
+	// EquivRequest asks a daemon for an equivalence verdict.
+	EquivRequest = service.EquivRequest
+	// EquivResponse is a daemon equivalence verdict.
+	EquivResponse = service.EquivResponse
+	// ProveRequest asks a daemon whether A ⊢ p = q.
+	ProveRequest = service.ProveRequest
+	// ProveResponse is a daemon provability verdict.
+	ProveResponse = service.ProveResponse
+	// RunRequest asks a daemon for one scheduled machine execution.
+	RunRequest = service.RunRequest
+	// RunResponse is a daemon machine-execution report.
+	RunResponse = service.RunResponse
+	// ParseResponse is a daemon term canonicalisation.
+	ParseResponse = service.ParseResponse
+	// StepResponse lists a term's symbolic transitions.
+	StepResponse = service.StepResponse
+	// ExploreResponse summarises an explored transition graph.
+	ExploreResponse = service.ExploreResponse
+	// ExploreRequest configures a daemon graph exploration.
+	ExploreRequest = service.ExploreRequest
+	// JobRequest submits an asynchronous daemon job.
+	JobRequest = service.JobRequest
+	// JobStatus reports an asynchronous daemon job.
+	JobStatus = service.JobStatusResponse
+	// APIError is the typed error a daemon returns (code + message).
+	APIError = service.ErrorBody
+)
+
+// Service is the embeddable daemon core (shared store, worker pool, verdict
+// cache, job table); mount Service.Handler on any http.Server.
+type Service = service.Server
+
+// ServiceConfig tunes an embedded Service; the zero value is usable.
+type ServiceConfig = service.Config
+
+// NewService returns a daemon core over one fresh shared term store.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// Client calls a running bpid daemon. The zero HTTP client is usable;
+// deadlines are passed per call via context (the daemon additionally applies
+// its own request timeouts).
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8317".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call POSTs (or GETs, when in is nil) JSON and decodes into out, returning
+// the daemon's typed *APIError on non-2xx responses.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er struct {
+			Error APIError `json:"error"`
+		}
+		if json.Unmarshal(data, &er) == nil && er.Error.Code != "" {
+			return &er.Error
+		}
+		return fmt.Errorf("bpid: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health reports whether the daemon is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bpid: unhealthy: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ParseRemote canonicalises a term on the daemon.
+func (c *Client) ParseRemote(ctx context.Context, term string) (*ParseResponse, error) {
+	var out ParseResponse
+	err := c.call(ctx, http.MethodPost, "/v1/parse", service.ParseRequest{Term: term}, &out)
+	return &out, err
+}
+
+// Step lists a term's symbolic transitions, computed on the daemon.
+func (c *Client) Step(ctx context.Context, term string) (*StepResponse, error) {
+	var out StepResponse
+	err := c.call(ctx, http.MethodPost, "/v1/step", service.StepRequest{Term: term}, &out)
+	return &out, err
+}
+
+// ExploreRemote summarises the finite transition graph of a term.
+func (c *Client) ExploreRemote(ctx context.Context, req ExploreRequest) (*ExploreResponse, error) {
+	var out ExploreResponse
+	err := c.call(ctx, http.MethodPost, "/v1/explore", req, &out)
+	return &out, err
+}
+
+// Equiv asks the daemon for an equivalence verdict.
+func (c *Client) Equiv(ctx context.Context, req EquivRequest) (*EquivResponse, error) {
+	var out EquivResponse
+	err := c.call(ctx, http.MethodPost, "/v1/equiv", req, &out)
+	return &out, err
+}
+
+// Prove asks the daemon whether A ⊢ p = q.
+func (c *Client) Prove(ctx context.Context, req ProveRequest) (*ProveResponse, error) {
+	var out ProveResponse
+	err := c.call(ctx, http.MethodPost, "/v1/prove", req, &out)
+	return &out, err
+}
+
+// RunRemote executes one scheduled run on the daemon.
+func (c *Client) RunRemote(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	var out RunResponse
+	err := c.call(ctx, http.MethodPost, "/v1/run", req, &out)
+	return &out, err
+}
+
+// Submit enqueues an asynchronous job and returns its ID.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (string, error) {
+	var out service.JobSubmitResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Job polls an asynchronous job once.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	err := c.call(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return &out, err
+}
+
+// Wait polls a job every interval until it finishes or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == service.JobDone || st.State == service.JobFailed {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Metrics fetches the daemon's raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("bpid: metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
+}

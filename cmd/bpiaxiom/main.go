@@ -4,23 +4,40 @@
 //
 // Usage:
 //
-//	bpiaxiom hnf "term"              head normal form on fn(term)
-//	bpiaxiom expand "p" "q"          the expansion of p ‖ q (Table 8)
-//	bpiaxiom decide "p" "q"          A ⊢ p = q  (⇔ p ~c q, Theorems 6/7)
-//	bpiaxiom list                    the axiom catalogue
+//	bpiaxiom [-server URL] hnf "term"     head normal form on fn(term)
+//	bpiaxiom [-server URL] expand "p" "q" the expansion of p ‖ q (Table 8)
+//	bpiaxiom [-server URL] decide "p" "q" A ⊢ p = q  (⇔ p ~c q, Theorems 6/7)
+//	bpiaxiom list                         the axiom catalogue
+//
+// With -server, decide is delegated to a running bpid daemon (hnf, expand
+// and list always run locally).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	bpi "bpi"
 	"bpi/internal/axioms"
 	"bpi/internal/parser"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
 
+var (
+	server  = flag.String("server", "", "delegate decide to a running bpid daemon at this base URL")
+	timeout = flag.Duration("timeout", 30*time.Second, "per-query deadline (with -server)")
+)
+
 func main() {
+	flag.Usage = usage
+	flag.Parse()
+	// Keep the historical subcommand interface: flag.Args() is the
+	// subcommand plus its operands.
+	os.Args = append(os.Args[:1], flag.Args()...)
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -63,6 +80,10 @@ func main() {
 			}
 		}
 		p, q := parse(args[0]), parse(args[1])
+		if *server != "" {
+			decideRemote(p, q, trace)
+			return
+		}
 		pr := axioms.NewProver(nil)
 		pr.Tracing = trace
 		ok, err := pr.Decide(p, q)
@@ -86,6 +107,27 @@ func main() {
 	}
 }
 
+// decideRemote delegates A ⊢ p = q to a running bpid daemon.
+func decideRemote(p, q syntax.Proc, trace bool) {
+	cl := bpi.NewClient(*server)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := cl.Prove(ctx, bpi.ProveRequest{
+		P: syntax.String(p), Q: syntax.String(q), Trace: trace,
+		TimeoutMs: int(timeout.Milliseconds()),
+	})
+	fail(err)
+	for _, line := range resp.Trace {
+		fmt.Println(" ", line)
+	}
+	if resp.Proved {
+		fmt.Printf("A ⊢ %s = %s\n", syntax.String(p), syntax.String(q))
+	} else {
+		fmt.Printf("not provable (hence not strongly congruent):\n  %s ≠ %s\n",
+			syntax.String(p), syntax.String(q))
+	}
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, `bpiaxiom — the Section 5 axiomatisation
 
@@ -93,6 +135,9 @@ func usage() {
   bpiaxiom expand "p" "q"    expansion of p ‖ q (Table 8)
   bpiaxiom decide [-v] "p" "q"   A ⊢ p = q (Theorems 6/7; -v traces the derivation)
   bpiaxiom list              the axiom catalogue
+
+  -server URL   delegate decide to a running bpid daemon
+  -timeout D    per-query deadline with -server (default 30s)
 `)
 }
 

@@ -4,14 +4,21 @@
 // Usage:
 //
 //	bpibisim [-f file] [-rel labelled|barbed|step|onestep|congruence|all]
-//	         [-weak] "term1" "term2"
+//	         [-weak] [-server URL] "term1" "term2"
+//
+// With -server the query is delegated to a running bpid daemon, whose
+// shared store and verdict cache amortise repeated queries across
+// processes; verdicts are identical to the local checker's.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	bpi "bpi"
 	"bpi/internal/equiv"
 	"bpi/internal/parser"
 	"bpi/internal/semantics"
@@ -22,9 +29,11 @@ func main() {
 	file := flag.String("f", "", "program file with definitions")
 	rel := flag.String("rel", "all", "relation: labelled, barbed, step, onestep, congruence, all")
 	weak := flag.Bool("weak", false, "use the weak relation")
+	server := flag.String("server", "", "delegate to a running bpid daemon at this base URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline (with -server)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: bpibisim [-f file] [-rel R] [-weak] term1 term2")
+		fmt.Fprintln(os.Stderr, "usage: bpibisim [-f file] [-rel R] [-weak] [-server URL] term1 term2")
 		os.Exit(2)
 	}
 	var env syntax.Env
@@ -40,7 +49,6 @@ func main() {
 	q, err := parser.Parse(flag.Arg(1))
 	fail(err)
 
-	ch := equiv.NewChecker(semantics.NewSystem(env))
 	show := func(name string, related bool, detail string) {
 		verdict := "NOT related"
 		if related {
@@ -66,6 +74,31 @@ func main() {
 	} else {
 		want[*rel] = true
 	}
+	if *server != "" {
+		if *file != "" {
+			fail(fmt.Errorf("-f and -server are exclusive: the daemon fixes its definitions at startup"))
+		}
+		cl := bpi.NewClient(*server)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		for _, r := range []string{"labelled", "barbed", "step", "onestep", "congruence"} {
+			if !want[r] {
+				continue
+			}
+			resp, err := cl.Equiv(ctx, bpi.EquivRequest{
+				P: flag.Arg(0), Q: flag.Arg(1), Rel: r, Weak: *weak,
+				TimeoutMs: int(timeout.Milliseconds()),
+			})
+			fail(err)
+			detail := resp.Reason
+			if resp.Cached {
+				detail = "cached daemon verdict"
+			}
+			show(r, resp.Related, detail)
+		}
+		return
+	}
+	ch := equiv.NewChecker(semantics.NewSystem(env))
 	if want["labelled"] {
 		r, err := ch.Labelled(p, q, *weak)
 		fail(err)

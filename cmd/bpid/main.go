@@ -1,0 +1,100 @@
+// Command bpid is the resident bπ equivalence-checking daemon: it serves
+// parse/step/explore, equivalence, prover and machine-run queries over
+// HTTP/JSON from ONE shared term store, so concurrent and repeated queries
+// reuse each other's derivations.
+//
+// Usage:
+//
+//	bpid [-addr :8317] [-f defs.bpi] [-workers N] [-engine-workers N]
+//	     [-queue N] [-cache N] [-max-pairs N] [-max-closure N]
+//	     [-timeout D] [-max-timeout D]
+//
+// Endpoints: POST /v1/{parse,step,explore,equiv,prove,run,jobs},
+// GET /v1/jobs/{id}, /healthz, /metrics (Prometheus text). See the README
+// section "Running the daemon" for curl examples. SIGINT/SIGTERM drains:
+// in-flight requests and accepted jobs finish, new work is refused.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bpi/internal/parser"
+	"bpi/internal/service"
+	"bpi/internal/syntax"
+)
+
+func main() {
+	addr := flag.String("addr", ":8317", "listen address")
+	file := flag.String("f", "", "program file with definitions shared by all requests")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	engineWorkers := flag.Int("engine-workers", 1, "per-query pair-engine parallelism")
+	queue := flag.Int("queue", 64, "max unfinished async jobs")
+	cache := flag.Int("cache", 4096, "verdict LRU entries")
+	maxPairs := flag.Int("max-pairs", 0, "default pair budget per query (0 = engine default)")
+	maxClosure := flag.Int("max-closure", 0, "default closure budget per query (0 = engine default)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on requested deadlines")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	var env syntax.Env
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatalf("bpid: %v", err)
+		}
+		prog, err := parser.ParseProgram(string(src))
+		if err != nil {
+			log.Fatalf("bpid: %s: %v", *file, err)
+		}
+		if err := prog.Env.Validate(); err != nil {
+			log.Fatalf("bpid: %s: %v", *file, err)
+		}
+		env = prog.Env
+	}
+
+	svc := service.New(service.Config{
+		Env:            env,
+		Workers:        *workers,
+		EngineWorkers:  *engineWorkers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		MaxPairs:       *maxPairs,
+		MaxClosure:     *maxClosure,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("bpid: listening on %s (defs=%q)", *addr, *file)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("bpid: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("bpid: draining (budget %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("bpid: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(dctx); err != nil {
+		log.Printf("bpid: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("bpid: drained cleanly")
+}

@@ -1,6 +1,7 @@
 package axioms
 
 import (
+	"context"
 	"fmt"
 
 	"bpi/internal/actions"
@@ -46,6 +47,7 @@ type Prover struct {
 	memo  map[string]bool
 	steps int
 	trace []string
+	ctx   context.Context // set per Decide/DecideCtx call
 }
 
 // TraceLines returns the derivation outline recorded by the last Decide
@@ -84,6 +86,17 @@ func (pr *Prover) maxSteps() int {
 // Decide reports whether A ⊢ p = q (equivalently, by Theorems 6 and 7,
 // whether p ~c q) for finite processes p, q.
 func (pr *Prover) Decide(p, q syntax.Proc) (bool, error) {
+	return pr.DecideCtx(context.Background(), p, q)
+}
+
+// DecideCtx is Decide honouring ctx: cancellation or deadline expiry aborts
+// the derivation search (checked at every pair comparison) with an error
+// wrapping ctx.Err().
+func (pr *Prover) DecideCtx(ctx context.Context, p, q syntax.Proc) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pr.ctx = ctx
 	if !syntax.IsFinite(p) || !syntax.IsFinite(q) {
 		return false, fmt.Errorf("axioms: the axiomatisation covers finite processes only")
 	}
@@ -117,6 +130,11 @@ func (pr *Prover) decideWorld(p, q syntax.Proc, saturate bool) (bool, error) {
 	pr.steps++
 	if pr.steps > pr.maxSteps() {
 		return false, fmt.Errorf("axioms: prover step budget exhausted")
+	}
+	if pr.ctx != nil {
+		if err := pr.ctx.Err(); err != nil {
+			return false, fmt.Errorf("axioms: derivation canceled: %w", err)
+		}
 	}
 	key := syntax.Key(p) + "\x00" + syntax.Key(q) + boolKey(saturate)
 	if v, ok := pr.memo[key]; ok {

@@ -1,6 +1,8 @@
 package equiv
 
 import (
+	"context"
+
 	"bpi/internal/actions"
 	"bpi/internal/names"
 	"bpi/internal/semantics"
@@ -10,17 +12,33 @@ import (
 // Labelled decides labelled bisimilarity: p ~ q (Definition 8) or p ≈ q
 // (Definition 7) when weak is set.
 func (c *Checker) Labelled(p, q syntax.Proc, weak bool) (Result, error) {
-	return c.memoRun(p, q, spec{relLabelled, weak})
+	return c.LabelledCtx(context.Background(), p, q, weak)
+}
+
+// LabelledCtx is Labelled honouring ctx: cancellation or deadline expiry
+// aborts the pair exploration with an ErrCanceled wrapping ctx.Err().
+func (c *Checker) LabelledCtx(ctx context.Context, p, q syntax.Proc, weak bool) (Result, error) {
+	return c.memoRun(ctx, p, q, spec{relLabelled, weak})
 }
 
 // Barbed decides barbed bisimilarity: p ~b q or p ≈b q (Definition 3).
 func (c *Checker) Barbed(p, q syntax.Proc, weak bool) (Result, error) {
-	return c.memoRun(p, q, spec{relBarbed, weak})
+	return c.BarbedCtx(context.Background(), p, q, weak)
+}
+
+// BarbedCtx is Barbed honouring ctx (see LabelledCtx).
+func (c *Checker) BarbedCtx(ctx context.Context, p, q syntax.Proc, weak bool) (Result, error) {
+	return c.memoRun(ctx, p, q, spec{relBarbed, weak})
 }
 
 // Step decides step (φ) bisimilarity: p ~φ q or p ≈φ q (Definition 5).
 func (c *Checker) Step(p, q syntax.Proc, weak bool) (Result, error) {
-	return c.memoRun(p, q, spec{relStep, weak})
+	return c.StepCtx(context.Background(), p, q, weak)
+}
+
+// StepCtx is Step honouring ctx (see LabelledCtx).
+func (c *Checker) StepCtx(ctx context.Context, p, q syntax.Proc, weak bool) (Result, error) {
+	return c.memoRun(ctx, p, q, spec{relStep, weak})
 }
 
 // verdictKey identifies a cached verdict: the relation plus the store IDs of
@@ -35,7 +53,7 @@ type verdictKey struct {
 // is not, so whole runs can be reused across queries. The cache is guarded
 // by a mutex; concurrent identical queries may both run the engine, but the
 // engine is deterministic so they store the same verdict.
-func (c *Checker) memoRun(p, q syntax.Proc, sp spec) (Result, error) {
+func (c *Checker) memoRun(ctx context.Context, p, q syntax.Proc, sp spec) (Result, error) {
 	pi, err := c.intern(p)
 	if err != nil {
 		return Result{}, err
@@ -51,7 +69,7 @@ func (c *Checker) memoRun(p, q syntax.Proc, sp spec) (Result, error) {
 	if ok {
 		return Result{Related: v, Pairs: 0, Reason: cachedReason(v)}, nil
 	}
-	res, err := c.run(pi, qi, sp)
+	res, err := c.run(ctx, pi, qi, sp)
 	if err != nil {
 		return res, err
 	}

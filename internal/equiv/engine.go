@@ -1,12 +1,24 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"bpi/internal/names"
 )
+
+// ErrCanceled reports that a query was abandoned because its context was
+// canceled or its deadline expired; the verdict is inconclusive. It unwraps
+// to the context error, so errors.Is(err, context.DeadlineExceeded)
+// distinguishes timeouts from exploration-budget exhaustion (ErrBudget).
+type ErrCanceled struct{ Cause error }
+
+func (e ErrCanceled) Error() string { return "equiv: query canceled: " + e.Cause.Error() }
+
+// Unwrap exposes the context error for errors.Is/As.
+func (e ErrCanceled) Unwrap() error { return e.Cause }
 
 // relKind selects which of the paper's bisimilarities an engine decides.
 type relKind int
@@ -83,14 +95,18 @@ func (b *built) fail(format string, args ...any) {
 
 type engine struct {
 	c        *Checker
+	ctx      context.Context
 	sp       spec
 	nodes    []*pairNode
 	index    map[[2]uint64]int
 	frontier []int
 }
 
-func (c *Checker) run(pi, qi *termInfo, sp spec) (Result, error) {
-	e := &engine{c: c, sp: sp, index: map[[2]uint64]int{}}
+func (c *Checker) run(ctx context.Context, pi, qi *termInfo, sp spec) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &engine{c: c, ctx: ctx, sp: sp, index: map[[2]uint64]int{}}
 	root, err := e.node(pi, qi)
 	if err != nil {
 		return Result{}, err
@@ -115,7 +131,9 @@ func (c *Checker) run(pi, qi *termInfo, sp spec) (Result, error) {
 // explore closes the pair space breadth-first. Each BFS wave is built (pure
 // store reads) either inline or by a bounded worker pool, then merged into
 // the engine in submission order — so node numbering, budget errors and the
-// explored set are identical whatever the worker count.
+// explored set are identical whatever the worker count. Context cancellation
+// is observed between pairs (sequential) and between claims (parallel), so a
+// deadline aborts the query promptly even on unbounded pair spaces.
 func (e *engine) explore() error {
 	workers := e.c.workers()
 	for len(e.frontier) > 0 {
@@ -123,6 +141,9 @@ func (e *engine) explore() error {
 		e.frontier = nil
 		if workers <= 1 || len(wave) == 1 {
 			for _, i := range wave {
+				if err := e.ctx.Err(); err != nil {
+					return ErrCanceled{err}
+				}
 				b := e.buildPair(e.nodes[i])
 				if b.err != nil {
 					return b.err
@@ -148,6 +169,10 @@ func (e *engine) explore() error {
 					j := int(next.Add(1)) - 1
 					if j >= len(wave) {
 						return
+					}
+					if err := e.ctx.Err(); err != nil {
+						builds[j] = &built{err: ErrCanceled{err}}
+						continue
 					}
 					builds[j] = e.buildPair(e.nodes[wave[j]])
 				}

@@ -1,6 +1,7 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 
 	"bpi/internal/names"
@@ -22,6 +23,15 @@ import (
 // Closing ~+ (resp. ≈+) under all substitutions yields the congruence ~c
 // (resp. ≈c) — see Congruence.
 func (c *Checker) OneStep(p, q syntax.Proc, weak bool) (bool, error) {
+	return c.OneStepCtx(context.Background(), p, q, weak)
+}
+
+// OneStepCtx is OneStep honouring ctx: cancellation aborts the move
+// enumeration (and the labelled sub-queries) with an ErrCanceled.
+func (c *Checker) OneStepCtx(ctx context.Context, p, q syntax.Proc, weak bool) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pi, err := c.intern(p)
 	if err != nil {
 		return false, err
@@ -38,6 +48,9 @@ func (c *Checker) OneStep(p, q syntax.Proc, weak bool) (bool, error) {
 	// resting state related to the still-discarding side.
 	chans := freeUnion(pi, qi).Sorted()
 	for _, a := range chans {
+		if err := ctx.Err(); err != nil {
+			return false, ErrCanceled{err}
+		}
 		dp, err := c.discardsOn(pi, a)
 		if err != nil {
 			return false, err
@@ -53,28 +66,28 @@ func (c *Checker) OneStep(p, q syntax.Proc, weak bool) (bool, error) {
 			continue
 		}
 		if dp {
-			ok, err := c.weakDiscardMatch(pi, qi, a, weak)
+			ok, err := c.weakDiscardMatch(ctx, pi, qi, a, weak)
 			if err != nil || !ok {
 				return false, err
 			}
 		}
 		if dq {
-			ok, err := c.weakDiscardMatch(qi, pi, a, weak)
+			ok, err := c.weakDiscardMatch(ctx, qi, pi, a, weak)
 			if err != nil || !ok {
 				return false, err
 			}
 		}
 	}
-	if ok, err := c.oneStepDirected(pi, qi, weak, false); err != nil || !ok {
+	if ok, err := c.oneStepDirected(ctx, pi, qi, weak, false); err != nil || !ok {
 		return false, err
 	}
-	return c.oneStepDirected(qi, pi, weak, true)
+	return c.oneStepDirected(ctx, qi, pi, weak, true)
 }
 
 // weakDiscardMatch checks clause 4 of Definition 15: discarder --a:-->
 // (staying put) must be answered by other =ε=> o' with o' discarding a and
 // the pair (discarder, o') weakly bisimilar.
-func (c *Checker) weakDiscardMatch(discarder, other *termInfo, a names.Name, weak bool) (bool, error) {
+func (c *Checker) weakDiscardMatch(ctx context.Context, discarder, other *termInfo, a names.Name, weak bool) (bool, error) {
 	cl, err := c.tauClosure(other)
 	if err != nil {
 		return false, err
@@ -87,7 +100,7 @@ func (c *Checker) weakDiscardMatch(discarder, other *termInfo, a names.Name, wea
 		if !d {
 			continue
 		}
-		r, err := c.Labelled(discarder.proc, s.proc, weak)
+		r, err := c.LabelledCtx(ctx, discarder.proc, s.proc, weak)
 		if err != nil {
 			return false, err
 		}
@@ -102,9 +115,9 @@ func (c *Checker) weakDiscardMatch(discarder, other *termInfo, a names.Name, wea
 // τ, output and input moves. flipped tells which side of the successor pair
 // the mover's derivative goes on (the successor relation ~ is symmetric, so
 // it only matters for error reporting consistency).
-func (c *Checker) oneStepDirected(mover, answerer *termInfo, weak, flipped bool) (bool, error) {
+func (c *Checker) oneStepDirected(ctx context.Context, mover, answerer *termInfo, weak, flipped bool) (bool, error) {
 	related := func(a, b *termInfo) (bool, error) {
-		r, err := c.Labelled(a.proc, b.proc, weak)
+		r, err := c.LabelledCtx(ctx, a.proc, b.proc, weak)
 		if err != nil {
 			return false, err
 		}
@@ -196,6 +209,9 @@ func (c *Checker) oneStepDirected(mover, answerer *termInfo, weak, flipped bool)
 	for _, s := range mshapes {
 		u := pairUniverse(mover, answerer, s.arity)
 		for _, payload := range tuples(u, s.arity) {
+			if err := ctx.Err(); err != nil {
+				return false, ErrCanceled{err}
+			}
 			mIns, err := c.inputDerivatives(mover, s.ch, payload)
 			if err != nil {
 				return false, err
@@ -281,10 +297,24 @@ func (c *Checker) Congruence(p, q syntax.Proc, weak bool) (bool, error) {
 	return c.CongruenceBounded(p, q, weak, 0)
 }
 
+// CongruenceCtx is Congruence honouring ctx (checked per substitution and
+// inside each one-step sub-query).
+func (c *Checker) CongruenceCtx(ctx context.Context, p, q syntax.Proc, weak bool) (bool, error) {
+	return c.CongruenceBoundedCtx(ctx, p, q, weak, 0)
+}
+
 // CongruenceBounded is Congruence with a cap on the number of substitutions
 // tried (0 means unbounded). When capped, a true verdict means "no tried
 // substitution distinguishes them".
 func (c *Checker) CongruenceBounded(p, q syntax.Proc, weak bool, maxSubs int) (bool, error) {
+	return c.CongruenceBoundedCtx(context.Background(), p, q, weak, maxSubs)
+}
+
+// CongruenceBoundedCtx is CongruenceBounded honouring ctx.
+func (c *Checker) CongruenceBoundedCtx(ctx context.Context, p, q syntax.Proc, weak bool, maxSubs int) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fn := syntax.FreeNames(p).AddAll(syntax.FreeNames(q)).Sorted()
 	subs := names.AllFusions(fn, fn)
 	if len(subs) == 0 {
@@ -294,7 +324,10 @@ func (c *Checker) CongruenceBounded(p, q syntax.Proc, weak bool, maxSubs int) (b
 		subs = subs[:maxSubs]
 	}
 	for _, sub := range subs {
-		ok, err := c.OneStep(syntax.Apply(p, sub), syntax.Apply(q, sub), weak)
+		if err := ctx.Err(); err != nil {
+			return false, ErrCanceled{err}
+		}
+		ok, err := c.OneStepCtx(ctx, syntax.Apply(p, sub), syntax.Apply(q, sub), weak)
 		if err != nil {
 			return false, fmt.Errorf("under substitution %s: %w", sub, err)
 		}

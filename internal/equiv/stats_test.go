@@ -1,0 +1,119 @@
+package equiv
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bpi/internal/parser"
+)
+
+// TestStoreStatsMemoisedPath asserts that a repeated identical query is
+// served from the memoised store: no new terms are interned and the
+// derivation lookups hit the cache.
+func TestStoreStatsMemoisedPath(t *testing.T) {
+	p, err := parser.Parse("a?(x).x! + b!(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Parse("a?(y).y! + b!(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewChecker(nil)
+	if _, err := c1.Labelled(p, q, false); err != nil {
+		t.Fatal(err)
+	}
+	s1 := c1.Store().Stats()
+	if s1.Terms == 0 || s1.DerivationMisses == 0 {
+		t.Fatalf("first query should populate the store, got %+v", s1)
+	}
+
+	// Fresh checker (no verdict memo) over the SAME store: the engine must
+	// re-run, but every semantic derivation should be a cache hit and the
+	// term set must not grow.
+	c2 := NewCheckerWithStore(c1.Store())
+	if _, err := c2.Labelled(p, q, false); err != nil {
+		t.Fatal(err)
+	}
+	s2 := c2.Store().Stats()
+	if s2.Terms != s1.Terms {
+		t.Errorf("repeated query interned new terms: %d -> %d", s1.Terms, s2.Terms)
+	}
+	if s2.DerivationMisses != s1.DerivationMisses {
+		t.Errorf("repeated query recomputed derivations: misses %d -> %d",
+			s1.DerivationMisses, s2.DerivationMisses)
+	}
+	if s2.DerivationHits <= s1.DerivationHits {
+		t.Errorf("repeated query did not hit the memoised path: hits %d -> %d",
+			s1.DerivationHits, s2.DerivationHits)
+	}
+	if s2.InternHits <= s1.InternHits {
+		t.Errorf("repeated query did not reuse interned terms: hits %d -> %d",
+			s1.InternHits, s2.InternHits)
+	}
+	if s2.ShardMax < 1 || s2.ShardMin < 0 {
+		t.Errorf("implausible shard occupancy: %+v", s2)
+	}
+}
+
+// TestLabelledCtxDeadline runs the pair engine on an infinite-state pair
+// with a 50ms deadline and a pair budget far beyond reach: the BFS loop
+// must notice the expired context and return a typed ErrCanceled that
+// errors.Is-matches context.DeadlineExceeded — not hang, and not report
+// budget exhaustion.
+func TestLabelledCtxDeadline(t *testing.T) {
+	// Grow(a) receives on a and spawns a parallel output each time: the
+	// reachable pair space is unbounded.
+	p, err := parser.Parse("(rec G(a). a?(x).(x! | G(a)))(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Parse("(rec H(b). b?(y).(y! | H(b)))(a) + c!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(nil)
+	c.MaxPairs = 1 << 30
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.LabelledCtx(ctx, p, q, false)
+	if err == nil {
+		t.Fatal("expected a deadline error, got a verdict")
+	}
+	var ec ErrCanceled
+	if !errors.As(err, &ec) {
+		t.Fatalf("expected ErrCanceled, got %T: %v", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected the error to unwrap to DeadlineExceeded, got %v", err)
+	}
+	var eb ErrBudget
+	if errors.As(err, &eb) {
+		t.Fatalf("deadline must not be reported as budget exhaustion: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s — the BFS loop is not checking the context", elapsed)
+	}
+}
+
+// TestCongruenceCtxCancel checks that the substitution-closure loop is
+// cancellable too.
+func TestCongruenceCtxCancel(t *testing.T) {
+	p, err := parser.Parse("a?(x).b?(y).(x! + y!) + c!(d).e!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Parse("a?(x).b?(y).(y! + x!) + c!(d).e!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first loop check must fire
+	if _, err := c.CongruenceCtx(ctx, p, q, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}

@@ -29,6 +29,54 @@ type Store struct {
 	sys    *semantics.System
 	nextID atomic.Uint64
 	shards [storeShards]shard
+
+	// Occupancy / reuse counters, exposed by Stats. "Derivations" are the
+	// memoised per-term lookups (discards, successor sets, closures): a hit
+	// returns cached data, a miss recomputes it from the semantics.
+	internHits   atomic.Uint64
+	internMisses atomic.Uint64
+	derivHits    atomic.Uint64
+	derivMisses  atomic.Uint64
+}
+
+// Stats is a snapshot of a store's occupancy and reuse counters.
+type Stats struct {
+	// Terms is the number of interned canonical terms.
+	Terms uint64
+	// InternHits / InternMisses count intern calls that found (resp. had to
+	// create) the canonical term.
+	InternHits, InternMisses uint64
+	// DerivationHits / DerivationMisses count memoised per-term lookups
+	// (discards, τ/autonomous successors and closures) served from cache
+	// resp. recomputed from the semantics.
+	DerivationHits, DerivationMisses uint64
+	// ShardMin / ShardMax bound the per-shard term counts (occupancy spread).
+	ShardMin, ShardMax int
+}
+
+// Stats returns a consistent-enough snapshot of the store counters (each
+// counter is read atomically; the set is not a single atomic snapshot).
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Terms:            s.nextID.Load(),
+		InternHits:       s.internHits.Load(),
+		InternMisses:     s.internMisses.Load(),
+		DerivationHits:   s.derivHits.Load(),
+		DerivationMisses: s.derivMisses.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := len(sh.terms)
+		sh.mu.Unlock()
+		if i == 0 || n < st.ShardMin {
+			st.ShardMin = n
+		}
+		if n > st.ShardMax {
+			st.ShardMax = n
+		}
+	}
+	return st
 }
 
 const storeShards = 64
@@ -106,6 +154,11 @@ func (s *Store) intern(p syntax.Proc) (*termInfo, error) {
 		sh.terms[k] = ti
 	}
 	sh.mu.Unlock()
+	if ok {
+		s.internHits.Add(1)
+	} else {
+		s.internMisses.Add(1)
+	}
 	ti.transOnce.Do(func() {
 		ti.trans, ti.transErr = s.sys.Steps(ti.proc)
 	})
@@ -121,8 +174,10 @@ func (s *Store) discardsOn(ti *termInfo, a names.Name) (bool, error) {
 	v, ok := ti.discards[a]
 	ti.mu.Unlock()
 	if ok {
+		s.derivHits.Add(1)
 		return v, nil
 	}
+	s.derivMisses.Add(1)
 	v, err := s.sys.Discards(ti.proc, a)
 	if err != nil {
 		return false, err
@@ -142,9 +197,11 @@ func (s *Store) tauSucc(ti *termInfo) ([]*termInfo, error) {
 	if ti.tauSuccsOK {
 		out := ti.tauSuccs
 		ti.mu.Unlock()
+		s.derivHits.Add(1)
 		return out, nil
 	}
 	ti.mu.Unlock()
+	s.derivMisses.Add(1)
 	out := []*termInfo{}
 	for _, t := range ti.trans {
 		if t.Act.IsTau() {
@@ -168,9 +225,11 @@ func (s *Store) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
 	if ti.autoSuccsOK {
 		out := ti.autoSuccs
 		ti.mu.Unlock()
+		s.derivHits.Add(1)
 		return out, nil
 	}
 	ti.mu.Unlock()
+	s.derivMisses.Add(1)
 	out := []*termInfo{}
 	for _, t := range ti.trans {
 		if !t.Act.IsStep() {
@@ -199,8 +258,10 @@ func (s *Store) tauClosure(ti *termInfo, budget int) ([]*termInfo, error) {
 	cl := ti.tauClosure
 	ti.mu.Unlock()
 	if cl != nil {
+		s.derivHits.Add(1)
 		return cl, nil
 	}
+	s.derivMisses.Add(1)
 	cl, err := s.closure(ti, budget, s.tauSucc, "tau closure")
 	if err != nil {
 		return nil, err
@@ -218,8 +279,10 @@ func (s *Store) autonomousClosure(ti *termInfo, budget int) ([]*termInfo, error)
 	cl := ti.autoClosure
 	ti.mu.Unlock()
 	if cl != nil {
+		s.derivHits.Add(1)
 		return cl, nil
 	}
+	s.derivMisses.Add(1)
 	cl, err := s.closure(ti, budget, s.autonomousSucc, "autonomous closure")
 	if err != nil {
 		return nil, err

@@ -1,0 +1,76 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bpi/internal/parser"
+	"bpi/internal/syntax"
+)
+
+func parseT(t *testing.T, src string) syntax.Proc {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return p
+}
+
+// TestRunCtxDeadline drives an endlessly ticking process under an expired
+// deadline: the scheduler loop must return a typed ErrDeadline (unwrapping
+// to context.DeadlineExceeded), not spin to the step budget.
+func TestRunCtxDeadline(t *testing.T) {
+	p := parseT(t, "(rec T(a). a!.T(a))(tick)")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err := RunCtx(ctx, nil, p, Options{MaxSteps: 1 << 30})
+	var ed ErrDeadline
+	if !errors.As(err, &ed) {
+		t.Fatalf("expected ErrDeadline, got %T: %v", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected the error to unwrap to DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestRunCtxBudgetIsNotDeadline checks the two run-ending causes stay
+// distinct: exhausting MaxSteps is a normal result, not an error.
+func TestRunCtxBudgetIsNotDeadline(t *testing.T) {
+	p := parseT(t, "(rec T(a). a!.T(a))(tick)")
+	res, err := RunCtx(context.Background(), nil, p, Options{MaxSteps: 10})
+	if err != nil {
+		t.Fatalf("step-budget end must not error, got %v", err)
+	}
+	if res.Steps != 10 || res.Quiescent {
+		t.Fatalf("expected 10 non-quiescent steps, got %+v", res)
+	}
+}
+
+// TestRunManyCtxCancel checks that cancellation propagates into every run of
+// a Monte-Carlo pool.
+func TestRunManyCtxCancel(t *testing.T) {
+	p := parseT(t, "(rec T(a). a!.T(a))(tick)")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunManyCtx(ctx, nil, p, 8, 1, Options{MaxSteps: 1 << 30}, 4)
+	var ed ErrDeadline
+	if !errors.As(err, &ed) {
+		t.Fatalf("expected ErrDeadline from the pool, got %v", err)
+	}
+}
+
+// TestCanReachBarbCtxCancel checks the exhaustive explorer honours ctx.
+func TestCanReachBarbCtxCancel(t *testing.T) {
+	p := parseT(t, "(rec G(a). a?(x).(x! | G(a)))(a) | a!(b)")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CanReachBarbCtx(ctx, nil, p, "never", 1<<30)
+	var ed ErrDeadline
+	if !errors.As(err, &ed) {
+		t.Fatalf("expected ErrDeadline, got %v", err)
+	}
+}

@@ -11,6 +11,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -21,6 +22,18 @@ import (
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
+
+// ErrDeadline reports that a run was abandoned because its context was
+// canceled or its deadline expired — distinct from hitting the MaxSteps
+// budget, which ends a run normally (Result.Steps == MaxSteps, no error).
+// It unwraps to the context error, so errors.Is(err,
+// context.DeadlineExceeded) identifies timeouts.
+type ErrDeadline struct{ Cause error }
+
+func (e ErrDeadline) Error() string { return "machine: run canceled: " + e.Cause.Error() }
+
+// Unwrap exposes the context error for errors.Is/As.
+func (e ErrDeadline) Unwrap() error { return e.Cause }
 
 // Scheduler selects which of n enabled autonomous transitions fires at a
 // given step.
@@ -111,14 +124,28 @@ type Result struct {
 // Run executes p under the options until quiescence, the step bound, or a
 // stop barb.
 func Run(sys *semantics.System, p syntax.Proc, opt Options) (Result, error) {
+	return RunCtx(context.Background(), sys, p, opt)
+}
+
+// RunCtx is Run honouring ctx: the scheduler loop checks for cancellation
+// before every step, so runaway executions (long encodings, adversarial
+// schedules) are abandoned with a typed ErrDeadline instead of spinning to
+// the step budget.
+func RunCtx(ctx context.Context, sys *semantics.System, p syntax.Proc, opt Options) (Result, error) {
 	if sys == nil {
 		sys = semantics.NewSystem(nil)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	stop := names.NewSet(opt.StopOnBarb...)
 	sched := opt.scheduler()
 	res := Result{Final: p}
 	cur := p
 	for res.Steps < opt.maxSteps() {
+		if err := ctx.Err(); err != nil {
+			return res, ErrDeadline{err}
+		}
 		ts, err := sys.Steps(cur)
 		if err != nil {
 			return res, err
@@ -160,8 +187,17 @@ func Run(sys *semantics.System, p syntax.Proc, opt Options) (Result, error) {
 // state emits on the watch channel. Unlike Run, this is scheduler-
 // independent: it answers "is detection possible at all?".
 func CanReachBarb(sys *semantics.System, p syntax.Proc, watch names.Name, maxStates int) (bool, error) {
+	return CanReachBarbCtx(context.Background(), sys, p, watch, maxStates)
+}
+
+// CanReachBarbCtx is CanReachBarb honouring ctx (checked once per explored
+// state).
+func CanReachBarbCtx(ctx context.Context, sys *semantics.System, p syntax.Proc, watch names.Name, maxStates int) (bool, error) {
 	if sys == nil {
 		sys = semantics.NewSystem(nil)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if maxStates <= 0 {
 		maxStates = 8192
@@ -169,6 +205,9 @@ func CanReachBarb(sys *semantics.System, p syntax.Proc, watch names.Name, maxSta
 	seen := map[string]bool{}
 	queue := []syntax.Proc{p}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, ErrDeadline{err}
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		k := syntax.Key(syntax.Simplify(cur))
@@ -204,8 +243,19 @@ func CanReachBarb(sys *semantics.System, p syntax.Proc, watch names.Name, maxSta
 // is reachable on an honest path".
 func CanReachBarbAvoiding(sys *semantics.System, p syntax.Proc, watch names.Name,
 	avoid names.Set, maxStates int) (bool, error) {
+	return CanReachBarbAvoidingCtx(context.Background(), sys, p, watch, avoid, maxStates)
+}
+
+// CanReachBarbAvoidingCtx is CanReachBarbAvoiding honouring ctx (checked
+// once per explored state), so large guess-and-verify encodings (e.g. the
+// counter-machine simulations) are cancellable.
+func CanReachBarbAvoidingCtx(ctx context.Context, sys *semantics.System, p syntax.Proc, watch names.Name,
+	avoid names.Set, maxStates int) (bool, error) {
 	if sys == nil {
 		sys = semantics.NewSystem(nil)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if maxStates <= 0 {
 		maxStates = 8192
@@ -213,6 +263,9 @@ func CanReachBarbAvoiding(sys *semantics.System, p syntax.Proc, watch names.Name
 	seen := map[string]bool{}
 	queue := []syntax.Proc{p}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, ErrDeadline{err}
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		k := syntax.Key(syntax.Simplify(cur))
@@ -350,6 +403,13 @@ func AlwaysReachesBarb(sys *semantics.System, p syntax.Proc, watch names.Name, m
 // schedulers on a bounded worker pool, returning every result. It is the
 // Monte-Carlo harness used by the example experiments.
 func RunMany(sys *semantics.System, p syntax.Proc, n int, baseSeed int64, opt Options, workers int) ([]Result, error) {
+	return RunManyCtx(context.Background(), sys, p, n, baseSeed, opt, workers)
+}
+
+// RunManyCtx is RunMany honouring ctx: cancellation aborts every in-flight
+// run (each checks the shared context per step) and the first ErrDeadline is
+// reported.
+func RunManyCtx(ctx context.Context, sys *semantics.System, p syntax.Proc, n int, baseSeed int64, opt Options, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -365,7 +425,7 @@ func RunMany(sys *semantics.System, p syntax.Proc, n int, baseSeed int64, opt Op
 			defer func() { <-sem }()
 			o := opt
 			o.Scheduler = NewRandomScheduler(baseSeed + int64(i))
-			results[i], errs[i] = Run(sys, p, o)
+			results[i], errs[i] = RunCtx(ctx, sys, p, o)
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,213 @@
+package service
+
+// Wire types of the bpid HTTP/JSON API. The same structs are used by the
+// daemon handlers and by the bpi.Client, so the two cannot drift.
+
+// ErrorBody is the typed error payload carried by every non-2xx response.
+type ErrorBody struct {
+	// Code is a stable machine-readable cause: invalid_request, parse_error,
+	// term_too_large, budget_exhausted, deadline_exceeded, queue_full,
+	// shutting_down, not_found or internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// Error makes *ErrorBody usable as a Go error (the client returns it as-is).
+func (e *ErrorBody) Error() string { return "bpid: " + e.Code + ": " + e.Message }
+
+// Error codes.
+const (
+	CodeInvalidRequest  = "invalid_request"
+	CodeParseError      = "parse_error"
+	CodeTermTooLarge    = "term_too_large"
+	CodeBudgetExhausted = "budget_exhausted"
+	CodeDeadline        = "deadline_exceeded"
+	CodeQueueFull       = "queue_full"
+	CodeShuttingDown    = "shutting_down"
+	CodeNotFound        = "not_found"
+	CodeInternal        = "internal"
+)
+
+// errorResponse is the JSON envelope of an error.
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ParseRequest asks for a term to be parsed and canonicalised.
+type ParseRequest struct {
+	Term string `json:"term"`
+}
+
+// ParseResponse reports the canonical rendering and the free names.
+type ParseResponse struct {
+	Canonical string   `json:"canonical"`
+	FreeNames []string `json:"free_names"`
+}
+
+// StepRequest asks for the symbolic transitions of a term.
+type StepRequest struct {
+	Term string `json:"term"`
+}
+
+// Transition is one symbolic transition, rendered in concrete syntax.
+type Transition struct {
+	Act    string `json:"act"`
+	Target string `json:"target"`
+}
+
+// StepResponse lists the transitions of the (canonicalised) term.
+type StepResponse struct {
+	Term        string       `json:"term"`
+	Transitions []Transition `json:"transitions"`
+}
+
+// ExploreRequest asks for the finite transition graph reachable from a term.
+type ExploreRequest struct {
+	Term           string `json:"term"`
+	MaxStates      int    `json:"max_states,omitempty"`
+	FreshNames     int    `json:"fresh_names,omitempty"`
+	AutonomousOnly bool   `json:"autonomous_only,omitempty"`
+}
+
+// ExploreResponse summarises the explored graph.
+type ExploreResponse struct {
+	States    int      `json:"states"`
+	Edges     int      `json:"edges"`
+	Truncated bool     `json:"truncated"`
+	Universe  []string `json:"universe"`
+}
+
+// Relation names accepted by EquivRequest.Rel.
+const (
+	RelLabelled   = "labelled"
+	RelBarbed     = "barbed"
+	RelStep       = "step"
+	RelOneStep    = "onestep"
+	RelCongruence = "congruence"
+)
+
+// EquivRequest asks whether two terms are related by one of the paper's
+// equivalences: ~ / ≈ (labelled), ~b / ≈b (barbed), ~φ / ≈φ (step),
+// ~+ / ≈+ (onestep) or ~c / ≈c (congruence); Weak selects the ≈ variant.
+type EquivRequest struct {
+	P    string `json:"p"`
+	Q    string `json:"q"`
+	Rel  string `json:"rel"`
+	Weak bool   `json:"weak,omitempty"`
+	// MaxPairs / MaxClosure override the engine budgets (0 = server default).
+	MaxPairs   int `json:"max_pairs,omitempty"`
+	MaxClosure int `json:"max_closure,omitempty"`
+	// MaxSubs bounds the substitutions tried by a congruence query
+	// (0 = unbounded).
+	MaxSubs int `json:"max_subs,omitempty"`
+	// TimeoutMs bounds the wall-clock time of the query (0 = server
+	// default; clamped to the server maximum).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// EquivResponse reports an equivalence verdict.
+type EquivResponse struct {
+	Related bool   `json:"related"`
+	Pairs   int    `json:"pairs"`
+	Reason  string `json:"reason,omitempty"`
+	// Cached reports that the verdict came from the daemon's verdict cache.
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// ProveRequest asks whether A ⊢ p = q (Section 5) for finite terms.
+type ProveRequest struct {
+	P     string `json:"p"`
+	Q     string `json:"q"`
+	Trace bool   `json:"trace,omitempty"`
+	// MaxNames / MaxSteps override the prover budgets (0 = prover default).
+	MaxNames  int `json:"max_names,omitempty"`
+	MaxSteps  int `json:"max_steps,omitempty"`
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// ProveResponse reports a provability verdict with an optional derivation
+// outline.
+type ProveResponse struct {
+	Proved    bool     `json:"proved"`
+	Trace     []string `json:"trace,omitempty"`
+	ElapsedMs float64  `json:"elapsed_ms"`
+}
+
+// Scheduler names accepted by RunRequest.Scheduler.
+const (
+	SchedFirst      = "first"
+	SchedRandom     = "random"
+	SchedRoundRobin = "roundrobin"
+)
+
+// RunRequest asks for one scheduled execution of a term.
+type RunRequest struct {
+	Term      string   `json:"term"`
+	MaxSteps  int      `json:"max_steps,omitempty"`
+	Scheduler string   `json:"scheduler,omitempty"` // first (default), random, roundrobin
+	Seed      int64    `json:"seed,omitempty"`
+	StopOn    []string `json:"stop_on_barb,omitempty"`
+	KeepTrace bool     `json:"keep_trace,omitempty"`
+	TimeoutMs int      `json:"timeout_ms,omitempty"`
+}
+
+// RunEvent is one fired transition of a run.
+type RunEvent struct {
+	Step int    `json:"step"`
+	Act  string `json:"act"`
+}
+
+// RunResponse reports one machine execution.
+type RunResponse struct {
+	Steps     int        `json:"steps"`
+	Quiescent bool       `json:"quiescent"`
+	Stopped   bool       `json:"stopped"`
+	StopEvent *RunEvent  `json:"stop_event,omitempty"`
+	Trace     []RunEvent `json:"trace,omitempty"`
+	Final     string     `json:"final"`
+	ElapsedMs float64    `json:"elapsed_ms"`
+}
+
+// Job kinds accepted by JobRequest.Kind.
+const (
+	JobEquiv = "equiv"
+	JobProve = "prove"
+	JobRun   = "run"
+)
+
+// JobRequest submits an asynchronous job; exactly the field matching Kind
+// must be set.
+type JobRequest struct {
+	Kind  string        `json:"kind"`
+	Equiv *EquivRequest `json:"equiv,omitempty"`
+	Prove *ProveRequest `json:"prove,omitempty"`
+	Run   *RunRequest   `json:"run,omitempty"`
+}
+
+// JobSubmitResponse acknowledges a submitted job.
+type JobSubmitResponse struct {
+	ID string `json:"id"`
+}
+
+// Job states.
+const (
+	JobPending = "pending"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatusResponse reports a job's state and, when done, its result (the
+// field matching the submitted Kind) or its typed error (when failed).
+type JobStatusResponse struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+
+	Equiv *EquivResponse `json:"equiv,omitempty"`
+	Prove *ProveResponse `json:"prove,omitempty"`
+	Run   *RunResponse   `json:"run,omitempty"`
+	Error *ErrorBody     `json:"error,omitempty"`
+}

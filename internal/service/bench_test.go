@@ -1,0 +1,74 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	bpi "bpi"
+	"bpi/internal/service"
+)
+
+// BenchmarkServiceThroughput measures end-to-end daemon throughput: parallel
+// clients firing the mixed corpus over HTTP against one shared-store daemon.
+// The verdict cache is deliberately in play — this is the steady-state an
+// interactive daemon serves. When BENCH_SERVICE_JSON names a file, a summary
+// is written there (CI uploads it as an artifact).
+func BenchmarkServiceThroughput(b *testing.B) {
+	srv := service.New(service.Config{Workers: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	// Warm the store and the verdict cache once so every measured iteration
+	// sees the steady state.
+	warm := bpi.NewClient(ts.URL)
+	for _, pr := range raceCorpus {
+		if _, err := warm.Equiv(ctx, bpi.EquivRequest{P: pr.p, Q: pr.q, Rel: pr.rel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cl := bpi.NewClient(ts.URL)
+		i := 0
+		for pb.Next() {
+			pr := raceCorpus[i%len(raceCorpus)]
+			i++
+			if _, err := cl.Equiv(ctx, bpi.EquivRequest{P: pr.p, Q: pr.q, Rel: pr.rel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	qps := 0.0
+	if elapsed > 0 {
+		qps = float64(b.N) / elapsed
+	}
+	b.ReportMetric(qps, "queries/s")
+
+	if path := os.Getenv("BENCH_SERVICE_JSON"); path != "" {
+		st := srv.Store().Stats()
+		summary := map[string]any{
+			"benchmark":         "BenchmarkServiceThroughput",
+			"queries":           b.N,
+			"seconds":           elapsed,
+			"queries_per_sec":   qps,
+			"store_terms":       st.Terms,
+			"derivation_hits":   st.DerivationHits,
+			"derivation_misses": st.DerivationMisses,
+		}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"bpi/internal/lts"
+	"bpi/internal/syntax"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/parse     canonicalise a term
+//	POST /v1/step      symbolic transitions of a term
+//	POST /v1/explore   finite transition graph summary
+//	POST /v1/equiv     equivalence verdict (~, ≈, ~b, ~φ, ~+, ~c, …)
+//	POST /v1/prove     A ⊢ p = q (Section 5)
+//	POST /v1/run       one scheduled machine execution
+//	POST /v1/jobs      submit an async job
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/parse", instrument(s, "/v1/parse", s.handleParse))
+	mux.HandleFunc("POST /v1/step", instrument(s, "/v1/step", s.handleStep))
+	mux.HandleFunc("POST /v1/explore", instrument(s, "/v1/explore", s.handleExplore))
+	mux.HandleFunc("POST /v1/equiv", instrument(s, "/v1/equiv", s.handleEquiv))
+	mux.HandleFunc("POST /v1/prove", instrument(s, "/v1/prove", s.handleProve))
+	mux.HandleFunc("POST /v1/run", instrument(s, "/v1/run", s.handleRun))
+	mux.HandleFunc("POST /v1/jobs", instrument(s, "/v1/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", instrument(s, "/v1/jobs/{id}", s.handleJobStatus))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// handlerFunc is a handler returning (status, body); body is JSON-encoded.
+type handlerFunc func(r *http.Request) (int, any)
+
+// instrument wraps a handler with request accounting and JSON encoding.
+func instrument(s *Server, endpoint string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status, body := h(r)
+		code := "ok"
+		if er, ok := body.(errorResponse); ok {
+			code = er.Error.Code
+		}
+		s.metrics.observe(endpoint, code, time.Since(start))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		_ = enc.Encode(body)
+	}
+}
+
+// fail builds a typed error response with the HTTP status matching the code.
+func fail(eb *ErrorBody) (int, any) {
+	status := http.StatusInternalServerError
+	switch eb.Code {
+	case CodeInvalidRequest, CodeParseError:
+		status = http.StatusBadRequest
+	case CodeTermTooLarge:
+		status = http.StatusRequestEntityTooLarge
+	case CodeBudgetExhausted:
+		status = http.StatusUnprocessableEntity
+	case CodeDeadline:
+		status = http.StatusGatewayTimeout
+	case CodeQueueFull, CodeShuttingDown:
+		status = http.StatusServiceUnavailable
+	case CodeNotFound:
+		status = http.StatusNotFound
+	}
+	return status, errorResponse{Error: *eb}
+}
+
+// maxBodyBytes bounds any request body; individual term fields are further
+// bounded by Config.MaxTermBytes.
+const maxBodyBytes = 1 << 20
+
+// decode reads and unmarshals a JSON request body.
+func decode(r *http.Request, into any) *ErrorBody {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return &ErrorBody{Code: CodeInvalidRequest, Message: "reading body: " + err.Error()}
+	}
+	if len(body) > maxBodyBytes {
+		return &ErrorBody{Code: CodeTermTooLarge, Message: fmt.Sprintf("body exceeds %d bytes", maxBodyBytes)}
+	}
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return &ErrorBody{Code: CodeInvalidRequest, Message: "bad JSON: " + err.Error()}
+	}
+	return nil
+}
+
+// sync runs fn on a worker-pool slot, counted against the drain group, with
+// the request context governing the slot wait.
+func (s *Server) sync(r *http.Request, fn func() (int, any)) (int, any) {
+	finish, eb := s.beginWork()
+	if eb != nil {
+		return fail(eb)
+	}
+	defer finish()
+	if eb := s.acquireSlot(r.Context()); eb != nil {
+		return fail(eb)
+	}
+	defer s.releaseSlot()
+	return fn()
+}
+
+func (s *Server) handleParse(r *http.Request) (int, any) {
+	var req ParseRequest
+	if eb := decode(r, &req); eb != nil {
+		return fail(eb)
+	}
+	p, eb := s.parseTerm("term", req.Term)
+	if eb != nil {
+		return fail(eb)
+	}
+	p = syntax.Simplify(p)
+	free := syntax.FreeNames(p).Sorted()
+	names := make([]string, len(free))
+	for i, n := range free {
+		names[i] = string(n)
+	}
+	return http.StatusOK, ParseResponse{Canonical: syntax.String(p), FreeNames: names}
+}
+
+func (s *Server) handleStep(r *http.Request) (int, any) {
+	var req StepRequest
+	if eb := decode(r, &req); eb != nil {
+		return fail(eb)
+	}
+	return s.sync(r, func() (int, any) {
+		p, eb := s.parseTerm("term", req.Term)
+		if eb != nil {
+			return fail(eb)
+		}
+		p = syntax.Simplify(p)
+		ts, err := s.sys.Steps(p)
+		if err != nil {
+			return fail(classify(err))
+		}
+		resp := StepResponse{Term: syntax.String(p)}
+		for _, t := range ts {
+			resp.Transitions = append(resp.Transitions, Transition{
+				Act:    t.Act.String(),
+				Target: syntax.String(t.Target),
+			})
+		}
+		return http.StatusOK, resp
+	})
+}
+
+func (s *Server) handleExplore(r *http.Request) (int, any) {
+	var req ExploreRequest
+	if eb := decode(r, &req); eb != nil {
+		return fail(eb)
+	}
+	return s.sync(r, func() (int, any) {
+		p, eb := s.parseTerm("term", req.Term)
+		if eb != nil {
+			return fail(eb)
+		}
+		g, err := lts.Explore(s.sys, []syntax.Proc{p}, lts.Options{
+			MaxStates:      req.MaxStates,
+			FreshNames:     req.FreshNames,
+			AutonomousOnly: req.AutonomousOnly,
+		})
+		if err != nil {
+			return fail(classify(err))
+		}
+		edges := 0
+		for _, es := range g.Edges {
+			edges += len(es)
+		}
+		resp := ExploreResponse{States: len(g.States), Edges: edges, Truncated: g.Truncated}
+		for _, u := range g.Universe {
+			resp.Universe = append(resp.Universe, string(u))
+		}
+		return http.StatusOK, resp
+	})
+}
+
+func (s *Server) handleEquiv(r *http.Request) (int, any) {
+	var req EquivRequest
+	if eb := decode(r, &req); eb != nil {
+		return fail(eb)
+	}
+	return s.sync(r, func() (int, any) {
+		resp, eb := s.runEquiv(r.Context(), &req)
+		if eb != nil {
+			return fail(eb)
+		}
+		return http.StatusOK, *resp
+	})
+}
+
+func (s *Server) handleProve(r *http.Request) (int, any) {
+	var req ProveRequest
+	if eb := decode(r, &req); eb != nil {
+		return fail(eb)
+	}
+	return s.sync(r, func() (int, any) {
+		resp, eb := s.runProve(r.Context(), &req)
+		if eb != nil {
+			return fail(eb)
+		}
+		return http.StatusOK, *resp
+	})
+}
+
+func (s *Server) handleRun(r *http.Request) (int, any) {
+	var req RunRequest
+	if eb := decode(r, &req); eb != nil {
+		return fail(eb)
+	}
+	return s.sync(r, func() (int, any) {
+		resp, eb := s.runMachine(r.Context(), &req)
+		if eb != nil {
+			return fail(eb)
+		}
+		return http.StatusOK, *resp
+	})
+}
+
+func (s *Server) handleJobSubmit(r *http.Request) (int, any) {
+	var req JobRequest
+	if eb := decode(r, &req); eb != nil {
+		return fail(eb)
+	}
+	id, eb := s.jobs.submit(&req)
+	if eb != nil {
+		return fail(eb)
+	}
+	return http.StatusAccepted, JobSubmitResponse{ID: id}
+}
+
+func (s *Server) handleJobStatus(r *http.Request) (int, any) {
+	id := r.PathValue("id")
+	st, ok := s.jobs.status(id)
+	if !ok {
+		return fail(&ErrorBody{Code: CodeNotFound, Message: "no such job " + id})
+	}
+	return http.StatusOK, st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isClosed() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Stats()
+	jc := s.jobs.counts()
+	hits, misses := float64(s.cache.hits.Load()), float64(s.cache.misses.Load())
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = hits / (hits + misses)
+	}
+	gauges := []gauge{
+		{"bpid_store_terms", "Interned canonical terms in the shared store.", "", float64(st.Terms)},
+		{"bpid_store_intern_hits_total", "Intern calls served by an existing term.", "", float64(st.InternHits)},
+		{"bpid_store_intern_misses_total", "Intern calls that created a term.", "", float64(st.InternMisses)},
+		{"bpid_store_derivation_hits_total", "Memoised derivation lookups served from cache.", "", float64(st.DerivationHits)},
+		{"bpid_store_derivation_misses_total", "Derivation lookups recomputed from the semantics.", "", float64(st.DerivationMisses)},
+		{"bpid_store_shard_occupancy", "Per-shard term count bounds.", `{bound="min"}`, float64(st.ShardMin)},
+		{"bpid_store_shard_occupancy", "Per-shard term count bounds.", `{bound="max"}`, float64(st.ShardMax)},
+		{"bpid_verdict_cache_entries", "Entries in the verdict LRU.", "", float64(s.cache.len())},
+		{"bpid_verdict_cache_hits_total", "Verdict-cache hits.", "", hits},
+		{"bpid_verdict_cache_misses_total", "Verdict-cache misses.", "", misses},
+		{"bpid_verdict_cache_hit_rate", "Verdict-cache hit rate since start.", "", hitRate},
+		{"bpid_workers", "Worker-pool size.", `{state="total"}`, float64(cap(s.slots))},
+		{"bpid_workers", "Worker-pool size.", `{state="busy"}`, float64(len(s.slots))},
+		{"bpid_jobs", "Jobs by state.", `{state="pending"}`, float64(jc[JobPending])},
+		{"bpid_jobs", "Jobs by state.", `{state="running"}`, float64(jc[JobRunning])},
+		{"bpid_jobs", "Jobs by state.", `{state="done"}`, float64(jc[JobDone])},
+		{"bpid_jobs", "Jobs by state.", `{state="failed"}`, float64(jc[JobFailed])},
+		{"bpid_uptime_seconds", "Seconds since daemon start.", "", time.Since(s.started).Seconds()},
+	}
+	var b strings.Builder
+	s.metrics.render(&b, gauges)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}

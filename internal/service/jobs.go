@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// jobManager owns the async job table. Submitted jobs execute on the same
+// worker pool as synchronous requests (one slot each); the table keeps
+// results until the process exits — the daemon serves interactive tooling,
+// not an unbounded public queue, and QueueDepth bounds the unfinished set.
+type jobManager struct {
+	srv *Server
+
+	mu      sync.Mutex
+	nextID  uint64
+	jobs    map[string]*job
+	pending int // submitted but not yet finished
+	depth   int
+}
+
+type job struct {
+	mu     sync.Mutex
+	status JobStatusResponse
+	done   chan struct{}
+}
+
+func newJobManager(srv *Server, depth int) *jobManager {
+	return &jobManager{srv: srv, jobs: map[string]*job{}, depth: depth}
+}
+
+// submit validates, enqueues and starts one job. The request's kind payload
+// is executed on a background context bounded by the request's own timeout
+// (the submitting HTTP request may return long before the job finishes).
+func (m *jobManager) submit(req *JobRequest) (string, *ErrorBody) {
+	switch req.Kind {
+	case JobEquiv:
+		if req.Equiv == nil {
+			return "", &ErrorBody{Code: CodeInvalidRequest, Message: `kind "equiv" needs the equiv payload`}
+		}
+	case JobProve:
+		if req.Prove == nil {
+			return "", &ErrorBody{Code: CodeInvalidRequest, Message: `kind "prove" needs the prove payload`}
+		}
+	case JobRun:
+		if req.Run == nil {
+			return "", &ErrorBody{Code: CodeInvalidRequest, Message: `kind "run" needs the run payload`}
+		}
+	default:
+		return "", &ErrorBody{Code: CodeInvalidRequest,
+			Message: fmt.Sprintf("unknown job kind %q (want equiv|prove|run)", req.Kind)}
+	}
+	finish, eb := m.srv.beginWork()
+	if eb != nil {
+		return "", eb
+	}
+	m.mu.Lock()
+	if m.pending >= m.depth {
+		m.mu.Unlock()
+		finish()
+		return "", &ErrorBody{Code: CodeQueueFull,
+			Message: fmt.Sprintf("%d jobs already unfinished (queue depth %d)", m.pending, m.depth)}
+	}
+	m.nextID++
+	id := fmt.Sprintf("job-%d", m.nextID)
+	j := &job{done: make(chan struct{})}
+	j.status = JobStatusResponse{ID: id, Kind: req.Kind, State: JobPending}
+	m.jobs[id] = j
+	m.pending++
+	m.mu.Unlock()
+
+	go m.execute(j, req, finish)
+	return id, nil
+}
+
+// execute runs one job to completion on a worker-pool slot.
+func (m *jobManager) execute(j *job, req *JobRequest, finish func()) {
+	defer finish()
+	defer func() {
+		m.mu.Lock()
+		m.pending--
+		m.mu.Unlock()
+		close(j.done)
+	}()
+	// The slot wait is unbounded on purpose: an accepted job is a promise,
+	// and the drain in Shutdown waits for it.
+	m.srv.slots <- struct{}{}
+	defer m.srv.releaseSlot()
+
+	j.mu.Lock()
+	j.status.State = JobRunning
+	j.mu.Unlock()
+
+	ctx := context.Background()
+	var (
+		equivResp *EquivResponse
+		proveResp *ProveResponse
+		runResp   *RunResponse
+		eb        *ErrorBody
+	)
+	switch req.Kind {
+	case JobEquiv:
+		equivResp, eb = m.srv.runEquiv(ctx, req.Equiv)
+	case JobProve:
+		proveResp, eb = m.srv.runProve(ctx, req.Prove)
+	case JobRun:
+		runResp, eb = m.srv.runMachine(ctx, req.Run)
+	}
+	j.mu.Lock()
+	if eb != nil {
+		j.status.State = JobFailed
+		j.status.Error = eb
+	} else {
+		j.status.State = JobDone
+		j.status.Equiv, j.status.Prove, j.status.Run = equivResp, proveResp, runResp
+	}
+	j.mu.Unlock()
+}
+
+// status returns a copy of the job's current state.
+func (m *jobManager) status(id string) (JobStatusResponse, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatusResponse{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, true
+}
+
+// counts reports jobs per state for the metrics surface.
+func (m *jobManager) counts() map[string]int {
+	out := map[string]int{JobPending: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		out[j.status.State]++
+		j.mu.Unlock()
+	}
+	return out
+}

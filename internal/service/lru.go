@@ -1,0 +1,84 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// verdictCache is a bounded LRU of equivalence verdicts keyed on the
+// *canonical* pair plus the relation and the budgets. Keying on canonical
+// term keys (syntax.Key after Simplify) is sound because every verdict is a
+// pure function of the canonical terms, the relation and the budgets: the
+// checker itself interns through the same canonicalisation, and all the
+// paper's relations are symmetric, so the key orders the two sides
+// lexicographically and one entry serves both orientations.
+type verdictCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key  string
+	resp EquivResponse
+}
+
+func newVerdictCache(max int) *verdictCache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &verdictCache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// verdictCacheKey builds the cache key from the relation spec, the budgets
+// and the lexicographically ordered canonical keys of the two terms.
+func verdictCacheKey(rel string, weak bool, maxPairs, maxClosure, maxSubs int, kp, kq string) string {
+	if kq < kp {
+		kp, kq = kq, kp
+	}
+	return fmt.Sprintf("%s|%t|%d|%d|%d|%s|%s", rel, weak, maxPairs, maxClosure, maxSubs, kp, kq)
+}
+
+// get returns the cached verdict and bumps its recency.
+func (c *verdictCache) get(key string) (EquivResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return EquivResponse{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put stores a conclusive verdict, evicting the least recently used entry
+// when full.
+func (c *verdictCache) put(key string, resp EquivResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	if c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,151 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	bpi "bpi"
+	"bpi/internal/equiv"
+	"bpi/internal/parser"
+	"bpi/internal/service"
+)
+
+// racePair is one equivalence query with its expected verdict, computed
+// beforehand by a direct (in-process) Checker.
+type racePair struct {
+	p, q string
+	rel  string
+	weak bool
+	want bool
+}
+
+// raceCorpus is a mix of related and unrelated pairs across the relations,
+// chosen to exercise shared-store interning from many goroutines: the pairs
+// overlap in subterms on purpose.
+var raceCorpus = []racePair{
+	{p: "a?(x).x! + b!(c)", q: "a?(y).y! + b!(c)", rel: service.RelLabelled},
+	{p: "a! | b!", q: "a!.b! + b!.a!", rel: service.RelLabelled},
+	{p: "a! + a!", q: "a!", rel: service.RelLabelled},
+	{p: "a!.b!", q: "b!.a!", rel: service.RelLabelled},
+	{p: "t!.a! + t!.b!", q: "t!.(a! + b!)", rel: service.RelLabelled},
+	{p: "a?(x).x!", q: "a?(y).y!", rel: service.RelBarbed},
+	{p: "a! | a?", q: "a!", rel: service.RelBarbed},
+	{p: "a! | b!", q: "a!.b! + b!.a!", rel: service.RelStep},
+	{p: "a!", q: "b!", rel: service.RelOneStep},
+	{p: "a?(x).x!", q: "a?(y).y!", rel: service.RelOneStep},
+	{p: "a!(b)", q: "a!(c)", rel: service.RelCongruence},
+	{p: "a?(x).(x! | x!)", q: "a?(y).(y! | y!)", rel: service.RelCongruence},
+}
+
+// TestConcurrentClientsMatchDirectChecker fires 32 concurrent clients at one
+// daemon, each walking the corpus in a different order plus interleaved
+// prover and machine requests, and cross-checks every equivalence verdict
+// against a direct Checker run. Exercised under -race in CI.
+func TestConcurrentClientsMatchDirectChecker(t *testing.T) {
+	// Expected verdicts from a direct in-process checker (fresh store).
+	direct := equiv.NewChecker(nil)
+	corpus := make([]racePair, len(raceCorpus))
+	copy(corpus, raceCorpus)
+	for i := range corpus {
+		p, err := parser.Parse(corpus[i].p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := parser.Parse(corpus[i].q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bool
+		switch corpus[i].rel {
+		case service.RelLabelled:
+			r, err := direct.Labelled(p, q, corpus[i].weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = r.Related
+		case service.RelBarbed:
+			r, err := direct.Barbed(p, q, corpus[i].weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = r.Related
+		case service.RelStep:
+			r, err := direct.Step(p, q, corpus[i].weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = r.Related
+		case service.RelOneStep:
+			want, err = direct.OneStep(p, q, corpus[i].weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+		case service.RelCongruence:
+			want, err = direct.Congruence(p, q, corpus[i].weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		corpus[i].want = want
+	}
+
+	srv := service.New(service.Config{Workers: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := bpi.NewClient(ts.URL)
+			ctx := context.Background()
+			for i := 0; i < len(corpus); i++ {
+				pr := corpus[(i+g)%len(corpus)] // every client in a different order
+				resp, err := cl.Equiv(ctx, bpi.EquivRequest{
+					P: pr.p, Q: pr.q, Rel: pr.rel, Weak: pr.weak,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %s %s vs %s: %v", g, pr.rel, pr.p, pr.q, err)
+					return
+				}
+				if resp.Related != pr.want {
+					errs <- fmt.Errorf("client %d: %s: %s vs %s: daemon=%v direct=%v",
+						g, pr.rel, pr.p, pr.q, resp.Related, pr.want)
+					return
+				}
+			}
+			// Interleave the other executors so the pool mixes workloads.
+			pv, err := cl.Prove(ctx, bpi.ProveRequest{P: "a! + a!", Q: "a!"})
+			if err != nil || !pv.Proved {
+				errs <- fmt.Errorf("client %d: prove: %v (proved=%v)", g, err, pv != nil && pv.Proved)
+				return
+			}
+			rn, err := cl.RunRemote(ctx, bpi.RunRequest{Term: "a!.b!.c!.0", Scheduler: service.SchedRandom, Seed: int64(g)})
+			if err != nil || rn.Steps != 3 || !rn.Quiescent {
+				errs <- fmt.Errorf("client %d: run: %v (%+v)", g, err, rn)
+				return
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	// The shared store must have amortised the overlapping corpus: with 32
+	// clients asking the same 12 pairs, derivation hits dominate misses.
+	st := srv.Store().Stats()
+	if st.DerivationHits == 0 {
+		t.Errorf("no derivation sharing across clients: %+v", st)
+	}
+}

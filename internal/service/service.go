@@ -1,0 +1,392 @@
+// Package service implements bpid, the resident equivalence-checking
+// daemon: an HTTP/JSON front end over ONE shared equiv.Store, so concurrent
+// and repeated queries reuse each other's interned terms, transitions and
+// closures instead of rebuilding them per process.
+//
+// Architecture:
+//
+//   - every query (synchronous endpoint or asynchronous job) executes on a
+//     bounded worker pool — a semaphore of Config.Workers slots — over the
+//     shared store; per-request engine budgets are carried by a throwaway
+//     Checker view onto that store, so budgets are request-scoped while
+//     derivations are process-scoped;
+//   - per-request deadlines are threaded as context.Context cancellation
+//     into the pair engine's BFS loop, the prover's derivation search and
+//     the machine's scheduler loop, and surface as typed
+//     deadline_exceeded errors, distinct from budget_exhausted;
+//   - conclusive equivalence verdicts land in a bounded LRU keyed on the
+//     canonical pair + relation + budgets (sound: verdicts are pure
+//     functions of those — see lru.go), so repeated queries short-circuit
+//     before touching the engine;
+//   - Shutdown drains: new work is refused with shutting_down, in-flight
+//     requests and accepted jobs run to completion.
+//
+// The wire types live in api.go and are shared with the bpi.Client.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bpi/internal/axioms"
+	"bpi/internal/equiv"
+	"bpi/internal/machine"
+	"bpi/internal/names"
+	"bpi/internal/parser"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Env is the definitions environment shared by all requests (nil = none).
+	Env syntax.Env
+	// Workers bounds the number of queries executing at once (default
+	// GOMAXPROCS).
+	Workers int
+	// EngineWorkers is the per-query pair-engine parallelism (default 1;
+	// the pool above already exploits request-level parallelism).
+	EngineWorkers int
+	// QueueDepth bounds the number of unfinished async jobs (default 64).
+	QueueDepth int
+	// CacheSize bounds the verdict LRU (entries; default 4096).
+	CacheSize int
+	// MaxPairs / MaxClosure are the default engine budgets for requests
+	// that do not set their own (0 = the checker defaults).
+	MaxPairs   int
+	MaxClosure int
+	// DefaultTimeout applies to requests without timeout_ms (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request timeouts (default 60s).
+	MaxTimeout time.Duration
+	// MaxTermBytes bounds the source size of any single term (default 64 KiB).
+	MaxTermBytes int
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c Config) defaultTimeout() time.Duration {
+	if c.DefaultTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.DefaultTimeout
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.MaxTimeout
+}
+
+func (c Config) maxTermBytes() int {
+	if c.MaxTermBytes <= 0 {
+		return 64 << 10
+	}
+	return c.MaxTermBytes
+}
+
+// Server is the daemon core: the shared store, the worker pool, the verdict
+// cache, the job table and the metrics registry. Create with New, mount
+// Handler on an http.Server, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	sys     *semantics.System
+	store   *equiv.Store
+	cache   *verdictCache
+	metrics *metrics
+	jobs    *jobManager
+
+	slots    chan struct{} // worker-pool semaphore; len() = busy workers
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	started time.Time
+}
+
+// New returns a ready Server over one fresh shared store.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		sys:     semantics.NewSystem(cfg.Env),
+		cache:   newVerdictCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		slots:   make(chan struct{}, cfg.workers()),
+		started: time.Now(),
+	}
+	s.store = equiv.NewStore(s.sys)
+	s.jobs = newJobManager(s, cfg.queueDepth())
+	return s
+}
+
+// Store exposes the shared term store (for tests and diagnostics).
+func (s *Server) Store() *equiv.Store { return s.store }
+
+// Shutdown drains the server: new requests and job submissions are refused
+// with shutting_down, then Shutdown blocks until every in-flight request
+// and accepted job has finished, or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// beginWork registers one unit of in-flight work, refusing when draining.
+// The caller must call the returned func when the work is finished.
+func (s *Server) beginWork() (func(), *ErrorBody) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, &ErrorBody{Code: CodeShuttingDown, Message: "daemon is draining"}
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Done() }, nil
+}
+
+// acquireSlot blocks until a worker-pool slot is free or ctx is done.
+func (s *Server) acquireSlot(ctx context.Context) *ErrorBody {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return classify(ctx.Err())
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.slots }
+
+// timeout resolves a request's timeout_ms against the server defaults.
+func (s *Server) timeout(ms int) time.Duration {
+	d := s.cfg.defaultTimeout()
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if max := s.cfg.maxTimeout(); d > max {
+		d = max
+	}
+	return d
+}
+
+// parseTerm validates and parses one term field.
+func (s *Server) parseTerm(field, src string) (syntax.Proc, *ErrorBody) {
+	if src == "" {
+		return nil, &ErrorBody{Code: CodeInvalidRequest, Message: "missing term field " + field}
+	}
+	if len(src) > s.cfg.maxTermBytes() {
+		return nil, &ErrorBody{Code: CodeTermTooLarge,
+			Message: fmt.Sprintf("%s is %d bytes (limit %d)", field, len(src), s.cfg.maxTermBytes())}
+	}
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeParseError, Message: field + ": " + err.Error()}
+	}
+	return p, nil
+}
+
+// classify maps an execution error to its typed wire form: deadlines are
+// distinguished from budget exhaustion, which is distinguished from
+// everything else.
+func classify(err error) *ErrorBody {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return &ErrorBody{Code: CodeDeadline, Message: err.Error()}
+	default:
+		var eb equiv.ErrBudget
+		var ub semantics.ErrUnfoldBudget
+		if errors.As(err, &eb) || errors.As(err, &ub) {
+			return &ErrorBody{Code: CodeBudgetExhausted, Message: err.Error()}
+		}
+		return &ErrorBody{Code: CodeInternal, Message: err.Error()}
+	}
+}
+
+// checker returns a request-scoped Checker view over the shared store,
+// carrying the request's budgets.
+func (s *Server) checker(req *EquivRequest) *equiv.Checker {
+	c := equiv.NewCheckerWithStore(s.store)
+	c.MaxPairs = s.cfg.MaxPairs
+	if req.MaxPairs > 0 {
+		c.MaxPairs = req.MaxPairs
+	}
+	c.MaxClosure = s.cfg.MaxClosure
+	if req.MaxClosure > 0 {
+		c.MaxClosure = req.MaxClosure
+	}
+	c.Workers = s.cfg.EngineWorkers
+	return c
+}
+
+// runEquiv executes one equivalence query (already on a worker slot),
+// consulting and feeding the verdict cache.
+func (s *Server) runEquiv(ctx context.Context, req *EquivRequest) (*EquivResponse, *ErrorBody) {
+	p, eb := s.parseTerm("p", req.P)
+	if eb != nil {
+		return nil, eb
+	}
+	q, eb := s.parseTerm("q", req.Q)
+	if eb != nil {
+		return nil, eb
+	}
+	switch req.Rel {
+	case RelLabelled, RelBarbed, RelStep, RelOneStep, RelCongruence:
+	default:
+		return nil, &ErrorBody{Code: CodeInvalidRequest,
+			Message: fmt.Sprintf("unknown relation %q (want labelled|barbed|step|onestep|congruence)", req.Rel)}
+	}
+	key := verdictCacheKey(req.Rel, req.Weak, req.MaxPairs, req.MaxClosure, req.MaxSubs,
+		syntax.Key(syntax.Simplify(p)), syntax.Key(syntax.Simplify(q)))
+	if resp, ok := s.cache.get(key); ok {
+		resp.Cached = true
+		resp.ElapsedMs = 0
+		return &resp, nil
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMs))
+	defer cancel()
+	c := s.checker(req)
+	start := time.Now()
+	var resp EquivResponse
+	var err error
+	switch req.Rel {
+	case RelLabelled:
+		var r equiv.Result
+		r, err = c.LabelledCtx(ctx, p, q, req.Weak)
+		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason}
+	case RelBarbed:
+		var r equiv.Result
+		r, err = c.BarbedCtx(ctx, p, q, req.Weak)
+		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason}
+	case RelStep:
+		var r equiv.Result
+		r, err = c.StepCtx(ctx, p, q, req.Weak)
+		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason}
+	case RelOneStep:
+		var ok bool
+		ok, err = c.OneStepCtx(ctx, p, q, req.Weak)
+		resp = EquivResponse{Related: ok}
+	case RelCongruence:
+		var ok bool
+		ok, err = c.CongruenceBoundedCtx(ctx, p, q, req.Weak, req.MaxSubs)
+		resp = EquivResponse{Related: ok}
+	}
+	if err != nil {
+		return nil, classify(err)
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	s.cache.put(key, resp)
+	return &resp, nil
+}
+
+// runProve executes one prover query (already on a worker slot).
+func (s *Server) runProve(ctx context.Context, req *ProveRequest) (*ProveResponse, *ErrorBody) {
+	p, eb := s.parseTerm("p", req.P)
+	if eb != nil {
+		return nil, eb
+	}
+	q, eb := s.parseTerm("q", req.Q)
+	if eb != nil {
+		return nil, eb
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMs))
+	defer cancel()
+	pr := axioms.NewProver(s.sys)
+	pr.MaxNames = req.MaxNames
+	pr.MaxSteps = req.MaxSteps
+	pr.Tracing = req.Trace
+	start := time.Now()
+	ok, err := pr.DecideCtx(ctx, p, q)
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &ProveResponse{
+		Proved:    ok,
+		Trace:     append([]string(nil), pr.TraceLines()...),
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// runMachine executes one scheduled run (already on a worker slot).
+func (s *Server) runMachine(ctx context.Context, req *RunRequest) (*RunResponse, *ErrorBody) {
+	p, eb := s.parseTerm("term", req.Term)
+	if eb != nil {
+		return nil, eb
+	}
+	var sched machine.Scheduler
+	switch req.Scheduler {
+	case "", SchedFirst:
+		sched = machine.FirstScheduler{}
+	case SchedRandom:
+		sched = machine.NewRandomScheduler(req.Seed)
+	case SchedRoundRobin:
+		sched = machine.RoundRobinScheduler{}
+	default:
+		return nil, &ErrorBody{Code: CodeInvalidRequest,
+			Message: fmt.Sprintf("unknown scheduler %q (want first|random|roundrobin)", req.Scheduler)}
+	}
+	stop := make([]names.Name, len(req.StopOn))
+	for i, b := range req.StopOn {
+		stop[i] = names.Name(b)
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMs))
+	defer cancel()
+	start := time.Now()
+	res, err := machine.RunCtx(ctx, s.sys, p, machine.Options{
+		MaxSteps:   req.MaxSteps,
+		Scheduler:  sched,
+		StopOnBarb: stop,
+		KeepTrace:  req.KeepTrace,
+	})
+	if err != nil {
+		return nil, classify(err)
+	}
+	out := &RunResponse{
+		Steps:     res.Steps,
+		Quiescent: res.Quiescent,
+		Stopped:   res.Stopped,
+		Final:     syntax.String(res.Final),
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if res.Stopped {
+		out.StopEvent = &RunEvent{Step: res.StopEvent.Step, Act: res.StopEvent.Act.String()}
+	}
+	for _, ev := range res.Trace {
+		out.Trace = append(out.Trace, RunEvent{Step: ev.Step, Act: ev.Act.String()})
+	}
+	return out, nil
+}

@@ -1,0 +1,338 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	bpi "bpi"
+	"bpi/internal/service"
+)
+
+func newTestServer(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server, *bpi.Client) {
+	t.Helper()
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, bpi.NewClient(ts.URL)
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.String()
+}
+
+func errCode(t *testing.T, body string) string {
+	t.Helper()
+	var er struct {
+		Error service.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &er); err != nil {
+		t.Fatalf("not an error envelope: %s", body)
+	}
+	return er.Error.Code
+}
+
+// TestHandlerValidation table-tests the typed error surface: bad JSON,
+// missing and oversized terms, parse errors, unknown relations, unknown
+// schedulers, bad job payloads.
+func TestHandlerValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, service.Config{MaxTermBytes: 128})
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantCode         string
+	}{
+		{"bad json", "/v1/equiv", `{"p": "a!"`, http.StatusBadRequest, service.CodeInvalidRequest},
+		{"unknown field", "/v1/equiv", `{"p":"a!","q":"a!","rel":"labelled","bogus":1}`,
+			http.StatusBadRequest, service.CodeInvalidRequest},
+		{"missing term", "/v1/equiv", `{"q":"a!","rel":"labelled"}`,
+			http.StatusBadRequest, service.CodeInvalidRequest},
+		{"parse error", "/v1/equiv", `{"p":"a!(","q":"a!","rel":"labelled"}`,
+			http.StatusBadRequest, service.CodeParseError},
+		{"unknown relation", "/v1/equiv", `{"p":"a!","q":"a!","rel":"telepathic"}`,
+			http.StatusBadRequest, service.CodeInvalidRequest},
+		{"oversized term", "/v1/equiv",
+			`{"p":"` + strings.Repeat("a!.", 200) + `0","q":"a!","rel":"labelled"}`,
+			http.StatusRequestEntityTooLarge, service.CodeTermTooLarge},
+		{"parse endpoint parse error", "/v1/parse", `{"term":"))"}`,
+			http.StatusBadRequest, service.CodeParseError},
+		{"step missing term", "/v1/step", `{}`,
+			http.StatusBadRequest, service.CodeInvalidRequest},
+		{"run unknown scheduler", "/v1/run", `{"term":"a!","scheduler":"lifo"}`,
+			http.StatusBadRequest, service.CodeInvalidRequest},
+		{"job unknown kind", "/v1/jobs", `{"kind":"dance"}`,
+			http.StatusBadRequest, service.CodeInvalidRequest},
+		{"job missing payload", "/v1/jobs", `{"kind":"equiv"}`,
+			http.StatusBadRequest, service.CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts, tc.path, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d want %d (%s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if got := errCode(t, body); got != tc.wantCode {
+				t.Fatalf("code = %q want %q (%s)", got, tc.wantCode, body)
+			}
+		})
+	}
+	// Unknown job ID.
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status = %d want 404", resp.StatusCode)
+	}
+}
+
+// TestEndpointsHappyPath exercises each endpoint once through the client.
+func TestEndpointsHappyPath(t *testing.T) {
+	_, _, cl := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	if err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := cl.ParseRemote(ctx, "a!(b) | 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.FreeNames) != 2 {
+		t.Fatalf("free names of a!(b): %v", pr.FreeNames)
+	}
+	st, err := cl.Step(ctx, "a!(b) | a?(x).x!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Transitions) == 0 {
+		t.Fatal("expected transitions")
+	}
+	ex, err := cl.ExploreRemote(ctx, bpi.ExploreRequest{Term: "a!.b!.0", AutonomousOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.States < 3 {
+		t.Fatalf("explore states = %d", ex.States)
+	}
+	// S3 idempotence holds up to strong bisimilarity.
+	eq, err := cl.Equiv(ctx, bpi.EquivRequest{P: "a! + a!", Q: "a!", Rel: service.RelLabelled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Related {
+		t.Fatalf("a!+a! ~ a! expected related: %+v", eq)
+	}
+	// Distinct outputs are not one-step equivalent.
+	os1, err := cl.Equiv(ctx, bpi.EquivRequest{P: "a!", Q: "b!", Rel: service.RelOneStep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os1.Related {
+		t.Fatal("a! ~+ b! expected NOT related")
+	}
+	pv, err := cl.Prove(ctx, bpi.ProveRequest{P: "a! + a!", Q: "a!"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pv.Proved {
+		t.Fatal("A ⊢ a!+a! = a! expected provable (S3)")
+	}
+	rn, err := cl.RunRemote(ctx, bpi.RunRequest{Term: "a!.b!.0", KeepTrace: true, StopOn: []string{"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rn.Stopped || rn.StopEvent == nil || !strings.HasPrefix(rn.StopEvent.Act, "b!") {
+		t.Fatalf("run: %+v", rn)
+	}
+
+	// Async job round-trip.
+	id, err := cl.Submit(ctx, bpi.JobRequest{Kind: service.JobEquiv,
+		Equiv: &bpi.EquivRequest{P: "a?.b!", Q: "a?.b!", Rel: service.RelBarbed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jst, err := cl.Wait(ctx, id, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jst.State != service.JobDone || jst.Equiv == nil || !jst.Equiv.Related {
+		t.Fatalf("job: %+v", jst)
+	}
+}
+
+// TestVerdictCacheAndMetrics repeats one query and checks (a) the second
+// answer is served from the verdict cache and (b) /metrics reports a
+// non-zero hit rate and the store gauges.
+func TestVerdictCacheAndMetrics(t *testing.T) {
+	_, _, cl := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	req := bpi.EquivRequest{P: "a?(x).x!", Q: "a?(y).y!", Rel: service.RelLabelled}
+	first, err := cl.Equiv(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first query cannot be cached")
+	}
+	second, err := cl.Equiv(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second identical query must hit the verdict cache")
+	}
+	if second.Related != first.Related {
+		t.Fatal("cache changed the verdict")
+	}
+	// Symmetric orientation also hits (all relations are symmetric).
+	swapped, err := cl.Equiv(ctx, bpi.EquivRequest{P: req.Q, Q: req.P, Rel: req.Rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped.Cached {
+		t.Fatal("swapped-orientation query must hit the verdict cache")
+	}
+
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"bpid_verdict_cache_hits_total 2",
+		"bpid_store_terms",
+		"bpid_requests_total{endpoint=\"/v1/equiv\",code=\"ok\"} 3",
+		"bpid_request_seconds_bucket",
+		"bpid_workers{state=\"total\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "bpid_verdict_cache_hit_rate 0\n") {
+		t.Error("hit rate should be non-zero after repeated queries")
+	}
+}
+
+// TestDeadlineTypedTimeout sends an expensive pair with a 50ms deadline and
+// a pair budget far beyond reach: the daemon must answer 504 with code
+// deadline_exceeded — not hang, and not claim budget exhaustion.
+func TestDeadlineTypedTimeout(t *testing.T) {
+	_, _, cl := newTestServer(t, service.Config{})
+	start := time.Now()
+	_, err := cl.Equiv(context.Background(), bpi.EquivRequest{
+		P:         "(rec G(a). a?(x).(x! | G(a)))(a)",
+		Q:         "(rec H(b). b?(y).(y! | H(b)))(a) + c!",
+		Rel:       service.RelLabelled,
+		MaxPairs:  1 << 30,
+		TimeoutMs: 50,
+	})
+	if err == nil {
+		t.Fatal("expected a deadline error")
+	}
+	apiErr, ok := err.(*bpi.APIError)
+	if !ok {
+		t.Fatalf("expected *bpi.APIError, got %T: %v", err, err)
+	}
+	if apiErr.Code != service.CodeDeadline {
+		t.Fatalf("code = %q want %q", apiErr.Code, service.CodeDeadline)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline took %s to fire", elapsed)
+	}
+}
+
+// TestBudgetTypedError checks budget exhaustion keeps its own code.
+func TestBudgetTypedError(t *testing.T) {
+	_, _, cl := newTestServer(t, service.Config{})
+	_, err := cl.Equiv(context.Background(), bpi.EquivRequest{
+		P:        "(rec G(a). a?(x).(x! | G(a)))(a)",
+		Q:        "(rec H(b). b?(y).(y! | H(b)))(a) + c!",
+		Rel:      service.RelLabelled,
+		MaxPairs: 16,
+	})
+	apiErr, ok := err.(*bpi.APIError)
+	if !ok {
+		t.Fatalf("expected *bpi.APIError, got %T: %v", err, err)
+	}
+	if apiErr.Code != service.CodeBudgetExhausted {
+		t.Fatalf("code = %q want %q", apiErr.Code, service.CodeBudgetExhausted)
+	}
+}
+
+// TestGracefulShutdownDrains submits a job, then shuts the server down: the
+// drain must wait for the job to finish, and new work must be refused with
+// shutting_down while the result stays pollable in the job table.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, _, cl := newTestServer(t, service.Config{Workers: 2})
+	ctx := context.Background()
+	// A run long enough to still be in flight when Shutdown starts, short
+	// enough to finish well inside the drain budget.
+	id, err := cl.Submit(ctx, bpi.JobRequest{Kind: service.JobRun,
+		Run: &bpi.RunRequest{Term: "(rec T(a). a!.T(a))(tick)", MaxSteps: 30000, TimeoutMs: 10000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	// After the drain returns, the job must be finished.
+	st, err := cl.Job(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.JobDone {
+		t.Fatalf("drained job state = %s want done (%+v)", st.State, st)
+	}
+	if st.Run == nil || st.Run.Steps != 30000 {
+		t.Fatalf("drained job result: %+v", st.Run)
+	}
+	// New work is refused with the typed shutting_down code.
+	_, err = cl.Equiv(ctx, bpi.EquivRequest{P: "a!", Q: "a!", Rel: service.RelLabelled})
+	apiErr, ok := err.(*bpi.APIError)
+	if !ok || apiErr.Code != service.CodeShuttingDown {
+		t.Fatalf("expected shutting_down, got %v", err)
+	}
+	_, err = cl.Submit(ctx, bpi.JobRequest{Kind: service.JobEquiv,
+		Equiv: &bpi.EquivRequest{P: "a!", Q: "a!", Rel: service.RelLabelled}})
+	apiErr, ok = err.(*bpi.APIError)
+	if !ok || apiErr.Code != service.CodeShuttingDown {
+		t.Fatalf("expected shutting_down on submit, got %v", err)
+	}
+}
+
+// TestQueueFull checks the job queue depth is enforced with a typed error.
+func TestQueueFull(t *testing.T) {
+	_, _, cl := newTestServer(t, service.Config{Workers: 1, QueueDepth: 2})
+	ctx := context.Background()
+	// Fill the queue with slow runs (they hold the single worker slot).
+	slow := &bpi.RunRequest{Term: "(rec T(a). a!.T(a))(tick)", MaxSteps: 1 << 20, TimeoutMs: 5000}
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Submit(ctx, bpi.JobRequest{Kind: service.JobRun, Run: slow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := cl.Submit(ctx, bpi.JobRequest{Kind: service.JobRun, Run: slow})
+	apiErr, ok := err.(*bpi.APIError)
+	if !ok || apiErr.Code != service.CodeQueueFull {
+		t.Fatalf("expected queue_full, got %v", err)
+	}
+}
