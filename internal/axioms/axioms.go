@@ -79,15 +79,31 @@ func Catalogue() []Axiom {
 			return lhs, rhs, true
 		}},
 		{"H: noisy saturation", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
-			// ā.p = ā.(p + a(x).p), requiring x ∉ fn(p) and a ∉ In(p).
+			// ā.p = ā.(p + a(x).p), requiring x ∉ fn(p) and p ⊣ a (p
+			// discards a). The paper states (H) inside the conditional
+			// system, where the ambient condition fixes which names are
+			// distinct; the side condition p ⊣ a is only stable under the
+			// fusions that keep a apart from every channel p could listen
+			// on in SOME world (match conditions flip branches under
+			// fusion, so this is headIns over both branches, not In(p)).
+			// A bare instance is therefore sound for ~ but NOT for ~c: to
+			// stay ~c-sound we emit the paper's conditional form, guarding
+			// both sides with [a≠n] for each such channel n — fusions that
+			// merge a with one of them collapse both sides to nil. Found
+			// by the differential oracle (axioms/instances law).
 			if syntax.FreeNames(m.P).Contains(m.X) {
 				return nil, nil, false
 			}
-			if listensOn(m.P, m.A) {
+			heads, known := headIns(m.P)
+			if !known || heads.Contains(m.A) {
 				return nil, nil, false
 			}
 			lhs := syntax.Send(m.A, nil, m.P)
 			rhs := syntax.Send(m.A, nil, syntax.Choice(m.P, syntax.Recv(m.A, []names.Name{m.X}, m.P)))
+			for _, n := range heads.Sorted() {
+				lhs = syntax.If(m.A, n, syntax.PNil, lhs)
+				rhs = syntax.If(m.A, n, syntax.PNil, rhs)
+			}
 			return lhs, rhs, true
 		}},
 		{"SP: input selector", "A", func(m Material) (syntax.Proc, syntax.Proc, bool) {
@@ -140,20 +156,57 @@ func Catalogue() []Axiom {
 	}
 }
 
-// listensOn reports whether p has an input transition on channel a
-// (a ∈ In(p)), computed with the empty environment (finite terms).
-func listensOn(p syntax.Proc, a names.Name) bool {
-	sys := semanticsSystem()
-	ts, err := sys.Steps(p)
-	if err != nil {
-		return true // conservative: refuse the (H) instance
-	}
-	for _, t := range ts {
-		if t.Act.IsInput() && t.Act.Subj == a {
-			return true
+// headIns over-approximates, across ALL worlds, the set of free channels p
+// can listen on in head position: it walks the same structure as the
+// discard relation (Table 2) but takes BOTH branches of every match (a
+// fusion may flip the condition) and counts input prefixes whether or not
+// a same-channel sibling blocks the joint reception (stuck mixed-arity
+// parallels still fail to discard). known is false when p contains
+// recursion or process calls, whose unfoldings we refuse to chase here.
+//
+// Soundness of the approximation: for every fusion σ of free names,
+// pσ discards a whenever a ∉ σ(headIns(p)) — which is exactly the guard
+// the conditional (H) instance needs.
+func headIns(p syntax.Proc) (names.Set, bool) {
+	switch t := p.(type) {
+	case syntax.Nil:
+		return nil, true
+	case syntax.Prefix:
+		if in, ok := t.Pre.(syntax.In); ok {
+			return names.NewSet(in.Ch), true
 		}
+		return nil, true
+	case syntax.Res:
+		inner, known := headIns(t.Body)
+		if !known {
+			return nil, false
+		}
+		if inner.Contains(t.X) {
+			inner = inner.Clone()
+			inner.Remove(t.X)
+		}
+		return inner, true
+	case syntax.Sum:
+		return headIns2(t.L, t.R)
+	case syntax.Par:
+		return headIns2(t.L, t.R)
+	case syntax.Match:
+		return headIns2(t.Then, t.Else)
+	default:
+		return nil, false // Rec / Call: refuse rather than unfold
 	}
-	return false
+}
+
+func headIns2(l, r syntax.Proc) (names.Set, bool) {
+	ls, ok := headIns(l)
+	if !ok {
+		return nil, false
+	}
+	rs, ok := headIns(r)
+	if !ok {
+		return nil, false
+	}
+	return ls.Union(rs), true
 }
 
 // Expand applies the expansion axiom (Table 8) to p‖q where both operands

@@ -213,12 +213,39 @@ func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
 		if !shapeEq(pShapes, qShapes) {
 			return false, nil
 		}
+		// Input shapes alone do not determine the discard relation: a
+		// mixed-arity parallel of listeners on the same channel (b? | b?(x))
+		// neither receives on b (rule 12 needs equal arities) nor discards it
+		// (rule 9 needs both components to), so it has no input summand on b
+		// yet is NOT ~+ to 0, whose discard b: must be answered. Compare the
+		// actual discard sets over fn, exactly as Definition 11's discard
+		// clause does.
+		for _, a := range fn.Sorted() {
+			dp, err := pr.Sys.Discards(p, a)
+			if err != nil {
+				return false, err
+			}
+			dq, err := pr.Sys.Discards(q, a)
+			if err != nil {
+				return false, err
+			}
+			if dp != dq {
+				pr.tracef("  discard sets differ on %s (left discards=%v, right=%v)", a, dp, dq)
+				return false, nil
+			}
+		}
 	} else {
 		// (H) saturation: add inoffensive inputs for the channels only the
 		// other side listens on. The binder is fresh for the continuation,
 		// which is the whole term — exactly ā.p = ā.(p + φa(z).p).
-		satP := saturations(p, pShapes, qShapes, fn)
-		satQ := saturations(q, qShapes, pShapes, fn)
+		satP, err := pr.saturations(p, pShapes, qShapes, fn)
+		if err != nil {
+			return false, err
+		}
+		satQ, err := pr.saturations(q, qShapes, pShapes, fn)
+		if err != nil {
+			return false, err
+		}
 		for _, ssum := range satP {
 			pr.tracef("  (H): saturate left with %s?(…) (inoffensive input)", ssum.Ch)
 		}
@@ -294,11 +321,22 @@ func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
 }
 
 // saturations builds the (H) summands added to p: one input a(z̃).p per
-// (channel, arity) the other side listens on and p discards.
-func saturations(p syntax.Proc, own, other map[shapeKey]bool, fn names.Set) []Summand {
+// (channel, arity) the other side listens on and p discards. The discard
+// check is the real Table 2 relation, not absence of the (channel, arity)
+// shape: a term listening on a at another arity — or stuck on a — does not
+// discard a, and axiom (H) gives no right to saturate it (a?() vs a?(x)
+// must stay distinguishable; found by the differential oracle).
+func (pr *Prover) saturations(p syntax.Proc, own, other map[shapeKey]bool, fn names.Set) ([]Summand, error) {
 	var out []Summand
 	for sh := range other {
 		if own[sh] {
+			continue
+		}
+		disc, err := pr.Sys.Discards(p, sh.ch)
+		if err != nil {
+			return nil, err
+		}
+		if !disc {
 			continue
 		}
 		binder := make([]names.Name, sh.arity)
@@ -309,7 +347,7 @@ func saturations(p syntax.Proc, own, other map[shapeKey]bool, fn names.Set) []Su
 		}
 		out = append(out, Summand{Kind: actions.In, Ch: sh.ch, Binder: binder, Cont: p})
 	}
-	return out
+	return out, nil
 }
 
 type shapeKey struct {

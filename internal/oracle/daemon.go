@@ -1,0 +1,93 @@
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"bpi/internal/service"
+)
+
+// Daemon is an in-process bpid instance on a loopback listener, plus the
+// minimal client the engines/agree law needs. Running the real HTTP stack
+// (handlers, verdict LRU, worker pool) keeps the differential check honest:
+// the daemon path shares no in-memory state with Env.Seq / Env.Par.
+type Daemon struct {
+	srv  *service.Server
+	http *http.Server
+	lis  net.Listener
+	base string
+	hc   *http.Client
+}
+
+// StartDaemon boots a bpid service on 127.0.0.1:0.
+func StartDaemon(cfg service.Config) (*Daemon, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := service.New(cfg)
+	hs := &http.Server{Handler: srv.Handler()}
+	d := &Daemon{
+		srv:  srv,
+		http: hs,
+		lis:  lis,
+		base: "http://" + lis.Addr().String(),
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}
+	go hs.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return d, nil
+}
+
+// URL returns the daemon's base URL.
+func (d *Daemon) URL() string { return d.base }
+
+// Close drains and stops the daemon.
+func (d *Daemon) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	if herr := d.http.Shutdown(ctx); err == nil {
+		err = herr
+	}
+	return err
+}
+
+// Equiv posts one equivalence query.
+func (d *Daemon) Equiv(ctx context.Context, req service.EquivRequest) (*service.EquivResponse, error) {
+	var resp service.EquivResponse
+	if err := d.post(ctx, "/v1/equiv", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (d *Daemon) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := d.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("oracle: daemon %s: status %d: %s", path, hresp.StatusCode, raw)
+	}
+	return json.Unmarshal(raw, out)
+}

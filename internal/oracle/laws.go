@@ -1,0 +1,285 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+
+	"bpi/internal/axioms"
+	"bpi/internal/names"
+	brand "bpi/internal/rand"
+	"bpi/internal/service"
+	"bpi/internal/syntax"
+)
+
+// mixedPair draws raw material for a differential law: a term paired with
+// an equivalence-preserving mutant, a guaranteed strong-breaking mutant, or
+// an independently drawn term.
+func mixedPair(g *brand.Gen) (syntax.Proc, syntax.Proc, string) {
+	p := g.Term()
+	switch g.Intn(3) {
+	case 0:
+		return p, g.MutateEquiv(p), "equiv-mutant"
+	case 1:
+		return p, g.MutateBreak(p), "break-mutant"
+	default:
+		return p, g.Term(), "independent"
+	}
+}
+
+// richConfig is the generation profile for engine-level laws: all
+// constructors (including restriction), three free names, depth 3.
+func richConfig() brand.Config {
+	cfg := brand.Default()
+	cfg.MaxDepth = 3
+	return cfg
+}
+
+// proverConfig is the profile for prover-backed laws (see
+// brand.OracleConfig): restriction-free, two free names, short prefixes.
+func proverConfig() brand.Config { return brand.OracleConfig() }
+
+// ---- Theorem 1: the three bisimilarities coincide ------------------------
+
+// lawTheorem1 checks the mechanically checkable half of Theorem 1: the two
+// inclusions rooted at labelled bisimilarity, ~ ⊆ ~b (Lemma 10) and
+// ~ ⊆ ~φ (Lemma 11), strong and weak. Without context closure the two
+// coarsenings are mutually INCOMPARABLE — τ + c̄ vs c̄ is step- but not
+// barbed-bisimilar (step matches autonomous moves label-blindly, barbed
+// matches τ by τ), while c̄.ā vs c̄ + c̄.ā is barbed- but not step-bisimilar
+// (barbed ignores output moves) — both found by this fuzzer, so no chained
+// form holds per-pair. The converse directions hold only up to context
+// closure (the paper's coincidence statement quantifies over contexts),
+// which no per-pair verdict can witness directly; the congruence-level
+// agreement is exercised by inclusions/lattice and axioms/decide-agree.
+func lawTheorem1(weak bool) Law {
+	name := "theorem1/strong"
+	mode := "strong"
+	if weak {
+		name = "theorem1/weak"
+		mode = "weak"
+	}
+	return Law{
+		Name:   name,
+		Doc:    "labelled ⊆ barbed (Lemma 10) and labelled ⊆ step (Lemma 11) " + mode + " bisimilarity on finite terms",
+		Config: richConfig(),
+		Gen:    mixedPair,
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			lab, err := env.Seq.LabelledCtx(ctx, p, q, weak)
+			if err != nil {
+				return "", err
+			}
+			if !lab.Related {
+				return "", nil // both inclusions are vacuous
+			}
+			step, err := env.Seq.StepCtx(ctx, p, q, weak)
+			if err != nil {
+				return "", err
+			}
+			barb, err := env.Seq.BarbedCtx(ctx, p, q, weak)
+			if err != nil {
+				return "", err
+			}
+			switch {
+			case !barb.Related:
+				return fmt.Sprintf("%s: labelled bisimilar but not barbed bisimilar (Lemma 10 violated)", mode), nil
+			case !step.Related:
+				return fmt.Sprintf("%s: labelled bisimilar but not step bisimilar (Lemma 11 violated)", mode), nil
+			}
+			return "", nil
+		},
+	}
+}
+
+// ---- Inclusion lattice ----------------------------------------------------
+
+func lawInclusions() Law {
+	return Law{
+		Name:   "inclusions/lattice",
+		Doc:    "~c ⊆ ~+ ⊆ ~ ⊆ ≈ (congruence implies one-step implies labelled implies weak)",
+		Config: proverConfig(),
+		Gen:    mixedPair,
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			cong, err := env.Seq.CongruenceCtx(ctx, p, q, false)
+			if err != nil {
+				return "", err
+			}
+			one, err := env.Seq.OneStepCtx(ctx, p, q, false)
+			if err != nil {
+				return "", err
+			}
+			lab, err := env.Seq.LabelledCtx(ctx, p, q, false)
+			if err != nil {
+				return "", err
+			}
+			weak, err := env.Seq.LabelledCtx(ctx, p, q, true)
+			if err != nil {
+				return "", err
+			}
+			switch {
+			case cong && !one:
+				return "congruent but not one-step bisimilar (~c ⊄ ~+)", nil
+			case one && !lab.Related:
+				return "one-step bisimilar but not labelled bisimilar (~+ ⊄ ~)", nil
+			case lab.Related && !weak.Related:
+				return "strongly but not weakly bisimilar (~ ⊄ ≈)", nil
+			}
+			return "", nil
+		},
+	}
+}
+
+// ---- Theorems 6 & 7: prover agreement ------------------------------------
+
+func lawDecideAgree() Law {
+	return Law{
+		Name:   "axioms/decide-agree",
+		Doc:    "axioms.Decide(p,q) iff p ~c q on finite terms (soundness: Thm 6; completeness: Thm 7)",
+		Config: proverConfig(),
+		Gen:    mixedPair,
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			sem, err := env.Seq.CongruenceCtx(ctx, p, q, false)
+			if err != nil {
+				return "", err
+			}
+			pr := env.NewProver()
+			syn, err := pr.DecideCtx(ctx, p, q)
+			if err != nil {
+				return "", err
+			}
+			if sem != syn {
+				if syn {
+					return fmt.Sprintf("UNSOUND: A ⊢ p = q but p ≁c q (semantics=%v prover=%v)", sem, syn), nil
+				}
+				return fmt.Sprintf("INCOMPLETE: p ~c q but A ⊬ p = q (semantics=%v prover=%v)", sem, syn), nil
+			}
+			return "", nil
+		},
+	}
+}
+
+// ---- Tables 6/7: every axiom instance is sound ---------------------------
+
+func lawAxiomInstances() Law {
+	cfg := proverConfig()
+	cfg.Names = []names.Name{"a", "b", "c"}
+	cfg.MaxDepth = 2
+	cat := axioms.Catalogue()
+	return Law{
+		Name:   "axioms/instances",
+		Doc:    "every Table 6/7 axiom instance rewrites a term to a strongly congruent one (soundness per law)",
+		Config: cfg,
+		Gen: func(g *brand.Gen) (syntax.Proc, syntax.Proc, string) {
+			ax := cat[g.Intn(len(cat))]
+			m := axioms.Material{
+				P: g.Term(), Q: g.Term(), R: g.Term(),
+				A: g.PickName(), B: g.PickName(), C: g.PickName(),
+			}
+			avoid := syntax.FreeNames(m.P).AddAll(syntax.FreeNames(m.Q)).
+				AddAll(syntax.FreeNames(m.R)).Add(m.A).Add(m.B).Add(m.C)
+			m.X = syntax.FreshVariant("z", avoid)
+			lhs, rhs, ok := ax.Inst(m)
+			if !ok {
+				// Side condition unmet: vacuous instance.
+				return syntax.PNil, syntax.PNil, ax.Name + " (vacuous)"
+			}
+			return lhs, rhs, ax.Name
+		},
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			ok, err := env.Seq.CongruenceCtx(ctx, p, q, false)
+			if err != nil {
+				return "", err
+			}
+			if !ok {
+				return "axiom instance is not semantically congruent", nil
+			}
+			return "", nil
+		},
+	}
+}
+
+// ---- Section 4: ~c is closed under substitution --------------------------
+
+func lawSubstClosure() Law {
+	return Law{
+		Name:   "subst/congruence-closed",
+		Doc:    "p ~c q implies pσ ~ qσ for every fusion σ of the free names (Section 4)",
+		Config: proverConfig(),
+		Gen: func(g *brand.Gen) (syntax.Proc, syntax.Proc, string) {
+			p := g.Term()
+			// Bias toward related pairs: closure is vacuous on unrelated ones.
+			if g.Intn(4) != 0 {
+				return p, g.MutateEquiv(p), "equiv-mutant"
+			}
+			return p, g.Term(), "independent"
+		},
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			related, err := env.Seq.CongruenceCtx(ctx, p, q, false)
+			if err != nil {
+				return "", err
+			}
+			if !related {
+				return "", nil // vacuous
+			}
+			fn := syntax.FreeNames(p).AddAll(syntax.FreeNames(q)).Sorted()
+			for _, sub := range names.AllFusions(fn, fn) {
+				r, err := env.Seq.LabelledCtx(ctx, syntax.Apply(p, sub), syntax.Apply(q, sub), false)
+				if err != nil {
+					return "", err
+				}
+				if !r.Related {
+					return fmt.Sprintf("p ~c q but pσ ≁ qσ for σ=%v", sub), nil
+				}
+			}
+			return "", nil
+		},
+	}
+}
+
+// ---- Engines agree: sequential vs parallel vs daemon ---------------------
+
+func lawEnginesAgree() Law {
+	return Law{
+		Name:   "engines/agree",
+		Doc:    "sequential, parallel (Workers>1) and bpid-served verdicts — including LRU cache hits — agree",
+		Config: richConfig(),
+		Gen:    mixedPair,
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			for _, weak := range []bool{false, true} {
+				seq, err := env.Seq.LabelledCtx(ctx, p, q, weak)
+				if err != nil {
+					return "", err
+				}
+				par, err := env.Par.LabelledCtx(ctx, p, q, weak)
+				if err != nil {
+					return "", err
+				}
+				if seq.Related != par.Related {
+					return fmt.Sprintf("weak=%v: sequential=%v parallel=%v", weak, seq.Related, par.Related), nil
+				}
+				if env.Daemon == nil {
+					continue
+				}
+				req := service.EquivRequest{
+					P: syntax.Print(p), Q: syntax.Print(q),
+					Rel: service.RelLabelled, Weak: weak,
+				}
+				cold, err := env.Daemon.Equiv(ctx, req)
+				if err != nil {
+					return "", err
+				}
+				warm, err := env.Daemon.Equiv(ctx, req)
+				if err != nil {
+					return "", err
+				}
+				if cold.Related != seq.Related {
+					return fmt.Sprintf("weak=%v: daemon=%v sequential=%v", weak, cold.Related, seq.Related), nil
+				}
+				if warm.Related != cold.Related {
+					return fmt.Sprintf("weak=%v: daemon warm (cached=%v) verdict=%v differs from cold=%v",
+						weak, warm.Cached, warm.Related, cold.Related), nil
+				}
+			}
+			return "", nil
+		},
+	}
+}

@@ -1,0 +1,180 @@
+package oracle
+
+import (
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// PairPred reports whether a candidate pair still violates the law under
+// shrink. Predicates must be total: engine errors count as "does not
+// violate" so the shrinker never walks into erroring terms.
+type PairPred func(p, q syntax.Proc) bool
+
+// ShrinkPair greedily minimises a violating pair: at each round it tries,
+// in order, every structural reduction of p (holding q), then of q (holding
+// p), then every pairwise fusion of the shared free names (applied to both
+// sides), and commits the first candidate that still violates. budget
+// bounds the total number of predicate evaluations. The returned pair is a
+// local minimum: no single reduction of it still violates (unless the
+// budget ran out first).
+func ShrinkPair(p, q syntax.Proc, pred PairPred, budget int) (syntax.Proc, syntax.Proc, int) {
+	if budget <= 0 {
+		budget = 4096
+	}
+	spent := 0
+	try := func(cp, cq syntax.Proc) bool {
+		spent++
+		return pred(cp, cq)
+	}
+	for spent < budget {
+		committed := false
+		for _, c := range shrinkCandidates(p) {
+			if spent >= budget {
+				break
+			}
+			if try(c, q) {
+				p, committed = c, true
+				break
+			}
+		}
+		if committed {
+			continue
+		}
+		for _, c := range shrinkCandidates(q) {
+			if spent >= budget {
+				break
+			}
+			if try(p, c) {
+				q, committed = c, true
+				break
+			}
+		}
+		if committed {
+			continue
+		}
+		// Merge names: fuse one free name into another on both sides. This
+		// shrinks the name alphabet (and often unlocks further structural
+		// shrinks) without changing term size.
+		fn := syntax.FreeNames(p).AddAll(syntax.FreeNames(q)).Sorted()
+		for i := 1; i < len(fn) && !committed; i++ {
+			if spent >= budget {
+				break
+			}
+			sub := names.Subst{fn[i]: fn[0]}
+			cp, cq := syntax.Apply(p, sub), syntax.Apply(q, sub)
+			if syntax.Equal(cp, p) && syntax.Equal(cq, q) {
+				continue
+			}
+			if try(cp, cq) {
+				p, q, committed = cp, cq, true
+			}
+		}
+		if !committed {
+			return p, q, spent
+		}
+	}
+	return p, q, spent
+}
+
+// weight is the shrink measure: AST nodes plus payload/parameter names.
+// Every structural candidate strictly decreases it (fusions decrease the
+// distinct-free-name count instead), so greedy shrinking terminates.
+func weight(t syntax.Proc) int {
+	switch v := t.(type) {
+	case syntax.Prefix:
+		w := 1 + weight(v.Cont)
+		switch pre := v.Pre.(type) {
+		case syntax.Out:
+			w += len(pre.Args)
+		case syntax.In:
+			w += len(pre.Params)
+		}
+		return w
+	case syntax.Sum:
+		return 1 + weight(v.L) + weight(v.R)
+	case syntax.Par:
+		return 1 + weight(v.L) + weight(v.R)
+	case syntax.Res:
+		return 1 + weight(v.Body)
+	case syntax.Match:
+		return 1 + weight(v.Then) + weight(v.Else)
+	default:
+		return 1
+	}
+}
+
+// shrinkCandidates enumerates the structural reductions of t, most
+// aggressive first: nil, then top-level component extraction, then the same
+// reductions one level down. Every candidate has strictly fewer AST nodes
+// than t.
+func shrinkCandidates(t syntax.Proc) []syntax.Proc {
+	var out []syntax.Proc
+	if _, isNil := t.(syntax.Nil); !isNil {
+		out = append(out, syntax.PNil)
+	}
+	out = append(out, localShrinks(t)...)
+	return out
+}
+
+func localShrinks(t syntax.Proc) []syntax.Proc {
+	var out []syntax.Proc
+	switch v := t.(type) {
+	case syntax.Nil:
+	case syntax.Prefix:
+		out = append(out, v.Cont) // drop the prefix
+		if _, isNil := v.Cont.(syntax.Nil); !isNil {
+			out = append(out, syntax.Prefix{Pre: v.Pre, Cont: syntax.PNil}) // prune continuation
+		}
+		switch pre := v.Pre.(type) {
+		case syntax.Out:
+			if len(pre.Args) > 0 { // shorten the payload
+				out = append(out, syntax.Prefix{
+					Pre:  syntax.Out{Ch: pre.Ch, Args: pre.Args[:len(pre.Args)-1]},
+					Cont: v.Cont,
+				})
+			}
+		case syntax.In:
+			if len(pre.Params) > 0 { // drop a binder (occurrences go free — still a term)
+				out = append(out, syntax.Prefix{
+					Pre:  syntax.In{Ch: pre.Ch, Params: pre.Params[:len(pre.Params)-1]},
+					Cont: v.Cont,
+				})
+			}
+		}
+		for _, c := range localShrinks(v.Cont) {
+			out = append(out, syntax.Prefix{Pre: v.Pre, Cont: c})
+		}
+	case syntax.Sum:
+		out = append(out, v.L, v.R) // prune a summand
+		for _, c := range localShrinks(v.L) {
+			out = append(out, syntax.Sum{L: c, R: v.R})
+		}
+		for _, c := range localShrinks(v.R) {
+			out = append(out, syntax.Sum{L: v.L, R: c})
+		}
+	case syntax.Par:
+		out = append(out, v.L, v.R) // drop a parallel component
+		for _, c := range localShrinks(v.L) {
+			out = append(out, syntax.Par{L: c, R: v.R})
+		}
+		for _, c := range localShrinks(v.R) {
+			out = append(out, syntax.Par{L: v.L, R: c})
+		}
+	case syntax.Res:
+		out = append(out, v.Body) // open the restriction
+		for _, c := range localShrinks(v.Body) {
+			out = append(out, syntax.Res{X: v.X, Body: c})
+		}
+	case syntax.Match:
+		out = append(out, v.Then, v.Else)
+		for _, c := range localShrinks(v.Then) {
+			out = append(out, syntax.Match{X: v.X, Y: v.Y, Then: c, Else: v.Else})
+		}
+		for _, c := range localShrinks(v.Else) {
+			out = append(out, syntax.Match{X: v.X, Y: v.Y, Then: v.Then, Else: c})
+		}
+	default: // Call, Rec: replace wholesale
+		out = append(out, syntax.PNil)
+	}
+	return out
+}

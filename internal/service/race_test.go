@@ -149,3 +149,150 @@ func TestConcurrentClientsMatchDirectChecker(t *testing.T) {
 		t.Errorf("no derivation sharing across clients: %+v", st)
 	}
 }
+
+// TestVerdictCacheSoundnessUnderLoad hammers a deliberately tiny verdict
+// LRU (forcing constant eviction and recomputation) with query families
+// that differ ONLY in the weak flag or the relation — the exact axes the
+// cache key must separate. Every response, cached or cold, must carry the
+// pre-computed direct verdict; a cross-flag collision or a stale entry
+// surviving eviction would surface as a flipped verdict. Exercised under
+// -race in CI.
+func TestVerdictCacheSoundnessUnderLoad(t *testing.T) {
+	// Families chosen so that flipping one key axis flips the verdict:
+	//   tau.a! ~ a! is false strongly, true weakly (weak axis);
+	//   b? | b?(x) vs 0 is labelled-true but onestep-false (relation axis,
+	//   the mixed-arity stuck pair found by FuzzDecideAgree).
+	corpus := []racePair{
+		{p: "tau.a!", q: "a!", rel: service.RelLabelled, weak: false, want: false},
+		{p: "tau.a!", q: "a!", rel: service.RelLabelled, weak: true, want: true},
+		{p: "b? | b?(x)", q: "0", rel: service.RelLabelled, weak: false, want: true},
+		{p: "b? | b?(x)", q: "0", rel: service.RelOneStep, weak: false, want: false},
+		{p: "a! | b!", q: "a!.b! + b!.a!", rel: service.RelLabelled, weak: false, want: true},
+		{p: "a! | b!", q: "a!.b! + b!.a!", rel: service.RelStep, weak: false, want: true},
+		{p: "a! + a!", q: "a!", rel: service.RelCongruence, weak: false, want: true},
+		{p: "a!(b)", q: "a!(c)", rel: service.RelCongruence, weak: false, want: false},
+		{p: "a?(x).x!", q: "a?(y).y!", rel: service.RelOneStep, weak: false, want: true},
+		{p: "t!.a! + t!.b!", q: "t!.(a! + b!)", rel: service.RelLabelled, weak: false, want: false},
+	}
+	// Double-check the hard-coded verdicts against a direct checker so the
+	// test cannot silently rot if engine semantics evolve.
+	direct := equiv.NewChecker(nil)
+	for _, pr := range corpus {
+		p, err := parser.Parse(pr.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := parser.Parse(pr.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bool
+		switch pr.rel {
+		case service.RelLabelled:
+			r, err := direct.Labelled(p, q, pr.weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = r.Related
+		case service.RelStep:
+			r, err := direct.Step(p, q, pr.weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = r.Related
+		case service.RelOneStep:
+			got, err = direct.OneStep(p, q, pr.weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+		case service.RelCongruence:
+			got, err = direct.Congruence(p, q, pr.weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got != pr.want {
+			t.Fatalf("corpus verdict for %s %s vs %s (weak=%v) is stale: direct=%v, hard-coded=%v",
+				pr.rel, pr.p, pr.q, pr.weak, got, pr.want)
+		}
+	}
+
+	// CacheSize 4 < len(corpus): the LRU churns the whole run through.
+	srv := service.New(service.Config{Workers: 8, CacheSize: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 24
+	const rounds = 4
+	var wg sync.WaitGroup
+	var cachedHits, flips int64
+	var mu sync.Mutex
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := bpi.NewClient(ts.URL)
+			ctx := context.Background()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < len(corpus); i++ {
+					pr := corpus[(i+g+r)%len(corpus)]
+					resp, err := cl.Equiv(ctx, bpi.EquivRequest{
+						P: pr.p, Q: pr.q, Rel: pr.rel, Weak: pr.weak,
+					})
+					if err != nil {
+						errs <- fmt.Errorf("client %d: %s %s vs %s: %v", g, pr.rel, pr.p, pr.q, err)
+						return
+					}
+					mu.Lock()
+					if resp.Cached {
+						cachedHits++
+					}
+					if resp.Related != pr.want {
+						flips++
+					}
+					mu.Unlock()
+					if resp.Related != pr.want {
+						errs <- fmt.Errorf("client %d: %s %s vs %s (weak=%v, cached=%v): daemon=%v direct=%v",
+							g, pr.rel, pr.p, pr.q, pr.weak, resp.Cached, resp.Related, pr.want)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if flips != 0 {
+		t.Errorf("%d verdicts flipped under cache churn", flips)
+	}
+	// With 24×4 walks over 10 pairs, some queries must have been served from
+	// cache, or the test exercised nothing.
+	if cachedHits == 0 {
+		t.Error("no cached verdicts observed — cache path untested")
+	}
+
+	// Back-to-back repeats after the storm: the second query of a pair must
+	// agree with the first whether or not it hits the (still churning) LRU.
+	cl := bpi.NewClient(ts.URL)
+	for _, pr := range corpus {
+		first, err := cl.Equiv(context.Background(), bpi.EquivRequest{P: pr.p, Q: pr.q, Rel: pr.rel, Weak: pr.weak})
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := cl.Equiv(context.Background(), bpi.EquivRequest{P: pr.p, Q: pr.q, Rel: pr.rel, Weak: pr.weak})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Related != pr.want || second.Related != first.Related {
+			t.Errorf("%s %s vs %s (weak=%v): first=%v second=%v (cached=%v) want=%v",
+				pr.rel, pr.p, pr.q, pr.weak, first.Related, second.Related, second.Cached, pr.want)
+		}
+	}
+}
