@@ -22,14 +22,17 @@ import (
 
 	bpi "bpi"
 	"bpi/internal/axioms"
+	"bpi/internal/obs"
 	"bpi/internal/parser"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
 
 var (
-	server  = flag.String("server", "", "delegate decide to a running bpid daemon at this base URL")
-	timeout = flag.Duration("timeout", 30*time.Second, "per-query deadline (with -server)")
+	server   = flag.String("server", "", "delegate decide to a running bpid daemon at this base URL")
+	timeout  = flag.Duration("timeout", 30*time.Second, "per-query deadline (with -server)")
+	traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file of the local decide run")
+	counters = flag.Bool("counters", false, "print prover counters to stderr after decide")
 )
 
 func main() {
@@ -81,13 +84,31 @@ func main() {
 		}
 		p, q := parse(args[0]), parse(args[1])
 		if *server != "" {
+			if *traceOut != "" || *counters {
+				fail(fmt.Errorf("-trace/-counters are local-only; a daemon-served run's evidence is on the daemon (/trace/{id}, /metrics)"))
+			}
 			decideRemote(p, q, trace)
 			return
 		}
 		pr := axioms.NewProver(nil)
 		pr.Tracing = trace
+		var tr *obs.Tracer
+		if *traceOut != "" || *counters {
+			tr = obs.New()
+			pr.Obs = tr
+		}
 		ok, err := pr.Decide(p, q)
 		fail(err)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			fail(err)
+			fail(tr.WriteChromeTrace(f))
+			fail(f.Close())
+			fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(tr.Events()), *traceOut)
+		}
+		if *counters {
+			fmt.Fprint(os.Stderr, obs.FormatCounters(tr.Counters()))
+		}
 		for _, line := range pr.TraceLines() {
 			fmt.Println(" ", line)
 		}
@@ -136,8 +157,10 @@ func usage() {
   bpiaxiom decide [-v] "p" "q"   A ⊢ p = q (Theorems 6/7; -v traces the derivation)
   bpiaxiom list              the axiom catalogue
 
-  -server URL   delegate decide to a running bpid daemon
-  -timeout D    per-query deadline with -server (default 30s)
+  -server URL     delegate decide to a running bpid daemon
+  -timeout D      per-query deadline with -server (default 30s)
+  -trace out.json write a Chrome trace-event file of a local decide
+  -counters       print prover counters to stderr after a local decide
 `)
 }
 

@@ -10,7 +10,12 @@
 // checkers in parallel-engine mode, so the footer reports both wall-clocks.
 //
 // Usage: bpibench [-run regexp-free-substring] [-v] [-parallel] [-workers n]
-// [-json file]
+// [-json file] [-trace out.json] [-counters]
+//
+// When -json is given together with a parallel re-run, the emitter refuses to
+// write a speedup figure measured under GOMAXPROCS=1: a single-P runtime
+// cannot exhibit parallelism, so the resulting number would be noise
+// masquerading as a benchmark.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"bpi/internal/machine"
 	"bpi/internal/maytest"
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	"bpi/internal/papers"
 	"bpi/internal/pi"
 	"bpi/internal/pvm"
@@ -48,10 +54,23 @@ type experiment struct {
 	run   func() (measured string, ok bool, err error)
 }
 
+// tracer is the suite-wide observability sink (nil unless -trace/-counters
+// was given). One tracer spans both the sequential and parallel runs; the
+// obs package is safe for the concurrent checkers the re-run creates.
+var tracer *obs.Tracer
+
 // newChecker builds the equivalence checker experiments use. The parallel
 // re-run swaps in shared-store parallel checkers (set once, before any
 // concurrent experiment starts).
-var newChecker = func() *equiv.Checker { return equiv.NewChecker(nil) }
+var newChecker = func() *equiv.Checker { return instrument(equiv.NewChecker(nil)) }
+
+func instrument(ch *equiv.Checker) *equiv.Checker {
+	if tracer != nil {
+		ch.Obs = tracer
+		ch.Store().SetObs(tracer)
+	}
+	return ch
+}
 
 type outcome struct {
 	status   string
@@ -130,10 +149,15 @@ func main() {
 	parallel := flag.Bool("parallel", true, "after the sequential run, re-run the suite with experiments and pair queries fanned out concurrently")
 	workers := flag.Int("workers", 0, "parallel fan-out width (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_equiv.json style) to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file covering the whole suite")
+	counters := flag.Bool("counters", false, "print aggregate engine counters to stderr after the suite")
 	flag.Parse()
 	_ = verbose
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *traceOut != "" || *counters {
+		tracer = obs.NewWithLimit(1 << 18)
 	}
 
 	exps := suite()
@@ -172,7 +196,7 @@ func main() {
 	}
 
 	if *parallel {
-		newChecker = func() *equiv.Checker { return equiv.NewParallelChecker(nil, 0) }
+		newChecker = func() *equiv.Checker { return instrument(equiv.NewParallelChecker(nil, 0)) }
 		par, parWall := runSuite(exps, *workers)
 		for i, e := range exps {
 			if par[i].failed() && !seq[i].failed() {
@@ -190,6 +214,14 @@ func main() {
 	}
 
 	if *jsonPath != "" {
+		// Sanity gate: a parallel speedup figure measured on a single-P
+		// runtime is meaningless — refuse to publish it rather than let a
+		// misconfigured CI runner regenerate BENCH_equiv.json with noise.
+		if report.Speedup != 0 && report.GOMAXPROCS < 2 {
+			fmt.Fprintf(os.Stderr, "bpibench: refusing to write %s: parallel speedup measured with GOMAXPROCS=%d (need >= 2; set GOMAXPROCS or drop -parallel)\n",
+				*jsonPath, report.GOMAXPROCS)
+			os.Exit(1)
+		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
@@ -198,6 +230,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bpibench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpibench: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s (%d dropped)\n",
+			len(tracer.Events()), *traceOut, tracer.Dropped())
+	}
+	if *counters {
+		fmt.Fprint(os.Stderr, obs.FormatCounters(tracer.Counters()))
 	}
 
 	if failures > 0 {

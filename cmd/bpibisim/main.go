@@ -4,11 +4,17 @@
 // Usage:
 //
 //	bpibisim [-f file] [-rel labelled|barbed|step|onestep|congruence|all]
-//	         [-weak] [-server URL] "term1" "term2"
+//	         [-weak] [-server URL] [-trace out.json] [-counters] "term1" "term2"
 //
 // With -server the query is delegated to a running bpid daemon, whose
 // shared store and verdict cache amortise repeated queries across
 // processes; verdicts are identical to the local checker's.
+//
+// With -trace the local engine's span timeline is written as Chrome
+// trace-event JSON (open in chrome://tracing or ui.perfetto.dev); with
+// -counters the engine counters are printed to stderr after the
+// verdicts. Both are local-only: a daemon-served query's evidence lives
+// on the daemon (/trace/{id}, /metrics, /debug/pprof).
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	bpi "bpi"
 	"bpi/internal/equiv"
+	"bpi/internal/obs"
 	"bpi/internal/parser"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
@@ -31,6 +38,8 @@ func main() {
 	weak := flag.Bool("weak", false, "use the weak relation")
 	server := flag.String("server", "", "delegate to a running bpid daemon at this base URL")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline (with -server)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the local engine run")
+	counters := flag.Bool("counters", false, "print engine counters to stderr after the verdicts")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bpibisim [-f file] [-rel R] [-weak] [-server URL] term1 term2")
@@ -78,6 +87,9 @@ func main() {
 		if *file != "" {
 			fail(fmt.Errorf("-f and -server are exclusive: the daemon fixes its definitions at startup"))
 		}
+		if *traceOut != "" || *counters {
+			fail(fmt.Errorf("-trace/-counters are local-only; a daemon-served run's evidence is on the daemon (/trace/{id}, /metrics)"))
+		}
 		cl := bpi.NewClient(*server)
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -99,6 +111,12 @@ func main() {
 		return
 	}
 	ch := equiv.NewChecker(semantics.NewSystem(env))
+	var tr *obs.Tracer
+	if *traceOut != "" || *counters {
+		tr = obs.New()
+		ch.Obs = tr
+		ch.Store().SetObs(tr)
+	}
 	if want["labelled"] {
 		r, err := ch.Labelled(p, q, *weak)
 		fail(err)
@@ -123,6 +141,16 @@ func main() {
 		ok, err := ch.Congruence(p, q, *weak)
 		fail(err)
 		show("congruence", ok, "closure under all fusions of the free names")
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(tr.WriteChromeTrace(f))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(tr.Events()), *traceOut)
+	}
+	if *counters {
+		fmt.Fprint(os.Stderr, obs.FormatCounters(tr.Counters()))
 	}
 }
 

@@ -10,9 +10,12 @@
 //	     [-timeout D] [-max-timeout D]
 //
 // Endpoints: POST /v1/{parse,step,explore,equiv,prove,run,jobs},
-// GET /v1/jobs/{id}, /healthz, /metrics (Prometheus text). See the README
-// section "Running the daemon" for curl examples. SIGINT/SIGTERM drains:
-// in-flight requests and accepted jobs finish, new work is refused.
+// GET /v1/jobs/{id}, /healthz, /metrics (Prometheus text, including
+// bpid_engine_events_total engine counters), GET /trace/{id} (a finished
+// job's span tree and counters) and GET /debug/pprof/ (the standard Go
+// profiling surface). See the README section "Running the daemon" for curl
+// examples. SIGINT/SIGTERM drains: in-flight requests and accepted jobs
+// finish, new work is refused.
 package main
 
 import (

@@ -6,6 +6,7 @@ import (
 
 	"bpi/internal/actions"
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
@@ -44,10 +45,18 @@ type Prover struct {
 	// with TraceLines; bounded to keep output manageable.
 	Tracing bool
 
+	// Obs, when non-nil, receives axioms.decide / axioms.world spans and
+	// the counters axioms.worlds, axioms.compares, axioms.saturations and
+	// axioms.memo_hits. The nil default is free (nil-safe no-ops).
+	Obs *obs.Tracer
+
 	memo  map[string]bool
 	steps int
 	trace []string
 	ctx   context.Context // set per Decide/DecideCtx call
+
+	// Counters resolved once per DecideCtx call (nil without a tracer).
+	cCompares, cSaturations, cMemoHits *obs.Counter
 }
 
 // TraceLines returns the derivation outline recorded by the last Decide
@@ -97,6 +106,12 @@ func (pr *Prover) DecideCtx(ctx context.Context, p, q syntax.Proc) (bool, error)
 		ctx = context.Background()
 	}
 	pr.ctx = ctx
+	span := pr.Obs.Span("axioms.decide")
+	defer span.End()
+	pr.cCompares = pr.Obs.Counter("axioms.compares")
+	pr.cSaturations = pr.Obs.Counter("axioms.saturations")
+	pr.cMemoHits = pr.Obs.Counter("axioms.memo_hits")
+	cWorlds := pr.Obs.Counter("axioms.worlds")
 	if !syntax.IsFinite(p) || !syntax.IsFinite(q) {
 		return false, fmt.Errorf("axioms: the axiomatisation covers finite processes only")
 	}
@@ -108,7 +123,10 @@ func (pr *Prover) DecideCtx(ctx context.Context, p, q syntax.Proc) (bool, error)
 	pr.trace = pr.trace[:0]
 	for _, w := range Worlds(fn) {
 		pr.tracef("world %s: specialise both sides with σ=%s (Lemma 19)", w, w.Rep)
+		cWorlds.Add(1)
+		ws := span.Child("axioms.world")
 		ok, err := pr.decideWorld(syntax.Apply(p, w.Rep), syntax.Apply(q, w.Rep), false)
+		ws.End()
 		if err != nil {
 			return false, err
 		}
@@ -128,6 +146,7 @@ func (pr *Prover) DecideCtx(ctx context.Context, p, q syntax.Proc) (bool, error)
 // matching (the ~ level for continuations).
 func (pr *Prover) decideWorld(p, q syntax.Proc, saturate bool) (bool, error) {
 	pr.steps++
+	pr.cCompares.Add(1)
 	if pr.steps > pr.maxSteps() {
 		return false, fmt.Errorf("axioms: prover step budget exhausted")
 	}
@@ -138,6 +157,7 @@ func (pr *Prover) decideWorld(p, q syntax.Proc, saturate bool) (bool, error) {
 	}
 	key := syntax.Key(p) + "\x00" + syntax.Key(q) + boolKey(saturate)
 	if v, ok := pr.memo[key]; ok {
+		pr.cMemoHits.Add(1)
 		return v, nil
 	}
 	// Provisional positive entry guards against pathological re-entry; the
@@ -346,6 +366,7 @@ func (pr *Prover) saturations(p syntax.Proc, own, other map[shapeKey]bool, fn na
 			avoid = avoid.Add(binder[i])
 		}
 		out = append(out, Summand{Kind: actions.In, Ch: sh.ch, Binder: binder, Cont: p})
+		pr.cSaturations.Add(1)
 	}
 	return out, nil
 }

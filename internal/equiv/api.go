@@ -67,8 +67,10 @@ func (c *Checker) memoRun(ctx context.Context, p, q syntax.Proc, sp spec) (Resul
 	v, ok := c.verdicts[key]
 	c.mu.Unlock()
 	if ok {
+		c.Obs.Count("equiv.verdict_hits", 1)
 		return Result{Related: v, Pairs: 0, Reason: cachedReason(v)}, nil
 	}
+	c.Obs.Count("equiv.verdict_misses", 1)
 	res, err := c.run(ctx, pi, qi, sp)
 	if err != nil {
 		return res, err

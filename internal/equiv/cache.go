@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
@@ -59,6 +60,12 @@ type Checker struct {
 	// bounded worker pool of that size. Verdicts and explored-pair counts
 	// are identical either way.
 	Workers int
+	// Obs, when non-nil, receives spans (equiv.run → equiv.explore →
+	// equiv.wave, equiv.fixpoint) and engine counters from every query.
+	// Like the budget fields it must be set before the first query. The
+	// nil default is free: call sites guard with obs's nil-safe no-ops,
+	// proven allocation-free by TestDisabledObsZeroAlloc.
+	Obs *obs.Tracer
 
 	store *Store
 

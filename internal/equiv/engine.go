@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"bpi/internal/names"
+	"bpi/internal/obs"
 )
 
 // ErrCanceled reports that a query was abandoned because its context was
@@ -100,21 +101,36 @@ type engine struct {
 	nodes    []*pairNode
 	index    map[[2]uint64]int
 	frontier []int
+
+	// Observability: nil when the checker has no tracer; every use is a
+	// nil-safe no-op then. Counters are resolved once per run so the hot
+	// loops touch no map.
+	tr     *obs.Tracer
+	cPairs *obs.Counter
 }
 
 func (c *Checker) run(ctx context.Context, pi, qi *termInfo, sp spec) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e := &engine{c: c, ctx: ctx, sp: sp, index: map[[2]uint64]int{}}
+	tr := c.Obs
+	e := &engine{
+		c: c, ctx: ctx, sp: sp, index: map[[2]uint64]int{},
+		tr:     tr,
+		cPairs: tr.Counter("equiv.pairs_expanded"),
+	}
+	run := tr.Span("equiv.run")
+	defer run.End()
 	root, err := e.node(pi, qi)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := e.explore(); err != nil {
+	if err := e.explore(run); err != nil {
 		return Result{}, err
 	}
+	fix := run.Child("equiv.fixpoint")
 	e.fixpoint()
+	fix.End()
 	rn := e.nodes[root]
 	res := Result{Related: !rn.bad, Pairs: len(e.nodes)}
 	if rn.bad {
@@ -134,60 +150,75 @@ func (c *Checker) run(ctx context.Context, pi, qi *termInfo, sp spec) (Result, e
 // explored set are identical whatever the worker count. Context cancellation
 // is observed between pairs (sequential) and between claims (parallel), so a
 // deadline aborts the query promptly even on unbounded pair spaces.
-func (e *engine) explore() error {
+func (e *engine) explore(run *obs.Span) error {
 	workers := e.c.workers()
+	cWaves := e.tr.Counter("equiv.waves")
+	span := run.Child("equiv.explore")
+	defer span.End()
 	for len(e.frontier) > 0 {
 		wave := e.frontier
 		e.frontier = nil
-		if workers <= 1 || len(wave) == 1 {
-			for _, i := range wave {
-				if err := e.ctx.Err(); err != nil {
-					return ErrCanceled{err}
-				}
-				b := e.buildPair(e.nodes[i])
-				if b.err != nil {
-					return b.err
-				}
-				if err := e.merge(i, b); err != nil {
-					return err
-				}
+		cWaves.Add(1)
+		ws := span.Child("equiv.wave")
+		err := e.exploreWave(wave, workers)
+		ws.End()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exploreWave builds and merges one BFS wave (see explore).
+func (e *engine) exploreWave(wave []int, workers int) error {
+	if workers <= 1 || len(wave) == 1 {
+		for _, i := range wave {
+			if err := e.ctx.Err(); err != nil {
+				return ErrCanceled{err}
 			}
-			continue
-		}
-		builds := make([]*built, len(wave))
-		n := workers
-		if n > len(wave) {
-			n = len(wave)
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < n; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					j := int(next.Add(1)) - 1
-					if j >= len(wave) {
-						return
-					}
-					if err := e.ctx.Err(); err != nil {
-						builds[j] = &built{err: ErrCanceled{err}}
-						continue
-					}
-					builds[j] = e.buildPair(e.nodes[wave[j]])
-				}
-			}()
-		}
-		wg.Wait()
-		// ID-ordered merge: the first error (in wave order) wins, matching
-		// the sequential run.
-		for j, i := range wave {
-			if builds[j].err != nil {
-				return builds[j].err
+			b := e.buildPair(e.nodes[i])
+			if b.err != nil {
+				return b.err
 			}
-			if err := e.merge(i, builds[j]); err != nil {
+			if err := e.merge(i, b); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+	builds := make([]*built, len(wave))
+	n := workers
+	if n > len(wave) {
+		n = len(wave)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(wave) {
+					return
+				}
+				if err := e.ctx.Err(); err != nil {
+					builds[j] = &built{err: ErrCanceled{err}}
+					continue
+				}
+				builds[j] = e.buildPair(e.nodes[wave[j]])
+			}
+		}()
+	}
+	wg.Wait()
+	// ID-ordered merge: the first error (in wave order) wins, matching
+	// the sequential run.
+	for j, i := range wave {
+		if builds[j].err != nil {
+			return builds[j].err
+		}
+		if err := e.merge(i, builds[j]); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -247,6 +278,7 @@ func (e *engine) node(p, q *termInfo) (int, error) {
 	e.nodes = append(e.nodes, &pairNode{p: p, q: q})
 	e.index[k] = i
 	e.frontier = append(e.frontier, i)
+	e.cPairs.Add(1)
 	return i, nil
 }
 
@@ -280,9 +312,11 @@ func (e *engine) fixpoint() {
 			}
 		}
 	}
+	cPops := e.tr.Counter("equiv.worklist_pops")
 	for len(work) > 0 {
 		i := work[len(work)-1]
 		work = work[:len(work)-1]
+		cPops.Add(1)
 		for _, d := range rev[i] {
 			dn := e.nodes[d.node]
 			if dn.bad {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
@@ -37,6 +38,22 @@ type Store struct {
 	internMisses atomic.Uint64
 	derivHits    atomic.Uint64
 	derivMisses  atomic.Uint64
+
+	// Mirror counters on an attached tracer (SetObs); nil — a no-op with
+	// no atomic traffic — until a tracer is attached.
+	obsInternHits, obsInternMisses *obs.Counter
+	obsDerivHits, obsDerivMisses   *obs.Counter
+}
+
+// SetObs mirrors the store's reuse counters (store.intern_hits/misses,
+// store.deriv_hits/misses) onto t, live rather than snapshot — so a
+// daemon can export them per scrape. Attach before the store is shared
+// across goroutines; a nil t detaches.
+func (s *Store) SetObs(t *obs.Tracer) {
+	s.obsInternHits = t.Counter("store.intern_hits")
+	s.obsInternMisses = t.Counter("store.intern_misses")
+	s.obsDerivHits = t.Counter("store.deriv_hits")
+	s.obsDerivMisses = t.Counter("store.deriv_misses")
 }
 
 // Stats is a snapshot of a store's occupancy and reuse counters.
@@ -156,8 +173,10 @@ func (s *Store) intern(p syntax.Proc) (*termInfo, error) {
 	sh.mu.Unlock()
 	if ok {
 		s.internHits.Add(1)
+		s.obsInternHits.Add(1)
 	} else {
 		s.internMisses.Add(1)
+		s.obsInternMisses.Add(1)
 	}
 	ti.transOnce.Do(func() {
 		ti.trans, ti.transErr = s.sys.Steps(ti.proc)
@@ -175,9 +194,11 @@ func (s *Store) discardsOn(ti *termInfo, a names.Name) (bool, error) {
 	ti.mu.Unlock()
 	if ok {
 		s.derivHits.Add(1)
+		s.obsDerivHits.Add(1)
 		return v, nil
 	}
 	s.derivMisses.Add(1)
+	s.obsDerivMisses.Add(1)
 	v, err := s.sys.Discards(ti.proc, a)
 	if err != nil {
 		return false, err
@@ -198,10 +219,12 @@ func (s *Store) tauSucc(ti *termInfo) ([]*termInfo, error) {
 		out := ti.tauSuccs
 		ti.mu.Unlock()
 		s.derivHits.Add(1)
+		s.obsDerivHits.Add(1)
 		return out, nil
 	}
 	ti.mu.Unlock()
 	s.derivMisses.Add(1)
+	s.obsDerivMisses.Add(1)
 	out := []*termInfo{}
 	for _, t := range ti.trans {
 		if t.Act.IsTau() {
@@ -226,10 +249,12 @@ func (s *Store) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
 		out := ti.autoSuccs
 		ti.mu.Unlock()
 		s.derivHits.Add(1)
+		s.obsDerivHits.Add(1)
 		return out, nil
 	}
 	ti.mu.Unlock()
 	s.derivMisses.Add(1)
+	s.obsDerivMisses.Add(1)
 	out := []*termInfo{}
 	for _, t := range ti.trans {
 		if !t.Act.IsStep() {
@@ -259,9 +284,11 @@ func (s *Store) tauClosure(ti *termInfo, budget int) ([]*termInfo, error) {
 	ti.mu.Unlock()
 	if cl != nil {
 		s.derivHits.Add(1)
+		s.obsDerivHits.Add(1)
 		return cl, nil
 	}
 	s.derivMisses.Add(1)
+	s.obsDerivMisses.Add(1)
 	cl, err := s.closure(ti, budget, s.tauSucc, "tau closure")
 	if err != nil {
 		return nil, err
@@ -280,9 +307,11 @@ func (s *Store) autonomousClosure(ti *termInfo, budget int) ([]*termInfo, error)
 	ti.mu.Unlock()
 	if cl != nil {
 		s.derivHits.Add(1)
+		s.obsDerivHits.Add(1)
 		return cl, nil
 	}
 	s.derivMisses.Add(1)
+	s.obsDerivMisses.Add(1)
 	cl, err := s.closure(ti, budget, s.autonomousSucc, "autonomous closure")
 	if err != nil {
 		return nil, err

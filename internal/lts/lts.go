@@ -20,6 +20,7 @@ import (
 
 	"bpi/internal/actions"
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
@@ -77,6 +78,9 @@ type Options struct {
 	// bisimilarity are decided on such graphs; they never inspect input
 	// transitions.
 	AutonomousOnly bool
+	// Obs, when non-nil, receives an lts.explore span and the counters
+	// lts.states, lts.edges and (parallel exploration) lts.waves.
+	Obs *obs.Tracer
 }
 
 func (o Options) maxStates() int {
@@ -106,6 +110,8 @@ func FreshReservoir(n int) []names.Name {
 
 // Explore builds the graph reachable from the given roots.
 func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, error) {
+	span := opt.Obs.Span("lts.explore")
+	defer span.End()
 	g := &Graph{index: map[string]int{}}
 	base := names.NewSet(opt.Universe...)
 	if len(opt.Universe) == 0 {
@@ -143,10 +149,17 @@ func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, e
 	}
 
 	workers := opt.Workers
+	var err error
 	if workers <= 1 {
-		return g, exploreSequential(sys, g, frontier, opt, intern)
+		err = exploreSequential(sys, g, frontier, opt, intern)
+	} else {
+		err = exploreParallel(sys, g, frontier, opt, workers)
 	}
-	return g, exploreParallel(sys, g, frontier, opt, workers)
+	// End-of-run totals: zero engine overhead, and identical between the
+	// sequential and parallel explorers (same interning order).
+	opt.Obs.Count("lts.states", int64(g.NumStates()))
+	opt.Obs.Count("lts.edges", int64(g.NumEdges()))
+	return g, err
 }
 
 // groundEdges computes the ground successor list of state p: τ and output
@@ -246,7 +259,9 @@ func exploreParallel(sys *semantics.System, g *Graph, frontier []int, opt Option
 		ts  []semantics.Trans
 		err error
 	}
+	cWaves := opt.Obs.Counter("lts.waves")
 	for len(frontier) > 0 {
+		cWaves.Add(1)
 		results := make([]result, len(frontier))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, workers)

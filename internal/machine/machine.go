@@ -19,6 +19,7 @@ import (
 
 	"bpi/internal/actions"
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
 )
@@ -88,6 +89,9 @@ type Options struct {
 	// KeepTrace records every event (default: only outputs on StopOnBarb
 	// and the step count are reported).
 	KeepTrace bool
+	// Obs, when non-nil, receives a machine.run span and the counters
+	// machine.steps and machine.broadcasts.
+	Obs *obs.Tracer
 }
 
 func (o Options) maxSteps() int {
@@ -138,6 +142,10 @@ func RunCtx(ctx context.Context, sys *semantics.System, p syntax.Proc, opt Optio
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	span := opt.Obs.Span("machine.run")
+	defer span.End()
+	cSteps := opt.Obs.Counter("machine.steps")
+	cBroadcasts := opt.Obs.Counter("machine.broadcasts")
 	stop := names.NewSet(opt.StopOnBarb...)
 	sched := opt.scheduler()
 	res := Result{Final: p}
@@ -171,6 +179,10 @@ func RunCtx(ctx context.Context, sys *semantics.System, p syntax.Proc, opt Optio
 		}
 		cur = syntax.Simplify(chosen.Target)
 		res.Steps++
+		cSteps.Add(1)
+		if chosen.Act.IsOutput() {
+			cBroadcasts.Add(1)
+		}
 		res.Final = cur
 		if chosen.Act.IsOutput() && stop.Contains(chosen.Act.Subj) {
 			res.Stopped = true

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format
+// (the "JSON Array Format" accepted by chrome://tracing and Perfetto).
+// Complete events carry ph "X" with ts/dur in microseconds; counter
+// snapshots carry ph "C".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the tracer's spans and final counter values as
+// a Chrome trace-event JSON array, loadable in chrome://tracing or
+// ui.perfetto.dev.  Nil-safe: a nil tracer writes an empty array.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events)+1)
+	var last float64
+	for _, ev := range events {
+		ts := float64(ev.Start.Nanoseconds()) / 1e3
+		dur := float64(ev.Dur.Nanoseconds()) / 1e3
+		if end := ts + dur; end > last {
+			last = end
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Name,
+			Ph:   "X",
+			Ts:   ts,
+			Dur:  dur,
+			Pid:  1,
+			Tid:  1,
+		})
+	}
+	if counters := t.Counters(); len(counters) > 0 {
+		args := make(map[string]any, len(counters))
+		for name, v := range counters {
+			args[name] = v
+		}
+		out = append(out, chromeEvent{
+			Name: "engine counters",
+			Ph:   "C",
+			Ts:   last,
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Node is one span in the reconstructed tree returned by Tree.
+type Node struct {
+	Name        string  `json:"name"`
+	StartMicros float64 `json:"start_us"`
+	DurMicros   float64 `json:"dur_us"`
+	Children    []*Node `json:"children,omitempty"`
+}
+
+// Tree reconstructs the span forest from recorded events, roots sorted
+// by start time.  Children whose parent event was dropped by the event
+// limit surface as roots.  Nil-safe (returns nil).
+func (t *Tracer) Tree() []*Node {
+	events := t.Events() // already (Start, ID)-sorted
+	if len(events) == 0 {
+		return nil
+	}
+	byID := make(map[uint64]*Node, len(events))
+	for _, ev := range events {
+		byID[ev.ID] = &Node{
+			Name:        ev.Name,
+			StartMicros: float64(ev.Start.Nanoseconds()) / 1e3,
+			DurMicros:   float64(ev.Dur.Nanoseconds()) / 1e3,
+		}
+	}
+	var roots []*Node
+	for _, ev := range events {
+		n := byID[ev.ID]
+		if p := byID[ev.Parent]; ev.Parent != 0 && p != nil {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// RenderNames renders the span forest as indented names only — a stable
+// representation for golden tests (timings vary run to run, structure
+// does not).  Sibling order is span-start order.
+func RenderNames(roots []*Node) string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), n.Name)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// FormatCounters renders a counter snapshot one per line, name-sorted —
+// the -counters output of the CLI tools.
+func FormatCounters(counters map[string]int64) string {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", name, counters[name])
+	}
+	return b.String()
+}

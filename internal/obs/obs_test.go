@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDisabledPathZeroAlloc is the package's core contract: every obs
+// call on a nil tracer must allocate nothing, so instrumentation can stay
+// compiled into hot loops.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	c := tr.Counter("equiv.pairs_expanded") // nil
+	if c != nil {
+		t.Fatalf("nil tracer returned non-nil counter")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Span("equiv.run")
+		child := sp.Child("equiv.wave")
+		c.Add(1)
+		tr.Count("lts.states", 1)
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled obs path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilTracerAccessors(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil.Events() = %v, want nil", got)
+	}
+	if got := tr.Counters(); got != nil {
+		t.Errorf("nil.Counters() = %v, want nil", got)
+	}
+	if got := tr.Tree(); got != nil {
+		t.Errorf("nil.Tree() = %v, want nil", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Errorf("nil.Dropped() = %d, want 0", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil.WriteChromeTrace: %v", err)
+	}
+	var arr []any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil || len(arr) != 0 {
+		t.Errorf("nil trace = %q, want empty JSON array", buf.String())
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := New()
+	run := tr.Span("equiv.run")
+	explore := run.Child("equiv.explore")
+	w1 := explore.Child("equiv.wave")
+	w1.End()
+	w2 := explore.Child("equiv.wave")
+	w2.End()
+	explore.End()
+	fix := run.Child("equiv.fixpoint")
+	fix.End()
+	run.End()
+
+	got := RenderNames(tr.Tree())
+	want := strings.Join([]string{
+		"equiv.run",
+		"  equiv.explore",
+		"    equiv.wave",
+		"    equiv.wave",
+		"  equiv.fixpoint",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("span tree:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	tr := New()
+	c := tr.Counter("lts.states")
+	c.Add(3)
+	c.Add(4)
+	tr.Count("lts.edges", 2)
+	if same := tr.Counter("lts.states"); same != c {
+		t.Errorf("Counter not idempotent: %p vs %p", same, c)
+	}
+	snap := tr.Counters()
+	if snap["lts.states"] != 7 || snap["lts.edges"] != 2 {
+		t.Errorf("Counters() = %v, want lts.states=7 lts.edges=2", snap)
+	}
+	if c.Value() != 7 {
+		t.Errorf("Value() = %d, want 7", c.Value())
+	}
+}
+
+// TestChromeTraceJSON asserts the export is a valid Chrome trace-event
+// array: complete events with ph "X", microsecond ts/dur, pid/tid set,
+// plus one "C" counter event.
+func TestChromeTraceJSON(t *testing.T) {
+	tr := New()
+	sp := tr.Span("axioms.decide")
+	sp.Child("axioms.world").End()
+	sp.End()
+	tr.Count("axioms.worlds", 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 2 spans + 1 counter", len(events))
+	}
+	var xs, cs int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			xs++
+			if ev["name"] == "" || ev["pid"] != float64(1) || ev["tid"] != float64(1) {
+				t.Errorf("malformed X event: %v", ev)
+			}
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Errorf("X event missing numeric ts: %v", ev)
+			}
+		case "C":
+			cs++
+			args, ok := ev["args"].(map[string]any)
+			if !ok || args["axioms.worlds"] != float64(1) {
+				t.Errorf("counter event args = %v", ev["args"])
+			}
+		default:
+			t.Errorf("unexpected ph %v", ev["ph"])
+		}
+	}
+	if xs != 2 || cs != 1 {
+		t.Errorf("got %d X and %d C events, want 2 and 1", xs, cs)
+	}
+}
+
+func TestEventLimitDrops(t *testing.T) {
+	tr := NewWithLimit(4)
+	for i := 0; i < 10; i++ {
+		tr.Span("s").End()
+	}
+	if got := len(tr.Events()); got != 4 {
+		t.Errorf("retained %d events, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+}
+
+// TestTracerRace hammers one Tracer from 16 goroutines — spans, child
+// spans, counters, and concurrent snapshot reads.  Meaningful under
+// go test -race.
+func TestTracerRace(t *testing.T) {
+	tr := NewWithLimit(1 << 12)
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := tr.Counter("race.ops")
+			for i := 0; i < iters; i++ {
+				sp := tr.Span("race.outer")
+				ch := sp.Child("race.inner")
+				c.Add(1)
+				tr.Count("race.cold", 1)
+				ch.End()
+				sp.End()
+				if i%32 == 0 {
+					_ = tr.Events()
+					_ = tr.Counters()
+					_ = tr.Tree()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Counters()
+	if snap["race.ops"] != goroutines*iters || snap["race.cold"] != goroutines*iters {
+		t.Errorf("counters = %v, want both %d", snap, goroutines*iters)
+	}
+	if got, dropped := len(tr.Events()), tr.Dropped(); uint64(got)+dropped != 2*goroutines*iters {
+		t.Errorf("events %d + dropped %d != spans started %d", got, dropped, 2*goroutines*iters)
+	}
+}
+
+func TestFormatCounters(t *testing.T) {
+	out := FormatCounters(map[string]int64{"b.two": 2, "a.one": 1})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "a.one") || !strings.HasPrefix(lines[1], "b.two") {
+		t.Errorf("FormatCounters = %q", out)
+	}
+}

@@ -5,8 +5,12 @@ import (
 	"fmt"
 
 	"bpi/internal/axioms"
+	"bpi/internal/equiv"
+	"bpi/internal/lts"
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	brand "bpi/internal/rand"
+	"bpi/internal/semantics"
 	"bpi/internal/service"
 	"bpi/internal/syntax"
 )
@@ -228,6 +232,91 @@ func lawSubstClosure() Law {
 				}
 				if !r.Related {
 					return fmt.Sprintf("p ~c q but pσ ≁ qσ for σ=%v", sub), nil
+				}
+			}
+			return "", nil
+		},
+	}
+}
+
+// ---- Observability: counters are measurements, not noise ------------------
+
+// lawObsConsistent checks that the obs counters threaded through the engines
+// are semantically meaningful: a counter total must equal the quantity the
+// engine itself reports, and it must not depend on HOW the work was
+// scheduled. Fresh checkers are built per leg — the Env checkers memoise
+// verdicts, and a cached verdict reports Pairs: 0, which would make every
+// comparison vacuous.
+func lawObsConsistent() Law {
+	return Law{
+		Name:   "obs/consistent",
+		Doc:    "engine counters agree with engine results and are identical across sequential, parallel and daemon scheduling",
+		Config: richConfig(),
+		Gen:    mixedPair,
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			run := func(workers int) (equiv.Result, map[string]int64, error) {
+				tr := obs.New()
+				var ch *equiv.Checker
+				if workers > 1 {
+					ch = equiv.NewParallelChecker(nil, workers)
+				} else {
+					ch = equiv.NewChecker(nil)
+				}
+				ch.Obs = tr
+				ch.Store().SetObs(tr)
+				r, err := ch.LabelledCtx(ctx, p, q, false)
+				return r, tr.Counters(), err
+			}
+			seq, seqC, err := run(1)
+			if err != nil {
+				return "", err
+			}
+			par, parC, err := run(4)
+			if err != nil {
+				return "", err
+			}
+			if seq.Related != par.Related {
+				return fmt.Sprintf("verdict differs: sequential=%v parallel=%v", seq.Related, par.Related), nil
+			}
+			if got := seqC["equiv.pairs_expanded"]; got != int64(seq.Pairs) {
+				return fmt.Sprintf("equiv.pairs_expanded=%d but Result.Pairs=%d (sequential)", got, seq.Pairs), nil
+			}
+			for _, name := range []string{"equiv.pairs_expanded", "equiv.waves"} {
+				if seqC[name] != parC[name] {
+					return fmt.Sprintf("%s: sequential=%d parallel=%d (scheduling leaked into a semantic counter)",
+						name, seqC[name], parC[name]), nil
+				}
+			}
+			// LTS totals must be worker-count independent too.
+			ltsStates := func(workers int) (int64, int64, error) {
+				tr := obs.New()
+				_, err := lts.Explore(semantics.NewSystem(nil), []syntax.Proc{p, q},
+					lts.Options{AutonomousOnly: true, MaxStates: 1 << 14, Workers: workers, Obs: tr})
+				c := tr.Counters()
+				return c["lts.states"], c["lts.edges"], err
+			}
+			s1, e1, err := ltsStates(1)
+			if err != nil {
+				return "", err
+			}
+			s4, e4, err := ltsStates(4)
+			if err != nil {
+				return "", err
+			}
+			if s1 != s4 || e1 != e4 {
+				return fmt.Sprintf("lts totals differ across workers: states %d vs %d, edges %d vs %d", s1, s4, e1, e4), nil
+			}
+			// The daemon path counts the same pair space (skip on a verdict-
+			// cache hit: a cached verdict legitimately reports pairs=0).
+			if env.Daemon != nil {
+				cold, err := env.Daemon.Equiv(ctx, service.EquivRequest{
+					P: syntax.Print(p), Q: syntax.Print(q), Rel: service.RelLabelled,
+				})
+				if err != nil {
+					return "", err
+				}
+				if !cold.Cached && cold.Pairs != seq.Pairs {
+					return fmt.Sprintf("daemon explored %d pairs, sequential %d", cold.Pairs, seq.Pairs), nil
 				}
 			}
 			return "", nil

@@ -91,6 +91,7 @@ func Registry() []Law {
 		lawAxiomInstances(),
 		lawSubstClosure(),
 		lawEnginesAgree(),
+		lawObsConsistent(),
 	}
 }
 

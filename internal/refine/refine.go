@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"bpi/internal/lts"
+	"bpi/internal/obs"
 )
 
 // Partition assigns a block id to every state of the graph such that two
@@ -28,6 +29,16 @@ const Skip = "\x00skip"
 
 // Refine computes the coarsest stable partition.
 func Refine(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state int) string) []int {
+	return RefineObs(g, labelOf, initialOf, nil)
+}
+
+// RefineObs is Refine reporting to a tracer: a refine.run span with one
+// refine.round child per splitter sweep, plus the counters refine.rounds
+// and refine.blocks (final block count). A nil tracer is free.
+func RefineObs(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state int) string, tr *obs.Tracer) []int {
+	span := tr.Span("refine.run")
+	defer span.End()
+	cRounds := tr.Counter("refine.rounds")
 	n := g.NumStates()
 	block := make([]int, n)
 	// Initial partition by initialOf.
@@ -43,6 +54,8 @@ func Refine(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state in
 	}
 	for {
 		changed := false
+		cRounds.Add(1)
+		round := span.Child("refine.round")
 		// Signature of a state: the sorted set of (label, target block).
 		sigIndex := map[string]int{}
 		next := make([]int, n)
@@ -71,12 +84,20 @@ func Refine(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state in
 		}
 		// Detect change: the partition is stable when the refinement did not
 		// split any block (same number of blocks and same grouping).
+		round.End()
 		if samePartition(block, next) {
 			break
 		}
 		block = next
 		changed = true
 		_ = changed
+	}
+	if c := tr.Counter("refine.blocks"); c != nil {
+		distinct := map[int]bool{}
+		for _, b := range block {
+			distinct[b] = true
+		}
+		c.Add(int64(len(distinct)))
 	}
 	return block
 }
@@ -116,30 +137,38 @@ func barbKey(g *lts.Graph, i int) string {
 // StrongStep decides strong step bisimilarity (Definition 5) between the
 // graph's first two roots: autonomous moves are label-blind, barbs are the
 // output subjects.
-func StrongStep(g *lts.Graph) (bool, error) {
+func StrongStep(g *lts.Graph) (bool, error) { return StrongStepObs(g, nil) }
+
+// StrongStepObs is StrongStep reporting refinement spans and counters to tr.
+func StrongStepObs(g *lts.Graph, tr *obs.Tracer) (bool, error) {
 	if len(g.Roots) < 2 {
 		return false, fmt.Errorf("refine: need two roots")
 	}
 	if g.Truncated {
 		return false, fmt.Errorf("refine: graph truncated; verdict would be unsound")
 	}
-	block := Refine(g,
+	block := RefineObs(g,
 		func(e lts.Edge) string { return "" }, // label-blind step
 		func(i int) string { return barbKey(g, i) },
+		tr,
 	)
 	return block[g.Roots[0]] == block[g.Roots[1]], nil
 }
 
 // StrongBarbed decides strong barbed bisimilarity (Definition 3) between
 // the graph's first two roots: only τ moves are observable, plus barbs.
-func StrongBarbed(g *lts.Graph) (bool, error) {
+func StrongBarbed(g *lts.Graph) (bool, error) { return StrongBarbedObs(g, nil) }
+
+// StrongBarbedObs is StrongBarbed reporting refinement spans and counters
+// to tr.
+func StrongBarbedObs(g *lts.Graph, tr *obs.Tracer) (bool, error) {
 	if len(g.Roots) < 2 {
 		return false, fmt.Errorf("refine: need two roots")
 	}
 	if g.Truncated {
 		return false, fmt.Errorf("refine: graph truncated; verdict would be unsound")
 	}
-	block := Refine(g,
+	block := RefineObs(g,
 		func(e lts.Edge) string {
 			if e.Act.IsTau() {
 				return ""
@@ -147,6 +176,7 @@ func StrongBarbed(g *lts.Graph) (bool, error) {
 			return Skip // outputs are invisible as moves to barbed bisimilarity
 		},
 		func(i int) string { return barbKey(g, i) },
+		tr,
 	)
 	return block[g.Roots[0]] == block[g.Roots[1]], nil
 }

@@ -1,5 +1,7 @@
 package service
 
+import "bpi/internal/obs"
+
 // Wire types of the bpid HTTP/JSON API. The same structs are used by the
 // daemon handlers and by the bpi.Client, so the two cannot drift.
 
@@ -210,4 +212,17 @@ type JobStatusResponse struct {
 	Prove *ProveResponse `json:"prove,omitempty"`
 	Run   *RunResponse   `json:"run,omitempty"`
 	Error *ErrorBody     `json:"error,omitempty"`
+}
+
+// TraceResponse is the body of GET /trace/{id}: the span tree and engine
+// counters recorded by one async job's private tracer. Spans only exist
+// once the job has started running; DroppedSpans counts events discarded
+// by the per-job buffer bound.
+type TraceResponse struct {
+	ID           string           `json:"id"`
+	Kind         string           `json:"kind"`
+	State        string           `json:"state"`
+	Counters     map[string]int64 `json:"counters,omitempty"`
+	DroppedSpans uint64           `json:"dropped_spans,omitempty"`
+	Spans        []*obs.Node      `json:"spans,omitempty"`
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -22,8 +24,10 @@ import (
 //	POST /v1/run       one scheduled machine execution
 //	POST /v1/jobs      submit an async job
 //	GET  /v1/jobs/{id} poll an async job
+//	GET  /trace/{id}   span tree + engine counters of an async job
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text exposition
+//	GET  /debug/pprof/ the net/http/pprof profiling surface
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/parse", instrument(s, "/v1/parse", s.handleParse))
@@ -34,9 +38,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", instrument(s, "/v1/run", s.handleRun))
 	mux.HandleFunc("POST /v1/jobs", instrument(s, "/v1/jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", instrument(s, "/v1/jobs/{id}", s.handleJobStatus))
+	mux.HandleFunc("GET /trace/{id}", instrument(s, "/trace/{id}", s.handleTrace))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The pprof surface: the daemon runs its own mux, so the handlers are
+	// mounted explicitly instead of relying on DefaultServeMux. The
+	// trailing-slash Index route also serves the named profiles
+	// (goroutine, heap, allocs, block, mutex, threadcreate).
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleTrace serves the span tree recorded by one async job's tracer —
+// the request-level execution evidence: explore waves, fixpoint timing,
+// prover worlds, with engine counters alongside.
+func (s *Server) handleTrace(r *http.Request) (int, any) {
+	id := r.PathValue("id")
+	tr, st, ok := s.jobs.trace(id)
+	if !ok {
+		return fail(&ErrorBody{Code: CodeNotFound, Message: "no such job " + id})
+	}
+	return http.StatusOK, TraceResponse{
+		ID:           st.ID,
+		Kind:         st.Kind,
+		State:        st.State,
+		Counters:     tr.Counters(),
+		DroppedSpans: tr.Dropped(),
+		Spans:        tr.Tree(),
+	}
 }
 
 // handlerFunc is a handler returning (status, body); body is JSON-encoded.
@@ -174,6 +207,7 @@ func (s *Server) handleExplore(r *http.Request) (int, any) {
 			MaxStates:      req.MaxStates,
 			FreshNames:     req.FreshNames,
 			AutonomousOnly: req.AutonomousOnly,
+			Obs:            s.obs,
 		})
 		if err != nil {
 			return fail(classify(err))
@@ -196,7 +230,7 @@ func (s *Server) handleEquiv(r *http.Request) (int, any) {
 		return fail(eb)
 	}
 	return s.sync(r, func() (int, any) {
-		resp, eb := s.runEquiv(r.Context(), &req)
+		resp, eb := s.runEquiv(r.Context(), &req, s.obs)
 		if eb != nil {
 			return fail(eb)
 		}
@@ -210,7 +244,7 @@ func (s *Server) handleProve(r *http.Request) (int, any) {
 		return fail(eb)
 	}
 	return s.sync(r, func() (int, any) {
-		resp, eb := s.runProve(r.Context(), &req)
+		resp, eb := s.runProve(r.Context(), &req, s.obs)
 		if eb != nil {
 			return fail(eb)
 		}
@@ -224,7 +258,7 @@ func (s *Server) handleRun(r *http.Request) (int, any) {
 		return fail(eb)
 	}
 	return s.sync(r, func() (int, any) {
-		resp, eb := s.runMachine(r.Context(), &req)
+		resp, eb := s.runMachine(r.Context(), &req, s.obs)
 		if eb != nil {
 			return fail(eb)
 		}
@@ -291,6 +325,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"bpid_jobs", "Jobs by state.", `{state="failed"}`, float64(jc[JobFailed])},
 		{"bpid_uptime_seconds", "Seconds since daemon start.", "", time.Since(s.started).Seconds()},
 	}
+	// Engine counters from the daemon tracer, one labelled series per
+	// counter name (sorted for a stable exposition).
+	counters := s.obs.Counters()
+	cnames := make([]string, 0, len(counters))
+	for name := range counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		gauges = append(gauges, gauge{"bpid_engine_events_total",
+			"Engine events observed by the daemon tracer, by counter name.",
+			fmt.Sprintf("{name=%q}", name), float64(counters[name])})
+	}
+	gauges = append(gauges, gauge{"bpid_trace_spans_dropped_total",
+		"Span events dropped by the daemon tracer's buffer bound.", "",
+		float64(s.obs.Dropped())})
 	var b strings.Builder
 	s.metrics.render(&b, gauges)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

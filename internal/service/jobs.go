@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"bpi/internal/obs"
 )
 
 // jobManager owns the async job table. Submitted jobs execute on the same
@@ -24,6 +26,10 @@ type job struct {
 	mu     sync.Mutex
 	status JobStatusResponse
 	done   chan struct{}
+	// trace is the job's private tracer, set when execution starts and
+	// served by GET /trace/{id}. Engine spans and counters land here;
+	// store-level counters stay on the daemon tracer (the store is shared).
+	trace *obs.Tracer
 }
 
 func newJobManager(srv *Server, depth int) *jobManager {
@@ -88,8 +94,10 @@ func (m *jobManager) execute(j *job, req *JobRequest, finish func()) {
 	m.srv.slots <- struct{}{}
 	defer m.srv.releaseSlot()
 
+	tr := obs.NewWithLimit(4096)
 	j.mu.Lock()
 	j.status.State = JobRunning
+	j.trace = tr
 	j.mu.Unlock()
 
 	ctx := context.Background()
@@ -101,11 +109,11 @@ func (m *jobManager) execute(j *job, req *JobRequest, finish func()) {
 	)
 	switch req.Kind {
 	case JobEquiv:
-		equivResp, eb = m.srv.runEquiv(ctx, req.Equiv)
+		equivResp, eb = m.srv.runEquiv(ctx, req.Equiv, tr)
 	case JobProve:
-		proveResp, eb = m.srv.runProve(ctx, req.Prove)
+		proveResp, eb = m.srv.runProve(ctx, req.Prove, tr)
 	case JobRun:
-		runResp, eb = m.srv.runMachine(ctx, req.Run)
+		runResp, eb = m.srv.runMachine(ctx, req.Run, tr)
 	}
 	j.mu.Lock()
 	if eb != nil {
@@ -116,6 +124,20 @@ func (m *jobManager) execute(j *job, req *JobRequest, finish func()) {
 		j.status.Equiv, j.status.Prove, j.status.Run = equivResp, proveResp, runResp
 	}
 	j.mu.Unlock()
+}
+
+// trace returns a job's tracer (nil until the job starts running) and a
+// copy of its status.
+func (m *jobManager) trace(id string) (*obs.Tracer, JobStatusResponse, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, JobStatusResponse{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace, j.status, true
 }
 
 // status returns a copy of the job's current state.

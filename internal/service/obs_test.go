@@ -1,0 +1,125 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bpi/internal/obs"
+	"bpi/internal/service"
+)
+
+func collectSpanNames(ns []*obs.Node, into map[string]bool) {
+	for _, n := range ns {
+		into[n.Name] = true
+		collectSpanNames(n.Children, into)
+	}
+}
+
+// TestTraceEndpoint submits an async equiv job, waits for it, and asserts
+// GET /trace/{id} returns the job's span tree and engine counters.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts, client := newTestServer(t, service.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	id, err := client.Submit(ctx, service.JobRequest{
+		Kind:  service.JobEquiv,
+		Equiv: &service.EquivRequest{P: "a!.b!", Q: "a!.b! + a!.b!", Rel: service.RelLabelled},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Wait(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.JobDone {
+		t.Fatalf("job %s ended %s: %+v", id, st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace/%s: status %d", id, resp.StatusCode)
+	}
+	var tr service.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != id || tr.State != service.JobDone {
+		t.Fatalf("trace envelope = %+v", tr)
+	}
+	if tr.Counters["equiv.pairs_expanded"] <= 0 {
+		t.Errorf("counters = %v, want equiv.pairs_expanded > 0", tr.Counters)
+	}
+	names := map[string]bool{}
+	collectSpanNames(tr.Spans, names)
+	for _, want := range []string{"equiv.run", "equiv.explore", "equiv.wave", "equiv.fixpoint"} {
+		if !names[want] {
+			t.Errorf("span tree lacks %q (have %v)", want, names)
+		}
+	}
+
+	// Unknown job → 404 on the trace endpoint too.
+	resp2, err := http.Get(ts.URL + "/trace/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /trace/job-999: status %d want 404", resp2.StatusCode)
+	}
+}
+
+// TestPprofEndpoints asserts the pprof surface is mounted: the index and
+// the goroutine profile respond 200 on the daemon mux.
+func TestPprofEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, service.Config{})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsEngineEvents asserts that engine counters from served
+// requests surface as bpid_engine_events_total series on /metrics.
+func TestMetricsEngineEvents(t *testing.T) {
+	_, ts, client := newTestServer(t, service.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.Equiv(ctx, service.EquivRequest{P: "a!.b!", Q: "a!.b!", Rel: service.RelLabelled}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`bpid_engine_events_total{name="equiv.pairs_expanded"}`,
+		`bpid_engine_events_total{name="store.intern_misses"}`,
+		"bpid_trace_spans_dropped_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition lacks %s", want)
+		}
+	}
+}

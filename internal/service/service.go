@@ -36,6 +36,7 @@ import (
 	"bpi/internal/equiv"
 	"bpi/internal/machine"
 	"bpi/internal/names"
+	"bpi/internal/obs"
 	"bpi/internal/parser"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
@@ -114,6 +115,13 @@ type Server struct {
 	metrics *metrics
 	jobs    *jobManager
 
+	// obs is the daemon-lifetime tracer: the shared store mirrors its
+	// reuse counters here, synchronous requests report engine counters
+	// here (exported as bpid_engine_events_total on /metrics), and its
+	// bounded span buffer backs ad-hoc diagnostics. Async jobs get their
+	// own per-job tracer (see jobManager) served by GET /trace/{id}.
+	obs *obs.Tracer
+
 	slots    chan struct{} // worker-pool semaphore; len() = busy workers
 	inflight sync.WaitGroup
 
@@ -130,10 +138,12 @@ func New(cfg Config) *Server {
 		sys:     semantics.NewSystem(cfg.Env),
 		cache:   newVerdictCache(cfg.CacheSize),
 		metrics: newMetrics(),
+		obs:     obs.NewWithLimit(8192),
 		slots:   make(chan struct{}, cfg.workers()),
 		started: time.Now(),
 	}
 	s.store = equiv.NewStore(s.sys)
+	s.store.SetObs(s.obs)
 	s.jobs = newJobManager(s, cfg.queueDepth())
 	return s
 }
@@ -237,8 +247,8 @@ func classify(err error) *ErrorBody {
 }
 
 // checker returns a request-scoped Checker view over the shared store,
-// carrying the request's budgets.
-func (s *Server) checker(req *EquivRequest) *equiv.Checker {
+// carrying the request's budgets and reporting to tr.
+func (s *Server) checker(req *EquivRequest, tr *obs.Tracer) *equiv.Checker {
 	c := equiv.NewCheckerWithStore(s.store)
 	c.MaxPairs = s.cfg.MaxPairs
 	if req.MaxPairs > 0 {
@@ -249,12 +259,15 @@ func (s *Server) checker(req *EquivRequest) *equiv.Checker {
 		c.MaxClosure = req.MaxClosure
 	}
 	c.Workers = s.cfg.EngineWorkers
+	c.Obs = tr
 	return c
 }
 
 // runEquiv executes one equivalence query (already on a worker slot),
-// consulting and feeding the verdict cache.
-func (s *Server) runEquiv(ctx context.Context, req *EquivRequest) (*EquivResponse, *ErrorBody) {
+// consulting and feeding the verdict cache. Engine spans and counters go
+// to tr (the daemon tracer for synchronous requests, a per-job tracer for
+// async jobs).
+func (s *Server) runEquiv(ctx context.Context, req *EquivRequest, tr *obs.Tracer) (*EquivResponse, *ErrorBody) {
 	p, eb := s.parseTerm("p", req.P)
 	if eb != nil {
 		return nil, eb
@@ -279,7 +292,7 @@ func (s *Server) runEquiv(ctx context.Context, req *EquivRequest) (*EquivRespons
 
 	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMs))
 	defer cancel()
-	c := s.checker(req)
+	c := s.checker(req, tr)
 	start := time.Now()
 	var resp EquivResponse
 	var err error
@@ -314,7 +327,7 @@ func (s *Server) runEquiv(ctx context.Context, req *EquivRequest) (*EquivRespons
 }
 
 // runProve executes one prover query (already on a worker slot).
-func (s *Server) runProve(ctx context.Context, req *ProveRequest) (*ProveResponse, *ErrorBody) {
+func (s *Server) runProve(ctx context.Context, req *ProveRequest, tr *obs.Tracer) (*ProveResponse, *ErrorBody) {
 	p, eb := s.parseTerm("p", req.P)
 	if eb != nil {
 		return nil, eb
@@ -329,6 +342,7 @@ func (s *Server) runProve(ctx context.Context, req *ProveRequest) (*ProveRespons
 	pr.MaxNames = req.MaxNames
 	pr.MaxSteps = req.MaxSteps
 	pr.Tracing = req.Trace
+	pr.Obs = tr
 	start := time.Now()
 	ok, err := pr.DecideCtx(ctx, p, q)
 	if err != nil {
@@ -342,7 +356,7 @@ func (s *Server) runProve(ctx context.Context, req *ProveRequest) (*ProveRespons
 }
 
 // runMachine executes one scheduled run (already on a worker slot).
-func (s *Server) runMachine(ctx context.Context, req *RunRequest) (*RunResponse, *ErrorBody) {
+func (s *Server) runMachine(ctx context.Context, req *RunRequest, tr *obs.Tracer) (*RunResponse, *ErrorBody) {
 	p, eb := s.parseTerm("term", req.Term)
 	if eb != nil {
 		return nil, eb
@@ -371,6 +385,7 @@ func (s *Server) runMachine(ctx context.Context, req *RunRequest) (*RunResponse,
 		Scheduler:  sched,
 		StopOnBarb: stop,
 		KeepTrace:  req.KeepTrace,
+		Obs:        tr,
 	})
 	if err != nil {
 		return nil, classify(err)
