@@ -2,6 +2,7 @@ package bpi
 
 import (
 	"bpi/internal/axioms"
+	"bpi/internal/cert"
 	"bpi/internal/equiv"
 	"bpi/internal/lts"
 	"bpi/internal/machine"
@@ -39,6 +40,12 @@ type (
 	RunResult = machine.Result
 	// Program is a parsed source file (definitions plus main term).
 	Program = parser.Program
+	// Certificate is a replayable proof object for a verdict (set Certify on
+	// a Checker or Prover to emit one; Result.Cert carries it).
+	Certificate = cert.Certificate
+	// CertVerifier replays certificates against the LTS rules alone, with
+	// optional definitions (Sys) and work budgets.
+	CertVerifier = cert.Verifier
 )
 
 // Term constructors, re-exported from the syntax package.
@@ -128,6 +135,16 @@ func NewParallelChecker(sys *System, workers int) *Checker {
 
 // NewProver returns the Section 5 decision procedure over sys.
 func NewProver(sys *System) *Prover { return axioms.NewProver(sys) }
+
+// VerifyCertificate replays c with a default verifier — independent of the
+// engines, deriving everything from the LTS rules. A nil error means the
+// certified verdict is established.
+func VerifyCertificate(c *Certificate) error { return cert.Verify(c) }
+
+// UnmarshalCertificate parses a certificate from its JSON encoding (the
+// format written by Certificate.Marshal, the -cert CLI flags and the
+// daemon's GET /certificate/{id}).
+func UnmarshalCertificate(data []byte) (*Certificate, error) { return cert.Unmarshal(data) }
 
 // Explore builds the finite transition graph reachable from the roots.
 func Explore(sys *System, roots []Proc, opt ExploreOptions) (*Graph, error) {

@@ -39,6 +39,9 @@ type (
 	JobRequest = service.JobRequest
 	// JobStatus reports an asynchronous daemon job.
 	JobStatus = service.JobStatusResponse
+	// CertificateResponse carries the replayable certificate of a finished
+	// equiv job.
+	CertificateResponse = service.CertificateResponse
 	// APIError is the typed error a daemon returns (code + message).
 	APIError = service.ErrorBody
 )
@@ -190,6 +193,14 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (string, error) {
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	var out JobStatus
 	err := c.call(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return &out, err
+}
+
+// Certificate fetches the replayable certificate recorded by a finished
+// equiv job; verify it with internal/cert.Verify or `bpicert verify`.
+func (c *Client) Certificate(ctx context.Context, id string) (*CertificateResponse, error) {
+	var out CertificateResponse
+	err := c.call(ctx, http.MethodGet, "/certificate/"+id, nil, &out)
 	return &out, err
 }
 

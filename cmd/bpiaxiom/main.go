@@ -33,6 +33,7 @@ var (
 	timeout  = flag.Duration("timeout", 30*time.Second, "per-query deadline (with -server)")
 	traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file of the local decide run")
 	counters = flag.Bool("counters", false, "print prover counters to stderr after decide")
+	certOut  = flag.String("cert", "", "write decide's replayable proof object as JSON (local only; check with bpicert verify)")
 )
 
 func main() {
@@ -84,14 +85,15 @@ func main() {
 		}
 		p, q := parse(args[0]), parse(args[1])
 		if *server != "" {
-			if *traceOut != "" || *counters {
-				fail(fmt.Errorf("-trace/-counters are local-only; a daemon-served run's evidence is on the daemon (/trace/{id}, /metrics)"))
+			if *traceOut != "" || *counters || *certOut != "" {
+				fail(fmt.Errorf("-trace/-counters/-cert are local-only; a daemon-served run's evidence is on the daemon (/trace/{id}, /metrics)"))
 			}
 			decideRemote(p, q, trace)
 			return
 		}
 		pr := axioms.NewProver(nil)
 		pr.Tracing = trace
+		pr.Certify = *certOut != ""
 		var tr *obs.Tracer
 		if *traceOut != "" || *counters {
 			tr = obs.New()
@@ -99,6 +101,16 @@ func main() {
 		}
 		ok, err := pr.Decide(p, q)
 		fail(err)
+		if *certOut != "" {
+			crt := pr.Certificate()
+			if crt == nil {
+				fail(fmt.Errorf("no proof object was recorded"))
+			}
+			data, err := crt.Marshal()
+			fail(err)
+			fail(os.WriteFile(*certOut, data, 0o644))
+			fmt.Fprintf(os.Stderr, "certificate: %d bytes written to %s\n", len(data), *certOut)
+		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			fail(err)
@@ -161,6 +173,7 @@ func usage() {
   -timeout D      per-query deadline with -server (default 30s)
   -trace out.json write a Chrome trace-event file of a local decide
   -counters       print prover counters to stderr after a local decide
+  -cert out.json  write decide's replayable proof object (bpicert verify)
 `)
 }
 

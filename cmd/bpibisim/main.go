@@ -4,7 +4,8 @@
 // Usage:
 //
 //	bpibisim [-f file] [-rel labelled|barbed|step|onestep|congruence|all]
-//	         [-weak] [-server URL] [-trace out.json] [-counters] "term1" "term2"
+//	         [-weak] [-server URL] [-trace out.json] [-counters]
+//	         [-cert out.json] "term1" "term2"
 //
 // With -server the query is delegated to a running bpid daemon, whose
 // shared store and verdict cache amortise repeated queries across
@@ -15,6 +16,10 @@
 // -counters the engine counters are printed to stderr after the
 // verdicts. Both are local-only: a daemon-served query's evidence lives
 // on the daemon (/trace/{id}, /metrics, /debug/pprof).
+//
+// With -cert (single -rel only) the verdict's replayable certificate is
+// written as JSON — works both locally and against a daemon — and can be
+// checked independently with `bpicert verify`.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	bpi "bpi"
+	"bpi/internal/cert"
 	"bpi/internal/equiv"
 	"bpi/internal/obs"
 	"bpi/internal/parser"
@@ -40,6 +46,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline (with -server)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the local engine run")
 	counters := flag.Bool("counters", false, "print engine counters to stderr after the verdicts")
+	certOut := flag.String("cert", "", "write the verdict's replayable certificate as JSON (single -rel only; check with bpicert verify)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bpibisim [-f file] [-rel R] [-weak] [-server URL] term1 term2")
@@ -83,6 +90,21 @@ func main() {
 	} else {
 		want[*rel] = true
 	}
+	if *certOut != "" && len(want) != 1 {
+		fail(fmt.Errorf("-cert needs a single relation (use -rel labelled|barbed|step|onestep|congruence)"))
+	}
+	writeCert := func(crt *cert.Certificate) {
+		if *certOut == "" {
+			return
+		}
+		if crt == nil {
+			fail(fmt.Errorf("no certificate was recorded"))
+		}
+		data, err := crt.Marshal()
+		fail(err)
+		fail(os.WriteFile(*certOut, data, 0o644))
+		fmt.Fprintf(os.Stderr, "certificate: %d bytes written to %s\n", len(data), *certOut)
+	}
 	if *server != "" {
 		if *file != "" {
 			fail(fmt.Errorf("-f and -server are exclusive: the daemon fixes its definitions at startup"))
@@ -99,7 +121,7 @@ func main() {
 			}
 			resp, err := cl.Equiv(ctx, bpi.EquivRequest{
 				P: flag.Arg(0), Q: flag.Arg(1), Rel: r, Weak: *weak,
-				TimeoutMs: int(timeout.Milliseconds()),
+				TimeoutMs: int(timeout.Milliseconds()), Cert: *certOut != "",
 			})
 			fail(err)
 			detail := resp.Reason
@@ -107,10 +129,12 @@ func main() {
 				detail = "cached daemon verdict"
 			}
 			show(r, resp.Related, detail)
+			writeCert(resp.Certificate)
 		}
 		return
 	}
 	ch := equiv.NewChecker(semantics.NewSystem(env))
+	ch.Certify = *certOut != ""
 	var tr *obs.Tracer
 	if *traceOut != "" || *counters {
 		tr = obs.New()
@@ -121,26 +145,43 @@ func main() {
 		r, err := ch.Labelled(p, q, *weak)
 		fail(err)
 		show("labelled", r.Related, r.Reason)
+		writeCert(r.Cert)
 	}
 	if want["barbed"] {
 		r, err := ch.Barbed(p, q, *weak)
 		fail(err)
 		show("barbed", r.Related, r.Reason)
+		writeCert(r.Cert)
 	}
 	if want["step"] {
 		r, err := ch.Step(p, q, *weak)
 		fail(err)
 		show("step", r.Related, r.Reason)
+		writeCert(r.Cert)
 	}
 	if want["onestep"] {
-		ok, err := ch.OneStep(p, q, *weak)
-		fail(err)
-		show("one-step", ok, "")
+		if ch.Certify {
+			crt, ok, err := ch.OneStepCert(p, q, *weak)
+			fail(err)
+			show("one-step", ok, "")
+			writeCert(crt)
+		} else {
+			ok, err := ch.OneStep(p, q, *weak)
+			fail(err)
+			show("one-step", ok, "")
+		}
 	}
 	if want["congruence"] {
-		ok, err := ch.Congruence(p, q, *weak)
-		fail(err)
-		show("congruence", ok, "closure under all fusions of the free names")
+		if ch.Certify {
+			crt, ok, err := ch.CongruenceCert(p, q, *weak)
+			fail(err)
+			show("congruence", ok, "closure under all fusions of the free names")
+			writeCert(crt)
+		} else {
+			ok, err := ch.Congruence(p, q, *weak)
+			fail(err)
+			show("congruence", ok, "closure under all fusions of the free names")
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

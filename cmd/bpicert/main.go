@@ -1,0 +1,107 @@
+// Command bpicert checks the replayable certificates emitted by the
+// equivalence engines (bpibisim -cert, bpiaxiom -cert, bpid's
+// GET /certificate/{id}) against the independent verifier of internal/cert.
+// The verifier shares no code with the engines: it re-derives every claimed
+// transition from the LTS rules, so a certificate that verifies is evidence
+// about the calculus, not about the engine that produced it.
+//
+// Usage:
+//
+//	bpicert verify [-f file] [-q] cert.json [more.json ...]
+//
+// Reads each certificate (or stdin for "-"), replays it, and reports one
+// line per file. Exits non-zero if any certificate is rejected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bpi/internal/cert"
+	"bpi/internal/parser"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 || flag.Arg(0) != "verify" {
+		usage()
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	file := fs.String("f", "", "program file with definitions (for certificates over defined constants)")
+	quiet := fs.Bool("q", false, "suppress per-certificate output; only the exit status reports")
+	fs.Usage = usage
+	_ = fs.Parse(flag.Args()[1:])
+	if fs.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var env syntax.Env
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		fail(err)
+		prog, err := parser.ParseProgram(string(src))
+		fail(err)
+		env = prog.Env
+	}
+	v := &cert.Verifier{Sys: semantics.NewSystem(env)}
+	bad := 0
+	for _, path := range fs.Args() {
+		var data []byte
+		var err error
+		if path == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
+		fail(err)
+		c, err := cert.Unmarshal(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpicert: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		if err := v.Verify(c); err != nil {
+			fmt.Fprintf(os.Stderr, "bpicert: %s: REJECTED: %v\n", path, err)
+			bad++
+			continue
+		}
+		if !*quiet {
+			verdict := "NOT related"
+			if c.Related {
+				verdict = "related"
+			}
+			fmt.Printf("%s: OK  %s %s  p=%s  q=%s\n", path, c.Relation, verdict, c.P, c.Q)
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bpicert — independent certificate verifier
+
+  bpicert verify [-f file] [-q] cert.json [more.json ...]
+
+Replays each certificate against the LTS rules (no engine code involved)
+and prints one line per file; "-" reads from stdin. Exits 1 if any
+certificate is rejected, 2 on usage errors.
+
+  -f file  program file with definitions, for certificates whose terms
+           mention defined constants
+  -q       quiet: only the exit status reports
+`)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpicert:", err)
+		os.Exit(1)
+	}
+}

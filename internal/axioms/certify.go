@@ -1,0 +1,79 @@
+package axioms
+
+import (
+	"bpi/internal/cert"
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// axRecorder accumulates the proof object of one certified Decide call. The
+// goal DAG is emitted in post-order: a goal's index is assigned when its
+// decideWorld completes, so `last` always names the goal of the most recent
+// finished comparison — exactly the child index a parent match step needs.
+// Goals are shared across the DAG by the prover's memo key.
+type axRecorder struct {
+	goals []cert.Goal
+	byKey map[string]int
+	stack []*cert.Goal
+	last  int
+}
+
+// curGoal returns the goal under construction, nil when not certifying.
+func (pr *Prover) curGoal() *cert.Goal {
+	if pr.rec == nil || len(pr.rec.stack) == 0 {
+		return nil
+	}
+	return pr.rec.stack[len(pr.rec.stack)-1]
+}
+
+func (pr *Prover) recLast() int {
+	if pr.rec == nil {
+		return 0
+	}
+	return pr.rec.last
+}
+
+// finishCert stores the certificate of a completed Decide call (no-op when
+// not certifying).
+func (pr *Prover) finishCert(p, q syntax.Proc, related bool, worlds []cert.WorldStep) {
+	if pr.rec == nil {
+		return
+	}
+	pr.lastCert = &cert.Certificate{
+		Version:  cert.Version,
+		Relation: cert.RelAxioms,
+		Related:  related,
+		P:        syntax.String(p),
+		Q:        syntax.String(q),
+		Proof:    &cert.Proof{Worlds: worlds, Goals: pr.rec.goals},
+	}
+}
+
+// Certificate returns the proof object recorded by the last Decide call, or
+// nil if Certify was unset or the call erred.
+func (pr *Prover) Certificate() *cert.Certificate { return pr.lastCert }
+
+// summandLabel renders an output summand's canonical label, shared with the
+// certificate verifier.
+func summandLabel(s Summand) string {
+	return cert.OutLabel(string(s.Ch), nameStrings(s.Objs), s.Bound, nameStrings(s.Binder))
+}
+
+func nameStrings(ns []names.Name) []string {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = string(n)
+	}
+	return out
+}
+
+func repStrings(rep names.Subst) map[string]string {
+	out := make(map[string]string, len(rep))
+	for k, v := range rep {
+		out[string(k)] = string(v)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package axioms
+
+import (
+	"strings"
+	"testing"
+
+	"bpi/internal/cert"
+	"bpi/internal/syntax"
+)
+
+// certProverPairs spans the proof shapes: plain matches, (C) commutation,
+// (H)-saturation, (SP) input instantiation, bound outputs, and refutations by
+// every failure kind (shape mismatch, discard mismatch, unmatched τ, output
+// and input instantiation).
+func certProverPairs() []struct {
+	p, q syntax.Proc
+	want bool
+} {
+	send := syntax.SendN(a, b)
+	recv := syntax.RecvN(a, x)
+	return []struct {
+		p, q syntax.Proc
+		want bool
+	}{
+		{send, send, true},
+		{syntax.Choice(send, send), send, true},
+		{syntax.Choice(syntax.TauP(send), syntax.TauP(syntax.SendN(a, c))),
+			syntax.Choice(syntax.TauP(syntax.SendN(a, c)), syntax.TauP(send)), true},
+		{syntax.Group(send, recv), syntax.Group(recv, send), true},
+		{syntax.If(a, b, send, syntax.PNil), syntax.If(b, a, send, syntax.PNil), true},
+		{syntax.Restrict(syntax.SendN(a, x), x), syntax.Restrict(syntax.SendN(a, b), b), true},
+		{recv, syntax.RecvN(a, x), true},
+		{send, syntax.SendN(a, c), false},
+		{send, syntax.TauP(send), false},
+		{recv, syntax.PNil, false},
+		{recv, syntax.RecvN(b, x), false},
+		{syntax.RecvN(a, x), syntax.RecvN(a), false},
+		{syntax.TauP(send), syntax.TauP(syntax.SendN(a, c)), false},
+		{syntax.RecvN(a, x, "x2"), syntax.RecvN(a, x), false},
+		// The Remark 4 separator: the stuck mixed-arity listener pair neither
+		// receives nor discards on a, so only the discard sets distinguish it
+		// from 0 — the proof must record a "discards" failure.
+		{syntax.Group(syntax.RecvN(a), syntax.RecvN(a, x)), syntax.PNil, false},
+	}
+}
+
+func TestAxiomCertificatesVerify(t *testing.T) {
+	for _, cse := range certProverPairs() {
+		pr := NewProver(nil)
+		pr.Certify = true
+		got, err := pr.Decide(cse.p, cse.q)
+		ctxt := syntax.String(cse.p) + " vs " + syntax.String(cse.q)
+		if err != nil {
+			t.Fatalf("%s: %v", ctxt, err)
+		}
+		if got != cse.want {
+			t.Fatalf("%s: Decide = %v, want %v", ctxt, got, cse.want)
+		}
+		crt := pr.Certificate()
+		if crt == nil {
+			t.Fatalf("%s: no certificate recorded", ctxt)
+		}
+		if crt.Related != got {
+			t.Fatalf("%s: certificate verdict %v, Decide said %v", ctxt, crt.Related, got)
+		}
+		if err := cert.Verify(crt); err != nil {
+			data, _ := crt.Marshal()
+			t.Fatalf("%s: certificate rejected: %v\n%s", ctxt, err, data)
+		}
+	}
+}
+
+// TestUncertifiedProverRecordsNothing pins that certification is opt-in and
+// that a later certified call on the same prover works (the memo is reset).
+func TestUncertifiedProverRecordsNothing(t *testing.T) {
+	pr := NewProver(nil)
+	p := syntax.SendN(a, b)
+	if _, err := pr.Decide(p, p); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Certificate() != nil {
+		t.Fatal("uncertified Decide recorded a certificate")
+	}
+	pr.Certify = true
+	if _, err := pr.Decide(p, p); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Certificate() == nil {
+		t.Fatal("certified Decide after an uncertified one recorded nothing")
+	}
+	if err := cert.Verify(pr.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTamperedProofRejected mutates sound proof objects step by step: the
+// deliberately-simple verifier must catch every alteration.
+func TestTamperedProofRejected(t *testing.T) {
+	pr := NewProver(nil)
+	pr.Certify = true
+
+	// Positive proof: τ.āb + τ.āc ≃ τ.āc + τ.āb has real match steps.
+	p := syntax.Choice(syntax.TauP(syntax.SendN(a, b)), syntax.TauP(syntax.SendN(a, c)))
+	q := syntax.Choice(syntax.TauP(syntax.SendN(a, c)), syntax.TauP(syntax.SendN(a, b)))
+	ok, err := pr.Decide(p, q)
+	if err != nil || !ok {
+		t.Fatalf("Decide = %v, %v", ok, err)
+	}
+	pos := pr.Certificate()
+	if err := cert.Verify(pos); err != nil {
+		t.Fatalf("baseline positive rejected: %v", err)
+	}
+
+	t.Run("flipped verdict", func(t *testing.T) {
+		m := cloneCert(t, pos)
+		m.Related = false
+		if cert.Verify(m) == nil {
+			t.Error("positive proof relabelled negative verified")
+		}
+	})
+	t.Run("dropped world", func(t *testing.T) {
+		m := cloneCert(t, pos)
+		m.Proof.Worlds = m.Proof.Worlds[:len(m.Proof.Worlds)-1]
+		if cert.Verify(m) == nil {
+			t.Error("proof missing a world verified")
+		}
+	})
+	t.Run("redirected tau partner", func(t *testing.T) {
+		m := cloneCert(t, pos)
+		mutated := false
+		for gi := range m.Proof.Goals {
+			g := &m.Proof.Goals[gi]
+			if len(g.Taus) > 0 {
+				// Claim the mover matches a partner the other side does
+				// not offer.
+				g.Taus[0].Partner = "0"
+				mutated = true
+				break
+			}
+		}
+		if !mutated {
+			t.Fatal("no τ match step to tamper with")
+		}
+		if cert.Verify(m) == nil {
+			t.Error("proof with a redirected τ partner verified")
+		}
+	})
+	t.Run("proved goal with smuggled failure", func(t *testing.T) {
+		m := cloneCert(t, pos)
+		m.Proof.Goals[m.Proof.Worlds[0].Goal].FailKind = "shapes"
+		if cert.Verify(m) == nil {
+			t.Error("proved goal carrying a failure kind verified")
+		}
+	})
+
+	// Negative proof: τ.āb ≄ τ.āc — the τ summands are candidate partners,
+	// so the failure carries genuine refutation steps.
+	ok, err = pr.Decide(syntax.TauP(syntax.SendN(a, b)), syntax.TauP(syntax.SendN(a, c)))
+	if err != nil || ok {
+		t.Fatalf("Decide = %v, %v", ok, err)
+	}
+	neg := pr.Certificate()
+	if err := cert.Verify(neg); err != nil {
+		t.Fatalf("baseline negative rejected: %v", err)
+	}
+
+	t.Run("dropped refutation", func(t *testing.T) {
+		m := cloneCert(t, neg)
+		mutated := false
+		for gi := range m.Proof.Goals {
+			g := &m.Proof.Goals[gi]
+			if len(g.Refutes) > 0 {
+				g.Refutes = nil
+				mutated = true
+			}
+		}
+		if !mutated {
+			t.Fatal("no refutation steps to drop")
+		}
+		if err := cert.Verify(m); err == nil {
+			t.Error("refutation with dropped candidate refutes verified")
+		} else if !strings.Contains(err.Error(), "not refuted") &&
+			!strings.Contains(err.Error(), "unknown failure kind") {
+			t.Errorf("unexpected rejection: %v", err)
+		}
+	})
+	t.Run("wrong failing world", func(t *testing.T) {
+		m := cloneCert(t, neg)
+		m.Proof.Worlds[0].Rep = map[string]string{"a": "zz", "zz": "zz"}
+		if cert.Verify(m) == nil {
+			t.Error("refutation naming a bogus world verified")
+		}
+	})
+}
+
+func cloneCert(t *testing.T, c *cert.Certificate) *cert.Certificate {
+	t.Helper()
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cert.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"bpi/internal/actions"
+	"bpi/internal/cert"
 	"bpi/internal/names"
 	"bpi/internal/obs"
 	"bpi/internal/semantics"
@@ -49,6 +50,14 @@ type Prover struct {
 	// the counters axioms.worlds, axioms.compares, axioms.saturations and
 	// axioms.memo_hits. The nil default is free (nil-safe no-ops).
 	Obs *obs.Tracer
+
+	// Certify records a replayable proof object (internal/cert) for every
+	// Decide call; retrieve it with Certificate. Goals are keyed by the memo
+	// entries of one call, so certifying provers reset the memo per Decide.
+	Certify bool
+
+	rec      *axRecorder
+	lastCert *cert.Certificate
 
 	memo  map[string]bool
 	steps int
@@ -121,6 +130,14 @@ func (pr *Prover) DecideCtx(ctx context.Context, p, q syntax.Proc) (bool, error)
 	}
 	pr.steps = 0
 	pr.trace = pr.trace[:0]
+	pr.lastCert = nil
+	if pr.Certify {
+		pr.memo = map[string]bool{}
+		pr.rec = &axRecorder{byKey: map[string]int{}}
+	} else {
+		pr.rec = nil
+	}
+	var worlds []cert.WorldStep
 	for _, w := range Worlds(fn) {
 		pr.tracef("world %s: specialise both sides with σ=%s (Lemma 19)", w, w.Rep)
 		cWorlds.Add(1)
@@ -132,11 +149,17 @@ func (pr *Prover) DecideCtx(ctx context.Context, p, q syntax.Proc) (bool, error)
 		}
 		if !ok {
 			pr.tracef("world %s: strict summand matching FAILED — not provable", w)
+			// A refutation names exactly the failing world.
+			pr.finishCert(p, q, false, []cert.WorldStep{{Rep: repStrings(w.Rep), Goal: pr.recLast()}})
 			return false, nil
+		}
+		if pr.rec != nil {
+			worlds = append(worlds, cert.WorldStep{Rep: repStrings(w.Rep), Goal: pr.rec.last})
 		}
 		pr.tracef("world %s: all summands matched", w)
 	}
 	pr.tracef("A ⊢ p = q by (C3)-recombination of the world instances")
+	pr.finishCert(p, q, true, worlds)
 	return true, nil
 }
 
@@ -158,13 +181,36 @@ func (pr *Prover) decideWorld(p, q syntax.Proc, saturate bool) (bool, error) {
 	key := syntax.Key(p) + "\x00" + syntax.Key(q) + boolKey(saturate)
 	if v, ok := pr.memo[key]; ok {
 		pr.cMemoHits.Add(1)
+		if pr.rec != nil {
+			gi, recorded := pr.rec.byKey[key]
+			if !recorded {
+				// Only provisional entries lack a goal, and those are never
+				// hit: the recursion measure strictly decreases.
+				return false, fmt.Errorf("axioms: internal error: memo hit on an unrecorded goal")
+			}
+			pr.rec.last = gi
+		}
 		return v, nil
 	}
 	// Provisional positive entry guards against pathological re-entry; the
 	// recursion strictly decreases the sum of depths, so genuine cycles
 	// cannot occur on finite terms and the entry is always overwritten.
 	pr.memo[key] = true
+	if pr.rec != nil {
+		pr.rec.stack = append(pr.rec.stack,
+			&cert.Goal{P: syntax.String(p), Q: syntax.String(q), Saturate: saturate})
+	}
 	v, err := pr.decideWorld1(p, q, saturate)
+	if pr.rec != nil {
+		g := pr.rec.stack[len(pr.rec.stack)-1]
+		pr.rec.stack = pr.rec.stack[:len(pr.rec.stack)-1]
+		if err == nil {
+			g.Proved = v
+			pr.rec.goals = append(pr.rec.goals, *g)
+			pr.rec.byKey[key] = len(pr.rec.goals) - 1
+			pr.rec.last = len(pr.rec.goals) - 1
+		}
+	}
 	if err != nil {
 		delete(pr.memo, key)
 		return false, err
@@ -217,6 +263,7 @@ func canonBound(t semantics.Trans, avoid names.Set) semantics.Trans {
 }
 
 func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
+	g := pr.curGoal()
 	fn := syntax.FreeNames(p).AddAll(syntax.FreeNames(q))
 	pT, pO, pI, err := pr.summandSets(p, fn)
 	if err != nil {
@@ -231,6 +278,9 @@ func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
 	pShapes, qShapes := shapesOf(pI), shapesOf(qI)
 	if !saturate {
 		if !shapeEq(pShapes, qShapes) {
+			if g != nil {
+				g.FailKind = "shapes"
+			}
 			return false, nil
 		}
 		// Input shapes alone do not determine the discard relation: a
@@ -251,6 +301,9 @@ func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
 			}
 			if dp != dq {
 				pr.tracef("  discard sets differ on %s (left discards=%v, right=%v)", a, dp, dq)
+				if g != nil {
+					g.FailKind, g.FailName = "discards", string(a)
+				}
 				return false, nil
 			}
 		}
@@ -276,55 +329,85 @@ func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
 		qI = append(qI, satQ...)
 		pShapes, qShapes = shapesOf(pI), shapesOf(qI)
 		if !shapeEq(pShapes, qShapes) {
+			if g != nil {
+				g.FailKind = "sat-shapes"
+			}
 			return false, nil
 		}
 	}
 
-	// τ summands: strict mutual matching with saturated continuations.
-	match := func(l Summand, rs []Summand, pred func(a, b Summand) bool,
-		cont func(a, b Summand) (bool, error)) (bool, error) {
-		for _, r := range rs {
-			if !pred(l, r) {
-				continue
+	// τ and output summands: strict mutual matching with saturated
+	// continuations. A successful match records the chosen partner and
+	// subgoal; an unmatched mover records the refutation of every candidate
+	// (the search tried them all before failing).
+	matchAll := func(side, kind string, movers, others []Summand, pred func(a, b Summand) bool) (bool, error) {
+		for _, s := range movers {
+			var tried []cert.RefuteStep
+			seen := map[string]bool{}
+			matched := false
+			for _, r := range others {
+				if !pred(s, r) {
+					continue
+				}
+				ok, err := pr.decideWorld(s.Cont, r.Cont, true)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					if g != nil {
+						st := cert.MatchStep{Side: side, Cont: syntax.String(s.Cont),
+							Partner: syntax.String(r.Cont), Next: pr.rec.last}
+						if kind == "out" {
+							st.Label = summandLabel(s)
+							g.Outs = append(g.Outs, st)
+						} else {
+							g.Taus = append(g.Taus, st)
+						}
+					}
+					matched = true
+					break
+				}
+				if g != nil {
+					pc := syntax.String(r.Cont)
+					if !seen[pc] {
+						seen[pc] = true
+						tried = append(tried, cert.RefuteStep{Partner: pc, Next: pr.rec.last})
+					}
+				}
 			}
-			ok, err := cont(l, r)
-			if err != nil {
-				return false, err
-			}
-			if ok {
-				return true, nil
+			if !matched {
+				if g != nil {
+					g.FailKind, g.FailSide, g.FailCont = kind, side, syntax.String(s.Cont)
+					if kind == "out" {
+						g.FailLabel = summandLabel(s)
+					}
+					g.Refutes = tried
+				}
+				return false, nil
 			}
 		}
-		return false, nil
+		return true, nil
 	}
 	tauPred := func(a, b Summand) bool { return true }
-	contEq := func(a, b Summand) (bool, error) { return pr.decideWorld(a.Cont, b.Cont, true) }
-	for _, s := range pT {
-		ok, err := match(s, qT, tauPred, contEq)
-		if err != nil || !ok {
-			return false, err
-		}
-	}
-	for _, s := range qT {
-		ok, err := match(s, pT, tauPred, contEq)
-		if err != nil || !ok {
-			return false, err
-		}
-	}
-
-	// Output summands: identical labels (bound outputs already share
+	// Outputs match on identical labels (bound outputs already share
 	// canonical extruded names because both sides used the same avoid set).
 	outPred := func(a, b Summand) bool {
 		return a.Ch == b.Ch && a.Bound == b.Bound && namesEq(a.Objs, b.Objs) && namesEq(a.Binder, b.Binder)
 	}
-	for _, s := range pO {
-		ok, err := match(s, qO, outPred, contEq)
+	for _, dir := range [2]struct {
+		side           string
+		movers, others []Summand
+	}{{"left", pT, qT}, {"right", qT, pT}} {
+		ok, err := matchAll(dir.side, "tau", dir.movers, dir.others, tauPred)
 		if err != nil || !ok {
 			return false, err
 		}
 	}
-	for _, s := range qO {
-		ok, err := match(s, pO, outPred, contEq)
+	for _, dir := range [2]struct {
+		side           string
+		movers, others []Summand
+	}{{"left", pO, qO}, {"right", qO, pO}} {
+		ok, err := matchAll(dir.side, "out", dir.movers, dir.others, outPred)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -334,10 +417,10 @@ func (pr *Prover) decideWorld1(p, q syntax.Proc, saturate bool) (bool, error) {
 	// every input of one side and every payload over fn plus fresh names,
 	// some input of the other side at the same channel/arity must have an
 	// A-equal instantiated continuation.
-	if ok, err := pr.matchInputs(pI, qI, fn); err != nil || !ok {
+	if ok, err := pr.matchInputs("left", pI, qI, fn); err != nil || !ok {
 		return false, err
 	}
-	return pr.matchInputs(qI, pI, fn)
+	return pr.matchInputs("right", qI, pI, fn)
 }
 
 // saturations builds the (H) summands added to p: one input a(z̃).p per
@@ -397,8 +480,10 @@ func shapeEq(a, b map[shapeKey]bool) bool {
 }
 
 // matchInputs checks that every instantiation of every input summand of ls
-// is matched by some input summand of rs.
-func (pr *Prover) matchInputs(ls, rs []Summand, fn names.Set) (bool, error) {
+// is matched by some input summand of rs. side names the mover side in the
+// recorded proof steps.
+func (pr *Prover) matchInputs(side string, ls, rs []Summand, fn names.Set) (bool, error) {
+	g := pr.curGoal()
 	for _, l := range ls {
 		// Instantiation universe: the shared free names plus enough fresh
 		// names to realise every equality pattern among the parameters.
@@ -412,6 +497,8 @@ func (pr *Prover) matchInputs(ls, rs []Summand, fn names.Set) (bool, error) {
 		payloads := enumTuples(univ, len(l.Binder))
 		for _, payload := range payloads {
 			lc := syntax.Instantiate(l.Cont, l.Binder, payload)
+			var tried []cert.RefuteStep
+			seen := map[string]bool{}
 			found := false
 			for _, r := range rs {
 				if r.Ch != l.Ch || len(r.Binder) != len(l.Binder) {
@@ -423,11 +510,29 @@ func (pr *Prover) matchInputs(ls, rs []Summand, fn names.Set) (bool, error) {
 					return false, err
 				}
 				if ok {
+					if g != nil {
+						g.Ins = append(g.Ins, cert.InStep{Side: side, Ch: string(l.Ch),
+							Payload: nameStrings(payload), Cont: syntax.String(lc),
+							Partner: syntax.String(rc), Next: pr.rec.last})
+					}
 					found = true
 					break
 				}
+				if g != nil {
+					pc := syntax.String(rc)
+					if !seen[pc] {
+						seen[pc] = true
+						tried = append(tried, cert.RefuteStep{Partner: pc, Next: pr.rec.last})
+					}
+				}
 			}
 			if !found {
+				if g != nil {
+					g.FailKind, g.FailSide = "in", side
+					g.FailName, g.FailPayload = string(l.Ch), nameStrings(payload)
+					g.FailCont = syntax.String(lc)
+					g.Refutes = tried
+				}
 				return false, nil
 			}
 		}

@@ -1,0 +1,237 @@
+// Package cert defines checkable certificates for every verdict the
+// reproduction can produce, plus an independent verifier.
+//
+// A certificate is self-contained evidence:
+//
+//   - A positive certificate for one of the pair relations (labelled, barbed,
+//     step bisimilarity) is the finished bisimulation relation — a list of
+//     canonical term pairs together with, per pair, the matching-move table
+//     the engine discharged. The verifier re-derives every challenge of the
+//     relation's definition from the LTS rules (internal/semantics) and
+//     checks the relation is closed: each challenge has a recorded answer
+//     landing back in the relation.
+//   - A negative certificate is a distinguishing strategy: a DAG of attacker
+//     moves (or barb/discard observations) such that every defender answer —
+//     re-derived exhaustively by the verifier, weak closures included — is
+//     refuted by a child node. The verifier checks the strategy is
+//     inescapable and well-founded (cyclic "refutations" are rejected).
+//   - One-step certificates (~+/≈+, Definitions 11/15) add the strict
+//     root-level move table (TopMoves), discard-clause witnesses and an
+//     embedded labelled relation for the successor pairs; congruence
+//     certificates (~c/≈c) embed one one-step certificate per fusion of the
+//     free names (positive) or a single distinguishing substitution plus a
+//     one-step strategy (negative).
+//   - An axioms certificate (Section 5) is the proof object of a Decide run:
+//     per world (complete condition, Definition 16) the goal DAG of strict
+//     summand matchings, (H)-saturations and (SP) input instantiations the
+//     prover discharged, replayed step by step by the verifier.
+//
+// The verifier deliberately shares no code with internal/equiv, internal/
+// refine or internal/axioms: it re-derives transitions, closures, discard
+// sets, canonical renamings, instantiation universes and world enumerations
+// from internal/semantics and internal/syntax alone. Certificates store
+// terms as printed canonical strings; the parser round-trips the reserved
+// fresh-name marker, so machine-chosen names survive serialisation.
+package cert
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Relation names a certificate can carry.
+const (
+	RelLabelled   = "labelled"   // Definitions 7/8
+	RelBarbed     = "barbed"     // Definition 3
+	RelStep       = "step"       // Definition 5
+	RelOneStep    = "onestep"    // Definitions 11/15
+	RelCongruence = "congruence" // Section 4 (~c / ≈c)
+	RelAxioms     = "axioms"     // Section 5 (A ⊢ p = q)
+)
+
+// Version is the certificate format version this package emits and verifies.
+const Version = 1
+
+// Certificate is a self-contained, checkable verdict. Which fields are
+// populated depends on Relation and Related; see the package comment.
+type Certificate struct {
+	Version  int    `json:"version"`
+	Relation string `json:"relation"`
+	Weak     bool   `json:"weak,omitempty"`
+	Related  bool   `json:"related"`
+	// P and Q are the compared terms, printed canonically.
+	P string `json:"p"`
+	Q string `json:"q"`
+
+	// Positive pair-relation evidence: the relation as indices into Terms,
+	// with Moves[i] the matching-move table discharged for Pairs[i].
+	Terms []string `json:"terms,omitempty"`
+	Pairs [][2]int `json:"pairs,omitempty"`
+	Moves [][]Move `json:"moves,omitempty"`
+
+	// One-step positive evidence: the strict root-level moves and the weak
+	// discard-clause witnesses (the successor pairs live in Pairs above,
+	// which is then a labelled bisimulation).
+	TopMoves []Move           `json:"topMoves,omitempty"`
+	Discards []DiscardWitness `json:"discards,omitempty"`
+
+	// Negative evidence: the distinguishing strategy as a DAG; Nodes[0] is
+	// the root. For one-step (and congruence) certificates the root node is
+	// a strict one-step challenge and all descendants are labelled-level.
+	Nodes []Strategy `json:"nodes,omitempty"`
+
+	// Congruence evidence: one positive one-step certificate per fusion of
+	// the free names (Subs), or the distinguishing substitution (Sigma)
+	// whose specialised pair the root strategy node refutes.
+	Subs  []*Certificate    `json:"subs,omitempty"`
+	Sigma map[string]string `json:"sigma,omitempty"`
+
+	// Axioms evidence (Relation == RelAxioms).
+	Proof *Proof `json:"proof,omitempty"`
+}
+
+// Move is one discharged matching obligation: the challenger's move and the
+// witness successor pair that answers it.
+type Move struct {
+	// Side is the challenger: "left" (P moves) or "right" (Q moves).
+	Side string `json:"side"`
+	// Kind of challenge: "tau", "out" (canonical output label), "react"
+	// (reception-or-discard of a ground broadcast), "step" (label-blind
+	// autonomous move) or "in" (strict reception, one-step level only).
+	Kind string `json:"kind"`
+	// Label is the canonical output action (kind "out").
+	Label string `json:"label,omitempty"`
+	// Ch and Payload identify ground broadcasts (kinds "react" and "in").
+	Ch      string   `json:"ch,omitempty"`
+	Payload []string `json:"payload,omitempty"`
+	// Pair is the witness successor pair as (left, right) indices into
+	// Terms: the challenger's derivative on the challenger's side, the
+	// defender's answer on the other.
+	Pair [2]int `json:"pair"`
+}
+
+// DiscardWitness discharges one weak discard-clause instance (clause 4 of
+// Definition 15): the Side term discards Ch, and the witness pair — the
+// discarder together with a τ*-derivative of the other side that also
+// discards Ch — is in the embedded labelled relation.
+type DiscardWitness struct {
+	Ch   string `json:"ch"`
+	Side string `json:"side"`
+	Pair [2]int `json:"pair"`
+}
+
+// Strategy is one node of a distinguishing strategy DAG: an attacker
+// move or observation on the pair (P, Q), with a refuting child per
+// defender answer.
+type Strategy struct {
+	P string `json:"p"`
+	Q string `json:"q"`
+	// Kind: "barb" (barb mismatch leaf), "discard" (one-step discard
+	// clause), "tau", "out", "react", "step" or "in".
+	Kind string `json:"kind"`
+	// Side is the attacker (for "barb", the side owning the barb).
+	Side string `json:"side"`
+	// Label is the barb name (kind "barb") or canonical output action
+	// (kind "out").
+	Label string `json:"label,omitempty"`
+	// Ch and Payload identify the channel of "discard" and the ground
+	// broadcast of "react"/"in".
+	Ch      string   `json:"ch,omitempty"`
+	Payload []string `json:"payload,omitempty"`
+	// To is the attacker's derivative (absent for "barb" and strong
+	// "discard" leaves; for weak "discard" the attacker stays put).
+	To string `json:"to,omitempty"`
+	// Replies refutes every defender answer. A challenge with no replies
+	// claims the re-derived answer set is empty.
+	Replies []Reply `json:"replies,omitempty"`
+}
+
+// Reply refutes one defender answer: the answering term and the index (into
+// Certificate.Nodes) of the strategy node distinguishing the successor pair.
+type Reply struct {
+	To   string `json:"to"`
+	Next int    `json:"next"`
+}
+
+// Proof is the evidence of an axioms (Section 5) verdict: the goal DAG of a
+// Decide run. For a positive verdict Worlds lists every complete condition
+// on fn(p,q) in enumeration order, each with its proved top-level goal; for
+// a negative verdict Worlds holds exactly the failing world with its
+// refuted goal.
+type Proof struct {
+	Worlds []WorldStep `json:"worlds"`
+	Goals  []Goal      `json:"goals"`
+}
+
+// WorldStep is one world (complete condition) instance: the representative
+// substitution and the index of its top-level goal.
+type WorldStep struct {
+	Rep  map[string]string `json:"rep"`
+	Goal int               `json:"goal"`
+}
+
+// Goal is one decideWorld comparison in the proof DAG.
+type Goal struct {
+	P        string `json:"p"`
+	Q        string `json:"q"`
+	Saturate bool   `json:"saturate,omitempty"`
+	Proved   bool   `json:"proved"`
+
+	// Proved goals: the matching steps per summand class (both directions).
+	Taus []MatchStep `json:"taus,omitempty"`
+	Outs []MatchStep `json:"outs,omitempty"`
+	Ins  []InStep    `json:"ins,omitempty"`
+
+	// Refuted goals: which clause failed and, for summand-matching
+	// failures, the refutation of every candidate partner.
+	// FailKind: "shapes", "discards", "sat-shapes", "tau", "out", "in".
+	FailKind    string       `json:"failKind,omitempty"`
+	FailSide    string       `json:"failSide,omitempty"`
+	FailName    string       `json:"failName,omitempty"`  // channel ("discards", "in")
+	FailLabel   string       `json:"failLabel,omitempty"` // output label ("out")
+	FailCont    string       `json:"failCont,omitempty"`  // unmatched continuation
+	FailPayload []string     `json:"failPayload,omitempty"`
+	Refutes     []RefuteStep `json:"refutes,omitempty"`
+}
+
+// MatchStep discharges one τ or output summand: the mover's continuation,
+// the chosen partner continuation, and the subgoal proving them A-equal.
+type MatchStep struct {
+	Side    string `json:"side"`
+	Label   string `json:"label,omitempty"` // output label; empty for τ
+	Cont    string `json:"cont"`
+	Partner string `json:"partner"`
+	Next    int    `json:"next"`
+}
+
+// InStep discharges one input instantiation (the (SP) selector): the ground
+// payload, the mover's instantiated continuation, the partner's, and the
+// subgoal.
+type InStep struct {
+	Side    string   `json:"side"`
+	Ch      string   `json:"ch"`
+	Payload []string `json:"payload"`
+	Cont    string   `json:"cont"`
+	Partner string   `json:"partner"`
+	Next    int      `json:"next"`
+}
+
+// RefuteStep refutes one candidate partner of a failed summand match.
+type RefuteStep struct {
+	Partner string `json:"partner"`
+	Next    int    `json:"next"`
+}
+
+// Marshal renders the certificate as indented JSON.
+func (c *Certificate) Marshal() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Unmarshal parses a certificate from JSON.
+func Unmarshal(data []byte) (*Certificate, error) {
+	var c Certificate
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("cert: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,607 @@
+// Black-box tests for the certificate verifier. The test package may import
+// the engines — the independence constraint (zero shared code) binds the
+// verifier itself, and TestVerifierIndependence in the equiv package pins it
+// at the import-graph level. Here the engines only play the role of
+// certificate *producers*; everything they emit is replayed through Verify,
+// and every mutation of a valid certificate must be rejected.
+package cert_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bpi/internal/axioms"
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/parser"
+	"bpi/internal/syntax"
+)
+
+func mustParse(t *testing.T, src string) syntax.Proc {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func newCertifying() *equiv.Checker {
+	ch := equiv.NewChecker(nil)
+	ch.Certify = true
+	return ch
+}
+
+// pairCert produces the certificate of one pair-relation check.
+func pairCert(t *testing.T, ch *equiv.Checker, rel, p, q string, weak bool) (*cert.Certificate, bool) {
+	t.Helper()
+	pp, qq := mustParse(t, p), mustParse(t, q)
+	var r equiv.Result
+	var err error
+	switch rel {
+	case cert.RelLabelled:
+		r, err = ch.Labelled(pp, qq, weak)
+	case cert.RelBarbed:
+		r, err = ch.Barbed(pp, qq, weak)
+	case cert.RelStep:
+		r, err = ch.Step(pp, qq, weak)
+	default:
+		t.Fatalf("unknown relation %q", rel)
+	}
+	if err != nil {
+		t.Fatalf("%s(%s, %s): %v", rel, p, q, err)
+	}
+	if r.Cert == nil {
+		t.Fatalf("%s(%s, %s): no certificate from a Certify checker", rel, p, q)
+	}
+	return r.Cert, r.Related
+}
+
+// TestPairRelationCertificates replays engine-produced certificates for the
+// three pair relations, strong and weak, positive and negative, over pairs
+// that exercise τ-saturation, bound outputs, reaction challenges and the
+// Remark 4 stuck listener.
+func TestPairRelationCertificates(t *testing.T) {
+	pairs := []struct{ p, q string }{
+		{"tau.a!", "a!"},                        // weakly related, strongly not
+		{"a! | b!", "a!.b! + b!.a!"},            // expansion-law instance
+		{"nu x.a!(x)", "nu y.a!(y)"},            // bound output, α-varied binder
+		{"b? | b?(x)", "0"},                     // stuck mixed-arity listener
+		{"tau.a!(b)", "tau.a!(c)"},              // τ then differing payloads
+		{"a?(x).x!", "a?(y).y!"},                // input instantiation
+		{"a? + b?(x)", "b?(x) + a?"},            // two input shapes per side
+		{"a?(x,y).x!", "a?(u,v).u!"},            // arity-2 payload tuples
+		{"nu b.(b! | b?(x).c!)", "tau.c! + c!"}, // restricted reaction
+	}
+	for _, rel := range []string{cert.RelLabelled, cert.RelBarbed, cert.RelStep} {
+		for _, weak := range []bool{false, true} {
+			ch := newCertifying()
+			for _, pq := range pairs {
+				crt, related := pairCert(t, ch, rel, pq.p, pq.q, weak)
+				if crt.Relation != rel || crt.Weak != weak || crt.Related != related {
+					t.Errorf("%s weak=%v (%s, %s): header mismatch %+v", rel, weak, pq.p, pq.q, crt)
+				}
+				if err := cert.Verify(crt); err != nil {
+					t.Errorf("%s weak=%v (%s, %s) related=%v: rejected: %v",
+						rel, weak, pq.p, pq.q, related, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOneStepAndCongruenceCertificates covers the composite certificates:
+// one-step adds the strict root move table (and, weakly, discard witnesses);
+// congruence embeds per-fusion one-step certificates or a distinguishing
+// substitution.
+func TestOneStepAndCongruenceCertificates(t *testing.T) {
+	pairs := []struct{ p, q string }{
+		{"a!.b!", "a!.b!"},
+		{"tau.a!", "a!"}, // one-step strictness separates strongly
+		{"a?(x).x!", "a?(y).y!"},
+		{"a! + a!", "a!"},
+		{"b? | b?(x)", "0"},
+	}
+	ch := newCertifying()
+	for _, pq := range pairs {
+		p, q := mustParse(t, pq.p), mustParse(t, pq.q)
+		for _, weak := range []bool{false, true} {
+			crt, ok, err := ch.OneStepCert(p, q, weak)
+			if err != nil {
+				t.Fatalf("onestep(%s, %s) weak=%v: %v", pq.p, pq.q, weak, err)
+			}
+			if crt == nil || crt.Relation != cert.RelOneStep || crt.Related != ok {
+				t.Fatalf("onestep(%s, %s) weak=%v: bad certificate %+v", pq.p, pq.q, weak, crt)
+			}
+			if err := cert.Verify(crt); err != nil {
+				t.Errorf("onestep(%s, %s) weak=%v related=%v: rejected: %v", pq.p, pq.q, weak, ok, err)
+			}
+		}
+		crt, ok, err := ch.CongruenceCert(p, q, false)
+		if err != nil {
+			t.Fatalf("congruence(%s, %s): %v", pq.p, pq.q, err)
+		}
+		if crt == nil || crt.Relation != cert.RelCongruence || crt.Related != ok {
+			t.Fatalf("congruence(%s, %s): bad certificate %+v", pq.p, pq.q, crt)
+		}
+		if err := cert.Verify(crt); err != nil {
+			t.Errorf("congruence(%s, %s) related=%v: rejected: %v", pq.p, pq.q, ok, err)
+		}
+	}
+}
+
+// TestNegativeStrategyShapes drives one distinguishing pair per attacker-move
+// kind, so every strategy-node replay path of the verifier (barb and discard
+// observations, τ, output, reaction and strict-input challenges, strong and
+// weak) is exercised by a certificate the engine actually emitted.
+func TestNegativeStrategyShapes(t *testing.T) {
+	ch := newCertifying()
+	pairCases := []struct {
+		rel  string
+		p, q string
+		weak bool
+	}{
+		{cert.RelBarbed, "a!", "b!", false},               // barb mismatch leaf
+		{cert.RelBarbed, "a!", "b!", true},                // weak barb mismatch
+		{cert.RelLabelled, "a!(b)", "a!(c)", false},       // output label differs
+		{cert.RelLabelled, "a?(x).x!", "a?(y).c!", false}, // react: payload separates
+		{cert.RelLabelled, "a?(x).x!", "a?(y).c!", true},  // weak react
+		{cert.RelStep, "tau.a!", "a!", false},             // unmatched autonomous step
+		{cert.RelStep, "a!.b!", "a!.c!", true},            // weak step below a move
+	}
+	for _, cse := range pairCases {
+		crt, related := pairCert(t, ch, cse.rel, cse.p, cse.q, cse.weak)
+		if related {
+			t.Fatalf("%s weak=%v (%s, %s): expected a distinguishing pair", cse.rel, cse.weak, cse.p, cse.q)
+		}
+		if len(crt.Nodes) == 0 {
+			t.Fatalf("%s weak=%v (%s, %s): negative certificate without a strategy", cse.rel, cse.weak, cse.p, cse.q)
+		}
+		if err := cert.Verify(crt); err != nil {
+			t.Errorf("%s weak=%v (%s, %s): rejected: %v", cse.rel, cse.weak, cse.p, cse.q, err)
+		}
+	}
+	// One-step negatives: the strict root challenge ("in") and the weak
+	// discard clause have no labelled-level counterpart.
+	oneStep := []struct {
+		p, q string
+		weak bool
+	}{
+		{"a?(x).x!", "b?(x).x!", false}, // strict reception unanswered
+		{"a?(x).x!", "a?(y).c!", false}, // strict reception, differing derivative
+		{"tau.a!", "a!", false},         // strict τ unanswered
+		{"b?", "0", true},               // weak discard clause separates
+	}
+	for _, cse := range oneStep {
+		crt, ok, err := ch.OneStepCert(mustParse(t, cse.p), mustParse(t, cse.q), cse.weak)
+		if err != nil {
+			t.Fatalf("onestep(%s, %s) weak=%v: %v", cse.p, cse.q, cse.weak, err)
+		}
+		if ok {
+			t.Fatalf("onestep(%s, %s) weak=%v: expected a distinguishing pair", cse.p, cse.q, cse.weak)
+		}
+		if err := cert.Verify(crt); err != nil {
+			t.Errorf("onestep(%s, %s) weak=%v: rejected: %v", cse.p, cse.q, cse.weak, err)
+		}
+	}
+	// Congruence negative: the τ-law pair is ≈ but not ≈c, so the
+	// certificate records the separating substitution and its strategy.
+	crt, ok, err := ch.CongruenceCert(mustParse(t, "tau.c!"), mustParse(t, "c!"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("tau.c! ≈c c! must fail (the τ-law gap)")
+	}
+	if err := cert.Verify(crt); err != nil {
+		t.Errorf("congruence negative rejected: %v", err)
+	}
+}
+
+// TestAxiomsCertificates replays prover proof objects, proved and refuted,
+// including pairs that force (H)-saturation and (SP) input instantiation.
+func TestAxiomsCertificates(t *testing.T) {
+	pairs := []struct{ p, q string }{
+		{"a! + a!", "a!"},            // (S2) idempotence — proved
+		{"a!.b!", "b!.a!"},           // refuted (out labels differ)
+		{"a?(x).x!", "a?(y).y!"},     // α-varied inputs — proved
+		{"tau.a!(b)", "tau.a!(c)"},   // refuted below a τ (genuine Refutes)
+		{"a! | b?", "a!.b? + b?.a!"}, // expansion with a listener (saturation)
+		{"[a=b](b!, c!)", "c!"},      // match decided per world (refuted where a=b)
+		{"a!(b)", "a!(c)"},           // refuted: output labels differ at the root
+		{"a?(x).x!", "a?(x).c!"},     // refuted inside an input instantiation
+		{"a?", "0"},                  // refuted: input shapes differ
+		{"a? + b?(x)", "b?(x) + a?"}, // two input shapes per side, commuted
+		{"nu x.a!(x)", "nu y.a!(y)"}, // bound outputs, canonical binders agree
+	}
+	for _, pq := range pairs {
+		pr := axioms.NewProver(nil)
+		pr.Certify = true
+		proved, err := pr.Decide(mustParse(t, pq.p), mustParse(t, pq.q))
+		if err != nil {
+			t.Fatalf("Decide(%s, %s): %v", pq.p, pq.q, err)
+		}
+		crt := pr.Certificate()
+		if crt == nil || crt.Relation != cert.RelAxioms || crt.Related != proved {
+			t.Fatalf("Decide(%s, %s): bad certificate %+v", pq.p, pq.q, crt)
+		}
+		if err := cert.Verify(crt); err != nil {
+			t.Errorf("Decide(%s, %s) proved=%v: rejected: %v", pq.p, pq.q, proved, err)
+		}
+	}
+}
+
+// TestMarshalRoundTrip: serialisation is loss-free — the unmarshalled
+// certificate is structurally identical and still verifies.
+func TestMarshalRoundTrip(t *testing.T) {
+	ch := newCertifying()
+	for _, pq := range [][2]string{{"nu x.a!(x)", "nu y.a!(y)"}, {"tau.a!(b)", "tau.a!(c)"}} {
+		crt, _ := pairCert(t, ch, cert.RelLabelled, pq[0], pq[1], false)
+		data, err := crt.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := cert.Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(crt, back) {
+			t.Errorf("round trip changed the certificate:\n before %+v\n after  %+v", crt, back)
+		}
+		if err := cert.Verify(back); err != nil {
+			t.Errorf("round-tripped certificate rejected: %v", err)
+		}
+	}
+	if _, err := cert.Unmarshal([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+// TestTamperedCertificatesRejected: every mutation of a valid certificate —
+// header lies, dropped evidence, dangling indices, unparseable terms,
+// strategy cycles — must be rejected, and the original must keep verifying
+// afterwards (the verifier does not mutate its input).
+func TestTamperedCertificatesRejected(t *testing.T) {
+	ch := newCertifying()
+	pos, related := pairCert(t, ch, cert.RelLabelled, "a! | b!", "a!.b! + b!.a!", false)
+	if !related {
+		t.Fatal("expansion-law pair must be strongly labelled bisimilar")
+	}
+	neg, related := pairCert(t, ch, cert.RelLabelled, "tau.a!(b)", "tau.a!(c)", false)
+	if related {
+		t.Fatal("tau.a!(b) ~ tau.a!(c) must fail")
+	}
+	clone := func(c *cert.Certificate) *cert.Certificate {
+		data, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := cert.Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return back
+	}
+	cases := []struct {
+		name   string
+		tamper func(c *cert.Certificate) *cert.Certificate
+	}{
+		{"nil certificate", func(*cert.Certificate) *cert.Certificate { return nil }},
+		{"wrong version", func(c *cert.Certificate) *cert.Certificate { c.Version = 99; return c }},
+		{"unknown relation", func(c *cert.Certificate) *cert.Certificate { c.Relation = "magic"; return c }},
+		{"flipped verdict", func(c *cert.Certificate) *cert.Certificate { c.Related = !c.Related; return c }},
+		{"unparseable term", func(c *cert.Certificate) *cert.Certificate {
+			if len(c.Terms) > 0 {
+				c.Terms[0] = "(("
+			} else {
+				c.P = "(("
+			}
+			return c
+		}},
+	}
+	for _, base := range []struct {
+		name string
+		crt  *cert.Certificate
+	}{{"positive", pos}, {"negative", neg}} {
+		for _, cse := range cases {
+			mutated := cse.tamper(clone(base.crt))
+			if err := cert.Verify(mutated); err == nil {
+				t.Errorf("%s/%s: tampered certificate accepted", base.name, cse.name)
+			}
+		}
+	}
+	// Positive-specific: stolen evidence and dangling indices.
+	c := clone(pos)
+	c.Moves[0] = nil
+	if err := cert.Verify(c); err == nil {
+		t.Error("positive certificate with an emptied move table accepted")
+	}
+	c = clone(pos)
+	c.Pairs = c.Pairs[:1]
+	c.Moves = c.Moves[:1]
+	if err := cert.Verify(c); err == nil {
+		t.Error("positive certificate with dropped pairs accepted (relation not closed)")
+	}
+	c = clone(pos)
+	c.Pairs[0] = [2]int{0, len(c.Terms) + 3}
+	if err := cert.Verify(c); err == nil {
+		t.Error("dangling term index accepted")
+	}
+	// Negative-specific: a strategy whose refutation is cyclic, and a
+	// challenge whose recorded answer set lies about being empty.
+	c = clone(neg)
+	for i := range c.Nodes {
+		for j := range c.Nodes[i].Replies {
+			c.Nodes[i].Replies[j].Next = 0 // every refutation loops to the root
+		}
+	}
+	if err := cert.Verify(c); err == nil {
+		t.Error("cyclic strategy accepted")
+	}
+	c = clone(neg)
+	c.Nodes[0].Replies = nil
+	if len(c.Nodes[0].Kind) > 0 && c.Nodes[0].Kind != "barb" {
+		if err := cert.Verify(c); err == nil {
+			t.Error("strategy claiming an empty answer set accepted")
+		}
+	}
+	c = clone(neg)
+	c.Nodes[0].To = "0"
+	if err := cert.Verify(c); err == nil {
+		t.Error("strategy whose attack move is not derivable accepted")
+	}
+	c = clone(neg)
+	if len(c.Nodes[0].Replies) > 0 {
+		c.Nodes[0].Replies[0].Next = len(c.Nodes) + 9
+		if err := cert.Verify(c); err == nil {
+			t.Error("strategy with an out-of-range reply index accepted")
+		}
+		c = clone(neg)
+		c.Nodes[0].Replies[0].To = "d!.d!.d!"
+		if err := cert.Verify(c); err == nil {
+			t.Error("strategy refuting a fabricated defender answer accepted")
+		}
+	}
+	// The originals still verify after all that cloning and mutation.
+	if err := cert.Verify(pos); err != nil {
+		t.Errorf("original positive certificate no longer verifies: %v", err)
+	}
+	if err := cert.Verify(neg); err != nil {
+		t.Errorf("original negative certificate no longer verifies: %v", err)
+	}
+}
+
+// TestTamperedCompositeCertificatesRejected tampers the composite layers —
+// the strict one-step move table, the embedded congruence sub-certificates
+// and the axioms proof DAG — whose evidence lives outside the plain pair
+// relation.
+func TestTamperedCompositeCertificatesRejected(t *testing.T) {
+	ch := newCertifying()
+	clone := func(c *cert.Certificate) *cert.Certificate {
+		data, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := cert.Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return back
+	}
+
+	// One-step positive: the strict root table is mandatory evidence.
+	os, ok, err := ch.OneStepCert(mustParse(t, "a!.b!"), mustParse(t, "a!.b! + a!.b!"), false)
+	if err != nil || !ok {
+		t.Fatalf("onestep baseline: ok=%v err=%v", ok, err)
+	}
+	if err := cert.Verify(os); err != nil {
+		t.Fatalf("onestep baseline rejected: %v", err)
+	}
+	c := clone(os)
+	c.TopMoves = nil
+	if err := cert.Verify(c); err == nil {
+		t.Error("one-step certificate without its strict move table accepted")
+	}
+	c = clone(os)
+	if len(c.TopMoves) > 0 {
+		c.TopMoves[0].Pair = [2]int{len(c.Terms) + 1, 0}
+		if err := cert.Verify(c); err == nil {
+			t.Error("one-step certificate with a dangling top-move witness accepted")
+		}
+	}
+
+	// Congruence positive: one embedded one-step certificate per fusion.
+	cg, ok, err := ch.CongruenceCert(mustParse(t, "a! + a!"), mustParse(t, "a!"), false)
+	if err != nil || !ok {
+		t.Fatalf("congruence baseline: ok=%v err=%v", ok, err)
+	}
+	if err := cert.Verify(cg); err != nil {
+		t.Fatalf("congruence baseline rejected: %v", err)
+	}
+	c = clone(cg)
+	c.Subs = nil
+	if err := cert.Verify(c); err == nil {
+		t.Error("congruence certificate without its per-fusion evidence accepted")
+	}
+	c = clone(cg)
+	if len(c.Subs) > 0 {
+		c.Subs[0].Related = false
+		if err := cert.Verify(c); err == nil {
+			t.Error("congruence certificate with a disavowed fusion accepted")
+		}
+	}
+
+	// Axioms proof: truncated world enumeration, flipped goal polarity and
+	// dangling subgoal indices must all fail the replay.
+	pr := axioms.NewProver(nil)
+	pr.Certify = true
+	proved, err := pr.Decide(mustParse(t, "a! + a!"), mustParse(t, "a!"))
+	if err != nil || !proved {
+		t.Fatalf("axioms baseline: proved=%v err=%v", proved, err)
+	}
+	ax := pr.Certificate()
+	if err := cert.Verify(ax); err != nil {
+		t.Fatalf("axioms baseline rejected: %v", err)
+	}
+	c = clone(ax)
+	c.Proof = nil
+	if err := cert.Verify(c); err == nil {
+		t.Error("axioms certificate without a proof accepted")
+	}
+	c = clone(ax)
+	c.Proof.Worlds = c.Proof.Worlds[:0]
+	if err := cert.Verify(c); err == nil {
+		t.Error("axioms certificate with a truncated world enumeration accepted")
+	}
+	c = clone(ax)
+	c.Proof.Goals[0].Proved = !c.Proof.Goals[0].Proved
+	if err := cert.Verify(c); err == nil {
+		t.Error("axioms certificate with a flipped goal polarity accepted")
+	}
+	c = clone(ax)
+	c.Proof.Worlds[0].Goal = len(c.Proof.Goals) + 7
+	if err := cert.Verify(c); err == nil {
+		t.Error("axioms certificate with a dangling world goal accepted")
+	}
+	c = clone(ax)
+	top := c.Proof.Worlds[0].Goal
+	c.Proof.Goals[top].Taus = nil
+	c.Proof.Goals[top].Outs = nil
+	c.Proof.Goals[top].Ins = nil
+	if err := cert.Verify(c); err == nil {
+		t.Error("axioms certificate with emptied matching steps accepted")
+	}
+	c = clone(ax)
+	c.Proof.Goals[c.Proof.Worlds[0].Goal].FailKind = "tau"
+	if err := cert.Verify(c); err == nil {
+		t.Error("proved goal carrying a failure kind accepted")
+	}
+	c = clone(ax)
+	for k := range c.Proof.Worlds[0].Rep {
+		c.Proof.Worlds[0].Rep[k] = "zzz"
+	}
+	if err := cert.Verify(c); err == nil {
+		t.Error("axioms certificate with a corrupted world representative accepted")
+	}
+
+	// Refutation lies: a proof that names the wrong failing clause must be
+	// caught by the re-derivation, whichever clause it points at.
+	refuted := func(p, q string) *cert.Certificate {
+		t.Helper()
+		pr := axioms.NewProver(nil)
+		pr.Certify = true
+		proved, err := pr.Decide(mustParse(t, p), mustParse(t, q))
+		if err != nil || proved {
+			t.Fatalf("refuted baseline (%s, %s): proved=%v err=%v", p, q, proved, err)
+		}
+		crt := pr.Certificate()
+		if err := cert.Verify(crt); err != nil {
+			t.Fatalf("refuted baseline (%s, %s) rejected: %v", p, q, err)
+		}
+		return crt
+	}
+	shapes := refuted("a?", "0") // genuinely fails the shape clause
+	c = clone(shapes)
+	c.Proof.Goals[c.Proof.Worlds[0].Goal].FailKind = ""
+	if err := cert.Verify(c); err == nil {
+		t.Error("shape refutation with its failure kind erased accepted")
+	}
+	c = clone(shapes)
+	c.Proof.Worlds[0].Rep = map[string]string{"a": "zzz"}
+	if err := cert.Verify(c); err == nil {
+		t.Error("refutation in a world outside the enumeration accepted")
+	}
+	deep := refuted("tau.a!(b)", "tau.a!(c)") // fails below a τ, not on shapes
+	c = clone(deep)
+	g := &c.Proof.Goals[c.Proof.Worlds[0].Goal]
+	g.FailKind = "shapes"
+	if err := cert.Verify(c); err == nil {
+		t.Error("refutation claiming a shape mismatch that is not there accepted")
+	}
+	c = clone(deep)
+	g = &c.Proof.Goals[c.Proof.Worlds[0].Goal]
+	g.FailKind = "discards"
+	g.FailName = "a"
+	if err := cert.Verify(c); err == nil {
+		t.Error("refutation claiming a discard mismatch that is not there accepted")
+	}
+	c = clone(deep)
+	g = &c.Proof.Goals[c.Proof.Worlds[0].Goal]
+	g.FailKind = "discards"
+	g.FailName = "zz"
+	if err := cert.Verify(c); err == nil {
+		t.Error("refutation over a name that is not free accepted")
+	}
+}
+
+// TestHandCraftedStrategiesRejected feeds the verifier adversarial
+// certificates built by hand — claims no engine would emit — and checks each
+// is refused for the right reason: the verifier re-derives everything, so a
+// forged observation cannot survive.
+func TestHandCraftedStrategiesRejected(t *testing.T) {
+	neg := func(p, q string, weak bool, nodes ...cert.Strategy) *cert.Certificate {
+		return &cert.Certificate{
+			Version: cert.Version, Relation: cert.RelBarbed, Weak: weak,
+			Related: false, P: p, Q: q, Nodes: nodes,
+		}
+	}
+	cases := []struct {
+		name string
+		crt  *cert.Certificate
+	}{
+		{"empty strategy", neg("a!", "b!", false)},
+		{"root attacks an unrelated pair", neg("a!", "b!", false,
+			cert.Strategy{P: "c!", Q: "d!", Kind: "barb", Side: "left", Label: "c"})},
+		{"bad attacker side", neg("a!", "b!", false,
+			cert.Strategy{P: "a!", Q: "b!", Kind: "barb", Side: "middle", Label: "a"})},
+		{"barb leaf with replies", neg("a!", "b!", false,
+			cert.Strategy{P: "a!", Q: "b!", Kind: "barb", Side: "left", Label: "a",
+				Replies: []cert.Reply{{To: "0", Next: 0}}})},
+		{"attacker lacks the claimed barb", neg("a!", "b!", false,
+			cert.Strategy{P: "a!", Q: "b!", Kind: "barb", Side: "left", Label: "z"})},
+		{"both sides barb", neg("a! + c!", "a!", false,
+			cert.Strategy{P: "a! + c!", Q: "a!", Kind: "barb", Side: "left", Label: "a"})},
+		{"defender matches the barb weakly", neg("a!", "tau.a!", true,
+			cert.Strategy{P: "a!", Q: "tau.a!", Kind: "barb", Side: "left", Label: "a"})},
+		{"kind invalid for the relation", neg("a!", "b!", false,
+			cert.Strategy{P: "a!", Q: "b!", Kind: "react", Side: "left", Ch: "a"})},
+		{"positive without a relation", &cert.Certificate{
+			Version: cert.Version, Relation: cert.RelStep, Related: true, P: "a!", Q: "b!"}},
+	}
+	for _, cse := range cases {
+		if err := cert.Verify(cse.crt); err == nil {
+			t.Errorf("%s: forged certificate accepted", cse.name)
+		}
+	}
+}
+
+// TestVerifierBudgets: the work and closure bounds fail closed — a genuine
+// certificate is rejected with a budget error, not accepted unchecked.
+func TestVerifierBudgets(t *testing.T) {
+	ch := newCertifying()
+	crt, _ := pairCert(t, ch, cert.RelLabelled, "a! | b!", "a!.b! + b!.a!", false)
+	v := &cert.Verifier{MaxWork: 1}
+	if err := v.Verify(crt); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("MaxWork=1 verification: got %v, want a budget error", err)
+	}
+	// A sane budget accepts the same certificate.
+	v = &cert.Verifier{MaxWork: 2_000_000, MaxClosure: 8192}
+	if err := v.Verify(crt); err != nil {
+		t.Errorf("explicit default budgets rejected a valid certificate: %v", err)
+	}
+}
+
+// TestOutLabel pins the canonical output-label format shared by the prover's
+// recorder and the verifier — the single point of coupling between them.
+func TestOutLabel(t *testing.T) {
+	if got := cert.OutLabel("a", []string{"b", "c"}, false, nil); got != "a!(b,c)" {
+		t.Errorf("free output label = %q", got)
+	}
+	if got := cert.OutLabel("a", nil, false, nil); got != "a!()" {
+		t.Errorf("empty output label = %q", got)
+	}
+	if got := cert.OutLabel("a", []string{"x"}, true, []string{"x"}); got != "a!(nu x;x)" {
+		t.Errorf("bound output label = %q", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"bpi/internal/actions"
+	"bpi/internal/cert"
 	"bpi/internal/names"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
@@ -48,11 +49,25 @@ type verdictKey struct {
 	p, q uint64
 }
 
+// cachedVerdict is a memoised query outcome: the verdict, its full Reason
+// (naming the failing action and both canonical terms — cache hits must not
+// degrade the explanation) and, when the query was certified, the
+// certificate. Symmetric entries share the certificate pointer, so a swapped
+// query returns evidence in the original orientation (sound: membership and
+// strategy roots are checked up to swap).
+type cachedVerdict struct {
+	related bool
+	reason  string
+	crt     *cert.Certificate
+}
+
 // memoRun caches verdicts per (spec, canonical pair): every pair surviving a
 // completed greatest fixpoint is in the bisimilarity, every discarded pair
 // is not, so whole runs can be reused across queries. The cache is guarded
 // by a mutex; concurrent identical queries may both run the engine, but the
-// engine is deterministic so they store the same verdict.
+// engine is deterministic so they store the same verdict. A certifying query
+// hitting a certificate-less entry (cached while Certify was off) re-runs
+// the engine and upgrades the entry.
 func (c *Checker) memoRun(ctx context.Context, p, q syntax.Proc, sp spec) (Result, error) {
 	pi, err := c.intern(p)
 	if err != nil {
@@ -66,9 +81,9 @@ func (c *Checker) memoRun(ctx context.Context, p, q syntax.Proc, sp spec) (Resul
 	c.mu.Lock()
 	v, ok := c.verdicts[key]
 	c.mu.Unlock()
-	if ok {
+	if ok && (!c.Certify || v.crt != nil) {
 		c.Obs.Count("equiv.verdict_hits", 1)
-		return Result{Related: v, Pairs: 0, Reason: cachedReason(v)}, nil
+		return Result{Related: v.related, Pairs: 0, Reason: v.reason, Cert: v.crt}, nil
 	}
 	c.Obs.Count("equiv.verdict_misses", 1)
 	res, err := c.run(ctx, pi, qi, sp)
@@ -76,18 +91,12 @@ func (c *Checker) memoRun(ctx context.Context, p, q syntax.Proc, sp spec) (Resul
 		return res, err
 	}
 	c.mu.Lock()
-	c.verdicts[key] = res.Related
+	entry := cachedVerdict{related: res.Related, reason: res.Reason, crt: res.Cert}
+	c.verdicts[key] = entry
 	// Symmetric closure: all the paper's relations are symmetric.
-	c.verdicts[verdictKey{sp, qi.id, pi.id}] = res.Related
+	c.verdicts[verdictKey{sp, qi.id, pi.id}] = entry
 	c.mu.Unlock()
 	return res, nil
-}
-
-func cachedReason(related bool) string {
-	if related {
-		return ""
-	}
-	return "cached negative verdict"
 }
 
 func anyRelated(l *termInfo, rs []*termInfo, related func(a, b *termInfo) (bool, error)) (bool, error) {

@@ -66,11 +66,16 @@ type Checker struct {
 	// nil default is free: call sites guard with obs's nil-safe no-ops,
 	// proven allocation-free by TestDisabledObsZeroAlloc.
 	Obs *obs.Tracer
+	// Certify makes every verdict carry a checkable certificate
+	// (Result.Cert, see internal/cert). Must be set before the first query:
+	// verdicts cached while Certify was off have no certificate and are
+	// re-derived on the first certifying query.
+	Certify bool
 
 	store *Store
 
 	mu       sync.Mutex
-	verdicts map[verdictKey]bool
+	verdicts map[verdictKey]cachedVerdict
 }
 
 // NewChecker returns a sequential Checker over the given system (nil means
@@ -95,7 +100,7 @@ func NewParallelChecker(sys *semantics.System, workers int) *Checker {
 // its semantic system), so memoised transitions and closures are reused
 // across checkers.
 func NewCheckerWithStore(store *Store) *Checker {
-	return &Checker{Sys: store.System(), store: store, verdicts: map[verdictKey]bool{}}
+	return &Checker{Sys: store.System(), store: store, verdicts: map[verdictKey]cachedVerdict{}}
 }
 
 // Store returns the checker's term store, for sharing with other checkers.

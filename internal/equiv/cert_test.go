@@ -1,0 +1,312 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"bpi/internal/cert"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+func newCertC() *Checker {
+	ch := NewChecker(nil)
+	ch.Certify = true
+	return ch
+}
+
+// certPairs is a small zoo spanning the interesting shapes: equal pairs,
+// τ-divergent pairs, barb mismatches, bound outputs, mixed-arity listeners
+// and discard-set differences (the ~ vs ~+ separator of Remark 4).
+func certPairs() [][2]syntax.Proc {
+	recv := syntax.RecvN(a, x)
+	send := syntax.SendN(a, b)
+	return [][2]syntax.Proc{
+		{send, send},
+		{syntax.Group(send, syntax.PNil), send},
+		{syntax.TauP(send), send},
+		{syntax.TauP(send), syntax.TauP(syntax.SendN(a, c))},
+		{send, syntax.SendN(c, b)},
+		{recv, syntax.RecvN(b, x)},
+		{recv, syntax.Choice(recv, syntax.RecvN(b, y))},
+		{syntax.Restrict(syntax.SendN(x, a), x), syntax.PNil},
+		{syntax.Choice(syntax.TauP(send), syntax.TauP(syntax.PNil)), syntax.TauP(send)},
+		{syntax.Group(recv, send), syntax.Group(send, recv)},
+	}
+}
+
+func verifyCert(t *testing.T, crt *cert.Certificate, related bool, ctxt string) {
+	t.Helper()
+	if crt == nil {
+		t.Fatalf("%s: no certificate emitted", ctxt)
+	}
+	if crt.Related != related {
+		t.Fatalf("%s: certificate says related=%v, verdict %v", ctxt, crt.Related, related)
+	}
+	if err := cert.Verify(crt); err != nil {
+		data, _ := crt.Marshal()
+		t.Fatalf("%s: certificate rejected: %v\n%s", ctxt, err, data)
+	}
+}
+
+func TestPairRelationCertificates(t *testing.T) {
+	for _, weak := range []bool{false, true} {
+		ch := newCertC()
+		for _, pq := range certPairs() {
+			for _, rel := range []string{"labelled", "barbed", "step"} {
+				var r Result
+				var err error
+				switch rel {
+				case "labelled":
+					r, err = ch.Labelled(pq[0], pq[1], weak)
+				case "barbed":
+					r, err = ch.Barbed(pq[0], pq[1], weak)
+				default:
+					r, err = ch.Step(pq[0], pq[1], weak)
+				}
+				ctxt := rel + " " + syntax.String(pq[0]) + " vs " + syntax.String(pq[1])
+				if weak {
+					ctxt = "weak " + ctxt
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", ctxt, err)
+				}
+				verifyCert(t, r.Cert, r.Related, ctxt)
+			}
+		}
+	}
+}
+
+func TestOneStepAndCongruenceCertificates(t *testing.T) {
+	for _, weak := range []bool{false, true} {
+		ch := newCertC()
+		for _, pq := range certPairs() {
+			crt, ok, err := ch.OneStepCert(pq[0], pq[1], weak)
+			ctxt := "onestep " + syntax.String(pq[0]) + " vs " + syntax.String(pq[1])
+			if err != nil {
+				t.Fatalf("%s: %v", ctxt, err)
+			}
+			verifyCert(t, crt, ok, ctxt)
+
+			ccrt, cok, err := ch.CongruenceCert(pq[0], pq[1], weak)
+			ctxt = "congruence " + syntax.String(pq[0]) + " vs " + syntax.String(pq[1])
+			if err != nil {
+				t.Fatalf("%s: %v", ctxt, err)
+			}
+			verifyCert(t, ccrt, cok, ctxt)
+		}
+	}
+}
+
+// TestCachedVerdictKeepsCertificate pins the memo upgrade: a cache hit must
+// return the full certificate and the full reason, not a truncated
+// placeholder (the old cache returned "cached negative verdict").
+func TestCachedVerdictKeepsCertificate(t *testing.T) {
+	ch := newCertC()
+	p := syntax.TauP(syntax.SendN(a, b))
+	q := syntax.TauP(syntax.SendN(a, c))
+	first, err := ch.Labelled(p, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ch.Labelled(p, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Pairs != 0 {
+		t.Fatalf("second query explored %d pairs, want a cache hit", second.Pairs)
+	}
+	if second.Reason != first.Reason {
+		t.Errorf("cached reason %q differs from original %q", second.Reason, first.Reason)
+	}
+	if strings.Contains(second.Reason, "cached") {
+		t.Errorf("cached reason is a placeholder: %q", second.Reason)
+	}
+	if second.Cert == nil {
+		t.Fatal("cache hit dropped the certificate")
+	}
+	verifyCert(t, second.Cert, false, "cached")
+
+	// Swapped query: symmetric entry, certificate in original orientation
+	// must still verify (membership and roots are checked up to swap).
+	swapped, err := ch.Labelled(q, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Pairs != 0 || swapped.Cert == nil {
+		t.Fatalf("swapped query: pairs=%d cert=%v, want cached certificate", swapped.Pairs, swapped.Cert != nil)
+	}
+	verifyCert(t, swapped.Cert, false, "swapped cached")
+}
+
+// TestCertifyUpgradesUncertifiedEntry pins the re-run path: verdicts cached
+// while Certify was off gain a certificate once it is on.
+func TestCertifyUpgradesUncertifiedEntry(t *testing.T) {
+	ch := NewChecker(nil)
+	p := syntax.SendN(a, b)
+	q := syntax.Group(syntax.SendN(a, b), syntax.PNil)
+	if _, err := ch.Labelled(p, q, false); err != nil {
+		t.Fatal(err)
+	}
+	ch.Certify = true
+	r, err := ch.Labelled(p, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cert == nil {
+		t.Fatal("certifying query on an uncertified cache entry returned no certificate")
+	}
+	verifyCert(t, r.Cert, true, "upgraded")
+}
+
+// TestMutatedCertificatesRejected pins the verifier's independence: tampering
+// with sound certificates must be detected.
+func TestMutatedCertificatesRejected(t *testing.T) {
+	ch := newCertC()
+	p := syntax.TauP(syntax.SendN(a, b))
+	q := syntax.Choice(syntax.TauP(syntax.SendN(a, b)), syntax.TauP(syntax.SendN(a, b)))
+	pos, err := ch.Labelled(p, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pos.Related || pos.Cert == nil {
+		t.Fatalf("want a positive certificate, got related=%v", pos.Related)
+	}
+	verifyCert(t, pos.Cert, true, "baseline positive")
+
+	t.Run("dropped pair", func(t *testing.T) {
+		m := clone(t, pos.Cert)
+		m.Pairs = m.Pairs[:len(m.Pairs)-1]
+		m.Moves = m.Moves[:len(m.Moves)-1]
+		if cert.Verify(m) == nil {
+			t.Error("certificate with a dropped pair verified")
+		}
+	})
+	t.Run("redirected witness", func(t *testing.T) {
+		m := clone(t, pos.Cert)
+		mutated := false
+	outer:
+		for i := range m.Moves {
+			for j := range m.Moves[i] {
+				// Point the witness answer somewhere that is not a
+				// derivable response: the mover's own derivative works
+				// whenever it differs from the recorded answer.
+				mv := &m.Moves[i][j]
+				moverIdx, ansIdx := mv.Pair[0], mv.Pair[1]
+				if mv.Side == "right" {
+					moverIdx, ansIdx = mv.Pair[1], mv.Pair[0]
+				}
+				if m.Terms[moverIdx] != m.Terms[ansIdx] {
+					if mv.Side == "right" {
+						mv.Pair[0] = moverIdx
+					} else {
+						mv.Pair[1] = moverIdx
+					}
+					mutated = true
+					break outer
+				}
+			}
+		}
+		if !mutated {
+			t.Skip("no asymmetric witness to redirect")
+		}
+		if cert.Verify(m) == nil {
+			t.Error("certificate with a redirected witness verified")
+		}
+	})
+	t.Run("flipped verdict", func(t *testing.T) {
+		m := clone(t, pos.Cert)
+		m.Related = false
+		if cert.Verify(m) == nil {
+			t.Error("positive certificate relabelled negative verified")
+		}
+	})
+
+	neg, err := ch.Labelled(syntax.SendN(a, b), syntax.SendN(a, c), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Related || neg.Cert == nil {
+		t.Fatalf("want a negative certificate, got related=%v", neg.Related)
+	}
+	verifyCert(t, neg.Cert, false, "baseline negative")
+
+	t.Run("retargeted strategy", func(t *testing.T) {
+		m := clone(t, neg.Cert)
+		m.Nodes[0].P, m.Nodes[0].Q = m.Nodes[0].Q, "0"
+		if cert.Verify(m) == nil {
+			t.Error("strategy attacking the wrong root pair verified")
+		}
+	})
+}
+
+// TestCyclicStrategyRejected pins the well-foundedness check: a cyclic
+// "refutation" of a greatest-fixpoint property proves nothing — here it would
+// establish K ≁ K for the recursive constant K = τ.K.
+func TestCyclicStrategyRejected(t *testing.T) {
+	env := syntax.Env{}.Define("K", nil, syntax.TauP(syntax.Call{Id: "K"}))
+	crt := &cert.Certificate{
+		Version: cert.Version, Relation: cert.RelLabelled, Related: false,
+		P: "K()", Q: "K()",
+		Nodes: []cert.Strategy{{
+			P: "K()", Q: "K()", Kind: "tau", Side: "left", To: "K()",
+			Replies: []cert.Reply{{To: "K()", Next: 0}},
+		}},
+	}
+	v := &cert.Verifier{Sys: semantics.NewSystem(env)}
+	err := v.Verify(crt)
+	if err == nil {
+		t.Fatal("cyclic strategy verified")
+	}
+	if !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("want a cyclicity rejection, got: %v", err)
+	}
+}
+
+func clone(t *testing.T, c *cert.Certificate) *cert.Certificate {
+	t.Helper()
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cert.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReasonNamesActionAndTerms pins the Result.Reason contract: the failing
+// action and both canonical terms are named, on fresh and cached paths alike.
+func TestReasonNamesActionAndTerms(t *testing.T) {
+	ch := NewChecker(nil)
+	p := syntax.TauP(syntax.SendN(a, b))
+	q := syntax.TauP(syntax.SendN(a, c))
+	want := "strong labelled: tau move of left to a!(b) unmatched (comparing tau.a!(b) with tau.a!(c))"
+	for _, pass := range []string{"fresh", "cached"} {
+		r, err := ch.Labelled(p, q, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Related {
+			t.Fatal("τ.āb ~ τ.āc should fail")
+		}
+		if r.Reason != want {
+			t.Errorf("%s Reason = %q, want %q", pass, r.Reason, want)
+		}
+	}
+	// A barb failure names the barb channel and side.
+	rb, err := ch.Barbed(syntax.SendN(a, b), syntax.SendN(c, b), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Related {
+		t.Fatal("āb ~b c̄b should fail")
+	}
+	wantBarb := "strong barbed: strong barbs differ on a: {a} vs {c} (comparing a!(b) with c!(b))"
+	if rb.Reason != wantBarb {
+		t.Errorf("barb Reason = %q, want %q", rb.Reason, wantBarb)
+	}
+	_ = names.Name("")
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bpi/internal/cert"
 	"bpi/internal/names"
 	"bpi/internal/obs"
 )
@@ -51,12 +52,30 @@ type Result struct {
 	Pairs int
 	// Reason describes the obligation that failed when Related is false.
 	Reason string
+	// Cert is the checkable certificate of the verdict, emitted when the
+	// Checker's Certify flag is set (nil otherwise). Cached verdicts return
+	// the cached certificate, in the orientation of the original query.
+	Cert *cert.Certificate
+}
+
+// obMove is the structured identity of an obligation's challenge: which side
+// moved, how, and to what — enough to re-derive the challenge independently
+// of the engine (certificates) and to name it precisely (Reason).
+type obMove struct {
+	side    string // "left" | "right"
+	kind    string // "tau" | "out" | "react" | "step"
+	label   string // canonical output label (kind "out")
+	ch      names.Name
+	payload []names.Name
+	// mover is the challenger's derivative (the target of the move).
+	mover *termInfo
 }
 
 // obligation is one matching requirement of a pair: at least one candidate
 // successor pair must remain in the relation.
 type obligation struct {
 	desc       string
+	mv         obMove
 	candidates []int
 }
 
@@ -68,29 +87,39 @@ type pairNode struct {
 	// rather than the fixpoint, so its reason is already deterministic.
 	staticBad bool
 	reason    string
+	// failSide/failBarb identify the static barb failure structurally (the
+	// side owning the unmatched barb, and its channel).
+	failSide string
+	failBarb names.Name
 }
 
 // built is the result of constructing one pair's obligations. Builders only
 // read the (concurrency-safe) store, never engine state, so a wave of pairs
 // can be built by parallel workers and merged deterministically afterwards.
 type built struct {
-	bad    bool
-	reason string
-	obs    []obSpec
-	err    error
+	bad      bool
+	reason   string
+	failSide string
+	failBarb names.Name
+	obs      []obSpec
+	err      error
 }
 
 type obSpec struct {
 	desc  string
+	mv    obMove
 	cands [][2]*termInfo
 }
 
-func (b *built) add(desc string, cands [][2]*termInfo) {
-	b.obs = append(b.obs, obSpec{desc: desc, cands: cands})
+func (b *built) add(desc string, mv obMove, cands [][2]*termInfo) {
+	b.obs = append(b.obs, obSpec{desc: desc, mv: mv, cands: cands})
 }
 
-func (b *built) fail(format string, args ...any) {
+// failBarbOn records a static barb failure: side owns a barb on a that the
+// other side cannot (weakly) answer.
+func (b *built) failBarbOn(side string, a names.Name, format string, args ...any) {
 	b.bad = true
+	b.failSide, b.failBarb = side, a
 	b.reason = fmt.Sprintf(format, args...)
 }
 
@@ -140,6 +169,9 @@ func (c *Checker) run(ctx context.Context, pi, qi *termInfo, sp spec) (Result, e
 		}
 		res.Reason = fmt.Sprintf("%s: %s (comparing %s with %s)", sp, reason,
 			stringOf(rn.p), stringOf(rn.q))
+	}
+	if c.Certify {
+		res.Cert = e.certificate(root)
 	}
 	return res, nil
 }
@@ -248,10 +280,11 @@ func (e *engine) merge(i int, b *built) error {
 	n := e.nodes[i]
 	if b.bad {
 		n.bad, n.staticBad, n.reason = true, true, b.reason
+		n.failSide, n.failBarb = b.failSide, b.failBarb
 		return nil
 	}
 	for _, ob := range b.obs {
-		o := obligation{desc: ob.desc, candidates: make([]int, 0, len(ob.cands))}
+		o := obligation{desc: ob.desc, mv: ob.mv, candidates: make([]int, 0, len(ob.cands))}
 		for _, cd := range ob.cands {
 			ci, err := e.node(cd[0], cd[1])
 			if err != nil {
@@ -359,7 +392,8 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
 	if !e.sp.weak {
 		if !pb.Equal(qb) {
-			b.fail("strong barbs differ: %v vs %v", pb, qb)
+			side, a := barbWitness(pb, qb)
+			b.failBarbOn(side, a, "strong barbs differ on %s: %v vs %v", a, pb, qb)
 			return nil
 		}
 	} else {
@@ -369,7 +403,7 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 				return err
 			}
 			if !ok {
-				b.fail("right side lacks weak barb on %s", a)
+				b.failBarbOn("left", a, "right side lacks weak barb on %s", a)
 				return nil
 			}
 		}
@@ -379,7 +413,7 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 				return err
 			}
 			if !ok {
-				b.fail("left side lacks weak barb on %s", a)
+				b.failBarbOn("right", a, "left side lacks weak barb on %s", a)
 				return nil
 			}
 		}
@@ -406,14 +440,16 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 		for _, qs := range qMatch {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add("tau move of left unmatched", cands)
+		b.add(fmt.Sprintf("tau move of left to %s unmatched", stringOf(ps)),
+			obMove{side: "left", kind: "tau", mover: ps}, cands)
 	}
 	for _, qs := range qt {
 		var cands [][2]*termInfo
 		for _, ps := range pMatch {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add("tau move of right unmatched", cands)
+		b.add(fmt.Sprintf("tau move of right to %s unmatched", stringOf(qs)),
+			obMove{side: "right", kind: "tau", mover: qs}, cands)
 	}
 	return nil
 }
@@ -435,7 +471,8 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
 	if !e.sp.weak {
 		if !pb.Equal(qb) {
-			b.fail("step barbs differ: %v vs %v", pb, qb)
+			side, a := barbWitness(pb, qb)
+			b.failBarbOn(side, a, "step barbs differ on %s: %v vs %v", a, pb, qb)
 			return nil
 		}
 	} else {
@@ -445,7 +482,7 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 				return err
 			}
 			if !ok {
-				b.fail("right side lacks weak step barb on %s", a)
+				b.failBarbOn("left", a, "right side lacks weak step barb on %s", a)
 				return nil
 			}
 		}
@@ -455,7 +492,7 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 				return err
 			}
 			if !ok {
-				b.fail("left side lacks weak step barb on %s", a)
+				b.failBarbOn("right", a, "left side lacks weak step barb on %s", a)
 				return nil
 			}
 		}
@@ -483,14 +520,16 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 		for _, qs := range qTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add("autonomous step of left unmatched", cands)
+		b.add(fmt.Sprintf("autonomous step of left to %s unmatched", stringOf(ps)),
+			obMove{side: "left", kind: "step", mover: ps}, cands)
 	}
 	for _, qs := range qa {
 		var cands [][2]*termInfo
 		for _, ps := range pTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add("autonomous step of right unmatched", cands)
+		b.add(fmt.Sprintf("autonomous step of right to %s unmatched", stringOf(qs)),
+			obMove{side: "right", kind: "step", mover: qs}, cands)
 	}
 	return nil
 }

@@ -44,14 +44,16 @@ func (e *engine) buildLabelled(n *pairNode, b *built) error {
 		for _, qs := range qTauTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add("tau move of left unmatched", cands)
+		b.add(fmt.Sprintf("tau move of left to %s unmatched", stringOf(ps)),
+			obMove{side: "left", kind: "tau", mover: ps}, cands)
 	}
 	for _, qs := range qt {
 		var cands [][2]*termInfo
 		for _, ps := range pTauTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add("tau move of right unmatched", cands)
+		b.add(fmt.Sprintf("tau move of right to %s unmatched", stringOf(qs)),
+			obMove{side: "right", kind: "tau", mover: qs}, cands)
 	}
 
 	// Clause 2: outputs on identical canonical labels.
@@ -124,7 +126,8 @@ func (e *engine) outputObligations(n *pairNode, b *built, avoid names.Set, leftM
 				cands = append(cands, [2]*termInfo{ans, mtgt})
 			}
 		}
-		b.add(fmt.Sprintf("output %s of %s unmatched", mt.Act, side), cands)
+		b.add(fmt.Sprintf("output %s of %s from %s unmatched", mt.Act, side, stringOf(mtgt)),
+			obMove{side: side, kind: "out", label: mt.Act.String(), mover: mtgt}, cands)
 	}
 	return nil
 }
@@ -169,14 +172,16 @@ func (e *engine) reactionObligations(n *pairNode, b *built) error {
 				for _, t := range qr {
 					cands = append(cands, [2]*termInfo{r, t})
 				}
-				b.add("reaction "+lab+" of left unmatched", cands)
+				b.add(fmt.Sprintf("reaction %s of left to %s unmatched", lab, stringOf(r)),
+					obMove{side: "left", kind: "react", ch: s.ch, payload: payload, mover: r}, cands)
 			}
 			for _, r := range qm {
 				var cands [][2]*termInfo
 				for _, t := range pr {
 					cands = append(cands, [2]*termInfo{t, r})
 				}
-				b.add("reaction "+lab+" of right unmatched", cands)
+				b.add(fmt.Sprintf("reaction %s of right to %s unmatched", lab, stringOf(r)),
+					obMove{side: "right", kind: "react", ch: s.ch, payload: payload, mover: r}, cands)
 			}
 		}
 	}

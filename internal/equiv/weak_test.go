@@ -30,6 +30,74 @@ func TestWeakWitnessVerdicts(t *testing.T) {
 	}
 }
 
+// TestWeakStuckListenerSaturation table-drives the weak relations around the
+// Remark 4 stuck listener G = b? | b?(x): mixed arities block both joint
+// reception and joint discard on b, so G is transition-free without being 0.
+// τ-saturation must treat it like any other inert state — neither inventing
+// moves for it (left column) nor letting a τ prefix hide it (absorption
+// rows). This is the bug class of the weak-saturation fix: the τ-closure of
+// a stuck listener is just itself, and every verdict must be identical under
+// the sequential and the parallel engine.
+func TestWeakStuckListenerSaturation(t *testing.T) {
+	G := syntax.Group(syntax.RecvN(b), syntax.RecvN(b, x))
+	cases := []struct {
+		name               string
+		p, q               syntax.Proc
+		wLab, wBarb, wStep bool
+		sLab               bool
+	}{
+		// τ-prefix absorption around the stuck state: strongly the τ move is
+		// unmatched, weakly it saturates away.
+		{"tau absorption", syntax.TauP(G), G, true, true, true, false},
+		{"double tau absorption", syntax.TauP(syntax.TauP(G)), syntax.TauP(G), true, true, true, false},
+		// G is transition-free, so it collapses onto 0 in every relation that
+		// only observes transitions and barbs — including strong labelled:
+		// with no receivable shape on either side there is no react challenge.
+		{"stuck is inert", G, syntax.PNil, true, true, true, true},
+		{"restricted stuck is inert", syntax.Restrict(G, b), syntax.PNil, true, true, true, true},
+		// A receivable listener separates: b?(x) offers the (b,1) reaction G
+		// cannot answer. Barbed and step stay blind to inputs.
+		{"reaction separates", G, syntax.RecvN(b, x), false, true, true, false},
+		// Saturation composed with parallel: the τ neighbour fires and leaves
+		// the stuck listener behind; G | 0 must then meet G.
+		{"parallel tau neighbour", syntax.Group(G, syntax.TauP(syntax.PNil)), G, true, true, true, false},
+		// The stuck listener discards on c, so it never blocks a broadcast
+		// beside it, and the residue G | 0 is inert.
+		{"broadcast past stuck", syntax.Group(G, syntax.SendN(c)), syntax.SendN(c), true, true, true, true},
+		{"tau then broadcast", syntax.TauP(syntax.Group(G, syntax.SendN(c))), syntax.SendN(c), true, true, true, false},
+		// Choice with a stuck summand contributes no moves: τ.G + G ~ τ.G.
+		{"stuck choice summand", syntax.Choice(syntax.TauP(G), G), syntax.TauP(G), true, true, true, true},
+	}
+	seq := newC()
+	par := NewParallelChecker(nil, 4)
+	for _, cse := range cases {
+		for _, eng := range []struct {
+			name string
+			ch   *Checker
+		}{{"sequential", seq}, {"parallel", par}} {
+			got := map[string]bool{
+				"weak labelled":   labelled(t, eng.ch, cse.p, cse.q, true),
+				"weak barbed":     barbed(t, eng.ch, cse.p, cse.q, true),
+				"weak step":       step(t, eng.ch, cse.p, cse.q, true),
+				"strong labelled": labelled(t, eng.ch, cse.p, cse.q, false),
+			}
+			want := map[string]bool{
+				"weak labelled":   cse.wLab,
+				"weak barbed":     cse.wBarb,
+				"weak step":       cse.wStep,
+				"strong labelled": cse.sLab,
+			}
+			for rel, w := range want {
+				if got[rel] != w {
+					t.Errorf("%s (%s engine) %s = %v, want %v\n p=%s\n q=%s",
+						cse.name, eng.name, rel, got[rel], w,
+						syntax.String(cse.p), syntax.String(cse.q))
+				}
+			}
+		}
+	}
+}
+
 // TestWeakCongruencePreservedByContexts samples Theorem 4: pairs related by
 // ≈c stay weakly bisimilar under prefix, choice, parallel and restriction
 // contexts.

@@ -1,0 +1,137 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bpi/internal/axioms"
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/syntax"
+)
+
+// CertArtifactDirEnv, when set, names a directory that receives the JSON of
+// any certificate the cert/checks law rejects — CI uploads it as a build
+// artifact so the offending proof object survives the run.
+const CertArtifactDirEnv = "BPIFUZZ_CERT_DIR"
+
+// lawCertChecks is the certificate law: every verdict the engines return
+// must come with a proof object the deliberately-simple independent verifier
+// accepts — on the fresh path AND on the memoised path (a cached verdict
+// must replay its recorded certificate), for all five equivalences and the
+// §5 prover. A verdict whose certificate does not replay is wrong evidence
+// even when the verdict itself happens to be right, so this law fires on
+// the rejection, not on the verdict.
+func lawCertChecks() Law {
+	return Law{
+		Name:   "cert/checks",
+		Doc:    "every fuzzed verdict (five relations, fresh and cached, plus axioms.Decide) carries a certificate the independent verifier accepts",
+		Config: proverConfig(),
+		Gen:    mixedPair,
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			ch := equiv.NewChecker(nil)
+			ch.Certify = true
+			check := func(name string, related bool, crt *cert.Certificate) string {
+				if crt == nil {
+					return name + ": verdict carries no certificate"
+				}
+				if crt.Related != related {
+					return fmt.Sprintf("%s: verdict %v but certificate claims %v", name, related, crt.Related)
+				}
+				if verr := cert.Verify(crt); verr != nil {
+					return certRejected(name, crt, verr)
+				}
+				return ""
+			}
+			// Two passes over the same checker: pass two hits the verdict
+			// memo, which must return the recorded certificate unchanged.
+			for _, pass := range []string{"fresh", "cached"} {
+				for _, weak := range []bool{false, true} {
+					mode := "strong"
+					if weak {
+						mode = "weak"
+					}
+					r, err := ch.LabelledCtx(ctx, p, q, weak)
+					if err != nil {
+						return "", err
+					}
+					if d := check(pass+" "+mode+" labelled", r.Related, r.Cert); d != "" {
+						return d, nil
+					}
+					r, err = ch.BarbedCtx(ctx, p, q, weak)
+					if err != nil {
+						return "", err
+					}
+					if d := check(pass+" "+mode+" barbed", r.Related, r.Cert); d != "" {
+						return d, nil
+					}
+					r, err = ch.StepCtx(ctx, p, q, weak)
+					if err != nil {
+						return "", err
+					}
+					if d := check(pass+" "+mode+" step", r.Related, r.Cert); d != "" {
+						return d, nil
+					}
+				}
+				crt, ok, err := ch.OneStepCertCtx(ctx, p, q, false)
+				if err != nil {
+					return "", err
+				}
+				if d := check(pass+" strong onestep", ok, crt); d != "" {
+					return d, nil
+				}
+				crt, ok, err = ch.CongruenceBoundedCertCtx(ctx, p, q, false, 0)
+				if err != nil {
+					return "", err
+				}
+				if d := check(pass+" strong congruence", ok, crt); d != "" {
+					return d, nil
+				}
+			}
+			pr := axioms.NewProver(nil)
+			pr.Certify = true
+			proved, err := pr.DecideCtx(ctx, p, q)
+			if err != nil {
+				return "", err
+			}
+			if d := check("axioms decide", proved, pr.Certificate()); d != "" {
+				return d, nil
+			}
+			return "", nil
+		},
+	}
+}
+
+// certRejected builds the violation detail for a rejected certificate and,
+// when CertArtifactDirEnv is set, persists the offending JSON for artifact
+// upload.
+func certRejected(name string, crt *cert.Certificate, verr error) string {
+	detail := fmt.Sprintf("%s: certificate rejected: %v", name, verr)
+	dir := os.Getenv(CertArtifactDirEnv)
+	if dir == "" {
+		return detail
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return detail
+	}
+	data, err := crt.Marshal()
+	if err != nil {
+		return detail
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, strings.ToLower(name))
+	path := filepath.Join(dir, "rejected-"+slug+".json")
+	if os.WriteFile(path, data, 0o644) == nil {
+		detail += " (certificate written to " + path + ")"
+	}
+	return detail
+}

@@ -17,6 +17,9 @@
 //   - Engineering invariants on top of the paper: the sequential engine,
 //     the parallel engine (Workers > 1) and a live bpid daemon — including
 //     its LRU verdict-cache hits — must all return the same verdicts.
+//   - Certificates: every verdict's replayable proof object (internal/cert)
+//     must be accepted by the independent verifier, on the fresh and the
+//     memoised path alike.
 //
 // Everything is reproducible: iteration i of a run with seed s draws all
 // randomness from mix(s + i), and every violation reports the exact
@@ -92,6 +95,7 @@ func Registry() []Law {
 		lawSubstClosure(),
 		lawEnginesAgree(),
 		lawObsConsistent(),
+		lawCertChecks(),
 	}
 }
 

@@ -36,6 +36,16 @@ func Refine(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state in
 // refine.round child per splitter sweep, plus the counters refine.rounds
 // and refine.blocks (final block count). A nil tracer is free.
 func RefineObs(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state int) string, tr *obs.Tracer) []int {
+	hist := refineHistory(g, labelOf, initialOf, tr)
+	return hist[len(hist)-1]
+}
+
+// refineHistory runs the refinement keeping every intermediate partition:
+// hist[0] is the initial split, hist[t] the partition after sweep t, and the
+// last entry is stable. The round at which two states first separate is the
+// well-founded rank of the distinguishing strategies emitted by the
+// certificate layer.
+func refineHistory(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state int) string, tr *obs.Tracer) [][]int {
 	span := tr.Span("refine.run")
 	defer span.End()
 	cRounds := tr.Counter("refine.rounds")
@@ -52,6 +62,7 @@ func RefineObs(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state
 		}
 		block[i] = b
 	}
+	hist := [][]int{append([]int(nil), block...)}
 	for {
 		changed := false
 		cRounds.Add(1)
@@ -89,6 +100,7 @@ func RefineObs(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state
 			break
 		}
 		block = next
+		hist = append(hist, append([]int(nil), block...))
 		changed = true
 		_ = changed
 	}
@@ -99,7 +111,7 @@ func RefineObs(g *lts.Graph, labelOf func(lts.Edge) string, initialOf func(state
 		}
 		c.Add(int64(len(distinct)))
 	}
-	return block
+	return hist
 }
 
 func samePartition(a, b []int) bool {

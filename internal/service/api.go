@@ -1,6 +1,9 @@
 package service
 
-import "bpi/internal/obs"
+import (
+	"bpi/internal/cert"
+	"bpi/internal/obs"
+)
 
 // Wire types of the bpid HTTP/JSON API. The same structs are used by the
 // daemon handlers and by the bpi.Client, so the two cannot drift.
@@ -106,6 +109,11 @@ type EquivRequest struct {
 	// TimeoutMs bounds the wall-clock time of the query (0 = server
 	// default; clamped to the server maximum).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Cert asks for the verdict's replayable certificate (internal/cert)
+	// in the response. The daemon records a certificate for every verdict
+	// regardless (async jobs serve theirs on GET /certificate/{id}); this
+	// flag only controls whether it is inlined in the response body.
+	Cert bool `json:"cert,omitempty"`
 }
 
 // EquivResponse reports an equivalence verdict.
@@ -116,6 +124,20 @@ type EquivResponse struct {
 	// Cached reports that the verdict came from the daemon's verdict cache.
 	Cached    bool    `json:"cached"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Certificate is the verdict's replayable proof object, present when
+	// the request set Cert (cached verdicts return the cached certificate).
+	Certificate *cert.Certificate `json:"certificate,omitempty"`
+}
+
+// CertificateResponse is the body of GET /certificate/{id}: the replayable
+// certificate recorded for a finished equiv job. Verify it offline with
+// `bpicert verify` or internal/cert.Verify.
+type CertificateResponse struct {
+	ID          string            `json:"id"`
+	Rel         string            `json:"rel"`
+	Weak        bool              `json:"weak"`
+	Related     bool              `json:"related"`
+	Certificate *cert.Certificate `json:"certificate"`
 }
 
 // ProveRequest asks whether A ⊢ p = q (Section 5) for finite terms.

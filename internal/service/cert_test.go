@@ -1,0 +1,132 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"bpi/internal/cert"
+	"bpi/internal/service"
+)
+
+// TestEquivCertificates exercises the daemon's certificate surface: every
+// relation returns a verifying certificate when asked, the cached path
+// replays the recorded one, and requests without the flag stay lean.
+func TestEquivCertificates(t *testing.T) {
+	_, _, client := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	for _, rel := range []string{
+		service.RelLabelled, service.RelBarbed, service.RelStep,
+		service.RelOneStep, service.RelCongruence,
+	} {
+		for _, weak := range []bool{false, true} {
+			req := service.EquivRequest{P: "tau.a!", Q: "a!", Rel: rel, Weak: weak, Cert: true}
+			resp, err := client.Equiv(ctx, req)
+			if err != nil {
+				t.Fatalf("%s weak=%v: %v", rel, weak, err)
+			}
+			if resp.Certificate == nil {
+				t.Fatalf("%s weak=%v: no certificate in response", rel, weak)
+			}
+			if resp.Certificate.Related != resp.Related {
+				t.Fatalf("%s weak=%v: certificate verdict %v, response says %v",
+					rel, weak, resp.Certificate.Related, resp.Related)
+			}
+			if err := cert.Verify(resp.Certificate); err != nil {
+				t.Fatalf("%s weak=%v: certificate rejected: %v", rel, weak, err)
+			}
+
+			// The cached path must return the recorded certificate.
+			again, err := client.Equiv(ctx, req)
+			if err != nil {
+				t.Fatalf("%s weak=%v cached: %v", rel, weak, err)
+			}
+			if !again.Cached || again.Certificate == nil {
+				t.Fatalf("%s weak=%v: cached=%v cert=%v, want cached certificate",
+					rel, weak, again.Cached, again.Certificate != nil)
+			}
+			if err := cert.Verify(again.Certificate); err != nil {
+				t.Fatalf("%s weak=%v: cached certificate rejected: %v", rel, weak, err)
+			}
+
+			// Without the flag the response is lean even on a cache hit.
+			req.Cert = false
+			lean, err := client.Equiv(ctx, req)
+			if err != nil {
+				t.Fatalf("%s weak=%v lean: %v", rel, weak, err)
+			}
+			if lean.Certificate != nil {
+				t.Fatalf("%s weak=%v: certificate returned without cert flag", rel, weak)
+			}
+		}
+	}
+}
+
+// TestJobCertificateEndpoint pins GET /certificate/{id}: equiv jobs record
+// their certificate even when the submitter did not ask for it, job polls
+// stay lean, and the served certificate replays against the verifier.
+func TestJobCertificateEndpoint(t *testing.T) {
+	_, ts, client := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	id, err := client.Submit(ctx, service.JobRequest{
+		Kind:  service.JobEquiv,
+		Equiv: &service.EquivRequest{P: "a!(b)", Q: "a!(c)", Rel: service.RelLabelled},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Wait(ctx, id, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.JobDone || st.Equiv == nil {
+		t.Fatalf("job state %s, equiv=%v", st.State, st.Equiv)
+	}
+	if st.Equiv.Certificate != nil {
+		t.Fatal("job poll inlined the certificate")
+	}
+	crt, err := client.Certificate(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crt.ID != id || crt.Rel != service.RelLabelled || crt.Weak {
+		t.Fatalf("certificate header %+v", crt)
+	}
+	if crt.Related != st.Equiv.Related || crt.Certificate == nil {
+		t.Fatalf("related=%v vs %v, cert=%v", crt.Related, st.Equiv.Related, crt.Certificate != nil)
+	}
+	if err := cert.Verify(crt.Certificate); err != nil {
+		t.Fatalf("job certificate rejected: %v", err)
+	}
+
+	// Error surface: unknown job, and a non-equiv job.
+	if _, err := client.Certificate(ctx, "job-999"); err == nil {
+		t.Fatal("certificate of unknown job succeeded")
+	}
+	runID, err := client.Submit(ctx, service.JobRequest{
+		Kind: service.JobRun,
+		Run:  &service.RunRequest{Term: "tau.0", MaxSteps: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, runID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Certificate(ctx, runID); err == nil {
+		t.Fatal("certificate of a run job succeeded")
+	} else if ae, ok := err.(*service.ErrorBody); !ok || ae.Code != service.CodeInvalidRequest {
+		t.Fatalf("run-job certificate error = %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/certificate/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job certificate: HTTP %d, want 404", resp.StatusCode)
+	}
+}

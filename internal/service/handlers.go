@@ -25,6 +25,7 @@ import (
 //	POST /v1/jobs      submit an async job
 //	GET  /v1/jobs/{id} poll an async job
 //	GET  /trace/{id}   span tree + engine counters of an async job
+//	GET  /certificate/{id} replayable certificate of a finished equiv job
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/pprof/ the net/http/pprof profiling surface
@@ -39,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", instrument(s, "/v1/jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", instrument(s, "/v1/jobs/{id}", s.handleJobStatus))
 	mux.HandleFunc("GET /trace/{id}", instrument(s, "/trace/{id}", s.handleTrace))
+	mux.HandleFunc("GET /certificate/{id}", instrument(s, "/certificate/{id}", s.handleCertificate))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// The pprof surface: the daemon runs its own mux, so the handlers are
@@ -70,6 +72,18 @@ func (s *Server) handleTrace(r *http.Request) (int, any) {
 		DroppedSpans: tr.Dropped(),
 		Spans:        tr.Tree(),
 	}
+}
+
+// handleCertificate serves the replayable proof object recorded by one
+// finished equiv job — the evidence a sceptical client replays against the
+// independent verifier (internal/cert, `bpicert verify`) without trusting
+// the daemon's engine.
+func (s *Server) handleCertificate(r *http.Request) (int, any) {
+	resp, eb := s.jobs.certificate(r.PathValue("id"))
+	if eb != nil {
+		return fail(eb)
+	}
+	return http.StatusOK, *resp
 }
 
 // handlerFunc is a handler returning (status, body); body is JSON-encoded.

@@ -25,7 +25,10 @@ type jobManager struct {
 type job struct {
 	mu     sync.Mutex
 	status JobStatusResponse
-	done   chan struct{}
+	// equivReq remembers an equiv job's request so GET /certificate/{id}
+	// can report the relation alongside the recorded certificate.
+	equivReq *EquivRequest
+	done     chan struct{}
 	// trace is the job's private tracer, set when execution starts and
 	// served by GET /trace/{id}. Engine spans and counters land here;
 	// store-level counters stay on the daemon tracer (the store is shared).
@@ -71,6 +74,15 @@ func (m *jobManager) submit(req *JobRequest) (string, *ErrorBody) {
 	m.nextID++
 	id := fmt.Sprintf("job-%d", m.nextID)
 	j := &job{done: make(chan struct{})}
+	if req.Kind == JobEquiv {
+		// Equiv jobs always record their certificate: the poller may not
+		// have asked for it inline, but GET /certificate/{id} must be able
+		// to serve it after the job finishes.
+		er := *req.Equiv
+		er.Cert = true
+		req = &JobRequest{Kind: req.Kind, Equiv: &er}
+		j.equivReq = &er
+	}
 	j.status = JobStatusResponse{ID: id, Kind: req.Kind, State: JobPending}
 	m.jobs[id] = j
 	m.pending++
@@ -140,7 +152,9 @@ func (m *jobManager) trace(id string) (*obs.Tracer, JobStatusResponse, bool) {
 	return j.trace, j.status, true
 }
 
-// status returns a copy of the job's current state.
+// status returns a copy of the job's current state. Certificates are not
+// inlined in job polls (they can be large); GET /certificate/{id} serves
+// them once the job is done.
 func (m *jobManager) status(id string) (JobStatusResponse, bool) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -150,7 +164,47 @@ func (m *jobManager) status(id string) (JobStatusResponse, bool) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status, true
+	st := j.status
+	if st.Equiv != nil && st.Equiv.Certificate != nil {
+		stripped := *st.Equiv
+		stripped.Certificate = nil
+		st.Equiv = &stripped
+	}
+	return st, true
+}
+
+// certificate returns the certificate recorded by a finished equiv job.
+func (m *jobManager) certificate(id string) (*CertificateResponse, *ErrorBody) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, &ErrorBody{Code: CodeNotFound, Message: "no such job " + id}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Kind != JobEquiv {
+		return nil, &ErrorBody{Code: CodeInvalidRequest,
+			Message: fmt.Sprintf("job %s has kind %q; certificates are recorded for equiv jobs", id, j.status.Kind)}
+	}
+	switch j.status.State {
+	case JobPending, JobRunning:
+		return nil, &ErrorBody{Code: CodeNotFound,
+			Message: fmt.Sprintf("job %s is %s; its certificate is recorded when it finishes", id, j.status.State)}
+	case JobFailed:
+		return nil, &ErrorBody{Code: CodeNotFound,
+			Message: fmt.Sprintf("job %s failed (%s); no certificate was recorded", id, j.status.Error.Code)}
+	}
+	if j.status.Equiv == nil || j.status.Equiv.Certificate == nil {
+		return nil, &ErrorBody{Code: CodeInternal, Message: "finished equiv job recorded no certificate"}
+	}
+	return &CertificateResponse{
+		ID:          id,
+		Rel:         j.equivReq.Rel,
+		Weak:        j.equivReq.Weak,
+		Related:     j.status.Equiv.Related,
+		Certificate: j.status.Equiv.Certificate,
+	}, nil
 }
 
 // counts reports jobs per state for the metrics surface.

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"bpi/internal/axioms"
+	"bpi/internal/cert"
 	"bpi/internal/equiv"
 	"bpi/internal/machine"
 	"bpi/internal/names"
@@ -260,6 +261,11 @@ func (s *Server) checker(req *EquivRequest, tr *obs.Tracer) *equiv.Checker {
 	}
 	c.Workers = s.cfg.EngineWorkers
 	c.Obs = tr
+	// Every verdict is certified: the daemon's verdict cache stores the
+	// certificate alongside the verdict, so cached queries replay it, and
+	// async jobs serve theirs on GET /certificate/{id}. Requests that do
+	// not ask for the certificate get it stripped from the response only.
+	c.Certify = true
 	return c
 }
 
@@ -287,6 +293,9 @@ func (s *Server) runEquiv(ctx context.Context, req *EquivRequest, tr *obs.Tracer
 	if resp, ok := s.cache.get(key); ok {
 		resp.Cached = true
 		resp.ElapsedMs = 0
+		if !req.Cert {
+			resp.Certificate = nil
+		}
 		return &resp, nil
 	}
 
@@ -300,29 +309,36 @@ func (s *Server) runEquiv(ctx context.Context, req *EquivRequest, tr *obs.Tracer
 	case RelLabelled:
 		var r equiv.Result
 		r, err = c.LabelledCtx(ctx, p, q, req.Weak)
-		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason}
+		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason, Certificate: r.Cert}
 	case RelBarbed:
 		var r equiv.Result
 		r, err = c.BarbedCtx(ctx, p, q, req.Weak)
-		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason}
+		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason, Certificate: r.Cert}
 	case RelStep:
 		var r equiv.Result
 		r, err = c.StepCtx(ctx, p, q, req.Weak)
-		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason}
+		resp = EquivResponse{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason, Certificate: r.Cert}
 	case RelOneStep:
 		var ok bool
-		ok, err = c.OneStepCtx(ctx, p, q, req.Weak)
-		resp = EquivResponse{Related: ok}
+		var crt *cert.Certificate
+		crt, ok, err = c.OneStepCertCtx(ctx, p, q, req.Weak)
+		resp = EquivResponse{Related: ok, Certificate: crt}
 	case RelCongruence:
 		var ok bool
-		ok, err = c.CongruenceBoundedCtx(ctx, p, q, req.Weak, req.MaxSubs)
-		resp = EquivResponse{Related: ok}
+		var crt *cert.Certificate
+		crt, ok, err = c.CongruenceBoundedCertCtx(ctx, p, q, req.Weak, req.MaxSubs)
+		resp = EquivResponse{Related: ok, Certificate: crt}
 	}
 	if err != nil {
 		return nil, classify(err)
 	}
 	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	s.cache.put(key, resp)
+	if !req.Cert {
+		stripped := resp
+		stripped.Certificate = nil
+		return &stripped, nil
+	}
 	return &resp, nil
 }
 
