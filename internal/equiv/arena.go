@@ -1,0 +1,113 @@
+package equiv
+
+import (
+	"bpi/internal/obs"
+	"bpi/internal/syntax"
+)
+
+// arena is a per-worker interning front for the shared Store, used by the
+// engine's work-stealing discovery pass. Each worker owns one arena, so the
+// local cache needs no lock: repeat resolutions of a term the worker has
+// already seen — by far the common case inside one region of the pair
+// space — cost a map probe and zero shared-memory traffic. Misses fall
+// through to the store's bulk path (one shard-lock visit per distinct shard
+// per batch), and hit/miss accounting accumulates locally, flushed to the
+// store's atomics every flushEvery resolutions and once at shutdown — the
+// "bulk flush" half of the arena protocol. Arenas must not outlive their
+// discovery pass: flush before reading store stats.
+type arena struct {
+	s     *Store
+	cache map[string]*termInfo
+
+	// Deferred counter deltas, flushed in bulk.
+	hits, misses uint64
+	pending      int
+
+	// cFlushes counts flushes on the engine's tracer (nil-safe no-op).
+	cFlushes *obs.Counter
+}
+
+// flushEvery bounds how stale the store's intern counters may run while a
+// discovery worker is busy.
+const flushEvery = 1024
+
+func newArena(s *Store, cFlushes *obs.Counter) *arena {
+	return &arena{s: s, cache: make(map[string]*termInfo), cFlushes: cFlushes}
+}
+
+// intern resolves one term: local cache first, store shard on miss.
+func (a *arena) intern(p syntax.Proc) (*termInfo, error) {
+	p = syntax.Simplify(p)
+	k := syntax.Key(p)
+	ti, ok := a.cache[k]
+	if ok {
+		a.hits++
+	} else {
+		var fresh bool
+		ti, fresh = a.s.resolve(k, p)
+		a.cache[k] = ti
+		if fresh {
+			a.misses++
+		} else {
+			a.hits++
+		}
+	}
+	a.pending++
+	a.maybeFlush()
+	return a.s.ready(ti)
+}
+
+// internMany resolves a batch: locally cached terms are free, the rest go
+// through the store's shard-grouped bulk path in one call.
+func (a *arena) internMany(ps []syntax.Proc) ([]*termInfo, error) {
+	out := make([]*termInfo, len(ps))
+	var missIdx []int
+	var missKeys []string
+	var missProcs []syntax.Proc
+	for i, p := range ps {
+		sp := syntax.Simplify(p)
+		k := syntax.Key(sp)
+		if ti, ok := a.cache[k]; ok {
+			a.hits++
+			out[i] = ti
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missKeys = append(missKeys, k)
+		missProcs = append(missProcs, sp)
+	}
+	if len(missIdx) > 0 {
+		tis, fresh := a.s.resolveBatch(missKeys, missProcs)
+		for j, ti := range tis {
+			a.cache[missKeys[j]] = ti
+			out[missIdx[j]] = ti
+		}
+		a.misses += fresh
+		a.hits += uint64(len(tis)) - fresh
+	}
+	a.pending += len(ps)
+	a.maybeFlush()
+	for _, ti := range out {
+		if _, err := a.s.ready(ti); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (a *arena) maybeFlush() {
+	if a.pending >= flushEvery {
+		a.flush()
+	}
+}
+
+// flush publishes the accumulated hit/miss deltas to the store in two
+// atomic adds and resets the local tally. The local cache stays warm.
+func (a *arena) flush() {
+	if a.pending == 0 {
+		return
+	}
+	a.s.addInternCounts(a.hits, a.misses)
+	a.hits, a.misses, a.pending = 0, 0, 0
+	a.cFlushes.Add(1)
+}

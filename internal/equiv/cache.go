@@ -23,14 +23,18 @@
 // can also be shared across several Checkers (NewCheckerWithStore) so
 // independent queries reuse each other's derivations.
 //
-// The fixpoint engine optionally parallelises obligation construction over
-// the pair frontier (the Workers option / NewParallelChecker): each BFS wave
-// is built by a bounded worker pool, then merged in submission order, so
-// node numbering, explored-pair counts and verdicts are identical to the
-// sequential run — determinism is by construction, not by luck. The
+// The engine optionally parallelises pair construction (the Workers option /
+// NewParallelChecker) with persistent workers on work-stealing deques
+// (internal/ws): a racy discovery pass speculatively builds pairs into a
+// sharded build cache using per-worker arenas that defer store interning,
+// then an authoritative in-order pass — exactly the sequential algorithm —
+// expands the pair graph, consuming cached builds where discovery got there
+// first. Node numbering, explored-pair counts, certificates and verdicts are
+// therefore identical to the sequential run at every worker count —
+// determinism is by construction, not by luck (see DESIGN.md §7). The
 // greatest-fixpoint sweep itself is a reverse-dependency worklist and is
 // O(edges) regardless of worker count. Prefer sequential mode (Workers ≤ 1,
-// the default) for small one-shot queries where goroutine fan-out costs more
+// the default) for small one-shot queries where worker fan-out costs more
 // than it saves; prefer a shared parallel Checker for batches of queries or
 // large pair spaces.
 package equiv
@@ -61,7 +65,8 @@ type Checker struct {
 	// are identical either way.
 	Workers int
 	// Obs, when non-nil, receives spans (equiv.run → equiv.explore →
-	// equiv.wave, equiv.fixpoint) and engine counters from every query.
+	// equiv.prebuild/equiv.expand, equiv.fixpoint) and engine counters
+	// from every query.
 	// Like the budget fields it must be set before the first query. The
 	// nil default is free: call sites guard with obs's nil-safe no-ops,
 	// proven allocation-free by TestDisabledObsZeroAlloc.
@@ -159,6 +164,30 @@ func (c *Checker) reactions(ti *termInfo, ch names.Name, payload []names.Name) (
 	return c.store.reactions(ti, ch, payload)
 }
 
+// Interner-threaded variants: identical semantics, but new terms are
+// resolved through it (a per-worker arena during the engine's discovery
+// pass, or the store itself).
+
+func (c *Checker) tauSuccIn(it interner, ti *termInfo) ([]*termInfo, error) {
+	return c.store.tauSuccIn(it, ti)
+}
+
+func (c *Checker) tauClosureIn(it interner, ti *termInfo) ([]*termInfo, error) {
+	return c.store.tauClosureIn(it, ti, c.maxClosure())
+}
+
+func (c *Checker) autonomousSuccIn(it interner, ti *termInfo) ([]*termInfo, error) {
+	return c.store.autonomousSuccIn(it, ti)
+}
+
+func (c *Checker) autonomousClosureIn(it interner, ti *termInfo) ([]*termInfo, error) {
+	return c.store.autonomousClosureIn(it, ti, c.maxClosure())
+}
+
+func (c *Checker) reactionsIn(it interner, ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+	return c.store.reactionsIn(it, ti, ch, payload)
+}
+
 // Derived observations -------------------------------------------------------
 
 // strongBarbs returns the subjects of ti's output transitions (p ↓a).
@@ -174,7 +203,11 @@ func strongBarbs(ti *termInfo) names.Set {
 
 // weakBarb reports p ⇓a: some τ*-derivative has a strong barb on a.
 func (c *Checker) weakBarb(ti *termInfo, a names.Name) (bool, error) {
-	cl, err := c.tauClosure(ti)
+	return c.weakBarbIn(c.store, ti, a)
+}
+
+func (c *Checker) weakBarbIn(it interner, ti *termInfo, a names.Name) (bool, error) {
+	cl, err := c.tauClosureIn(it, ti)
 	if err != nil {
 		return false, err
 	}

@@ -9,6 +9,7 @@ import (
 	"bpi/internal/cert"
 	"bpi/internal/names"
 	"bpi/internal/obs"
+	"bpi/internal/ws"
 )
 
 // ErrCanceled reports that a query was abandoned because its context was
@@ -71,10 +72,27 @@ type obMove struct {
 	mover *termInfo
 }
 
+// describe renders the move as the human-readable failure reason. Reasons
+// are derived on demand from the structured move — only the losing
+// obligation of a negative verdict ever needs its string, so the hot build
+// path never formats one.
+func (mv obMove) describe() string {
+	switch mv.kind {
+	case "tau":
+		return fmt.Sprintf("tau move of %s to %s unmatched", mv.side, stringOf(mv.mover))
+	case "step":
+		return fmt.Sprintf("autonomous step of %s to %s unmatched", mv.side, stringOf(mv.mover))
+	case "out":
+		return fmt.Sprintf("output %s of %s from %s unmatched", mv.label, mv.side, stringOf(mv.mover))
+	default: // "react"
+		return fmt.Sprintf("reaction %s?(%s) of %s to %s unmatched",
+			mv.ch, joinNames(mv.payload), mv.side, stringOf(mv.mover))
+	}
+}
+
 // obligation is one matching requirement of a pair: at least one candidate
 // successor pair must remain in the relation.
 type obligation struct {
-	desc       string
 	mv         obMove
 	candidates []int
 }
@@ -94,8 +112,11 @@ type pairNode struct {
 }
 
 // built is the result of constructing one pair's obligations. Builders only
-// read the (concurrency-safe) store, never engine state, so a wave of pairs
-// can be built by parallel workers and merged deterministically afterwards.
+// read the (concurrency-safe) store, never engine state, so pairs can be
+// built by racing discovery workers and consumed deterministically later:
+// given the same store contents a pair's built value is the same whoever
+// computes it (successor orders come from transition order and key-sorted
+// closures, never from interning order).
 type built struct {
 	bad      bool
 	reason   string
@@ -106,13 +127,12 @@ type built struct {
 }
 
 type obSpec struct {
-	desc  string
 	mv    obMove
 	cands [][2]*termInfo
 }
 
-func (b *built) add(desc string, mv obMove, cands [][2]*termInfo) {
-	b.obs = append(b.obs, obSpec{desc: desc, mv: mv, cands: cands})
+func (b *built) add(mv obMove, cands [][2]*termInfo) {
+	b.obs = append(b.obs, obSpec{mv: mv, cands: cands})
 }
 
 // failBarbOn records a static barb failure: side owns a barb on a that the
@@ -123,13 +143,80 @@ func (b *built) failBarbOn(side string, a names.Name, format string, args ...any
 	b.reason = fmt.Sprintf(format, args...)
 }
 
+// pairItem is the work-stealing discovery unit: one unordered-built pair.
+type pairItem struct{ p, q *termInfo }
+
+// buildCache is the hand-off between the racing discovery pass and the
+// deterministic expand pass: built pair results keyed by store-ID pairs,
+// sharded like the term store so discovery workers rarely contend. claim
+// doubles as the discovery-side dedup (first claimer builds the pair).
+type buildCache struct {
+	puts   atomic.Int64
+	shards [storeShards]struct {
+		mu sync.Mutex
+		m  map[[2]uint64]*built
+	}
+}
+
+func newBuildCache() *buildCache {
+	bc := &buildCache{}
+	for i := range bc.shards {
+		bc.shards[i].m = make(map[[2]uint64]*built)
+	}
+	return bc
+}
+
+func (bc *buildCache) shardOf(p, q uint64) int {
+	return int((p*0x9E3779B1 ^ q*0x85EBCA77) % storeShards)
+}
+
+// claim marks (p,q) as scheduled for building; only the first claimer gets
+// true. The placeholder is distinguishable from a finished build (nil value).
+func (bc *buildCache) claim(p, q uint64) bool {
+	sh := &bc.shards[bc.shardOf(p, q)]
+	k := [2]uint64{p, q}
+	sh.mu.Lock()
+	_, seen := sh.m[k]
+	if !seen {
+		sh.m[k] = nil
+	}
+	sh.mu.Unlock()
+	return !seen
+}
+
+// put publishes a finished build.
+func (bc *buildCache) put(p, q uint64, b *built) {
+	sh := &bc.shards[bc.shardOf(p, q)]
+	sh.mu.Lock()
+	sh.m[[2]uint64{p, q}] = b
+	sh.mu.Unlock()
+	bc.puts.Add(1)
+}
+
+// take returns the prebuilt result of (p,q), or nil when it was never built
+// (unclaimed, abandoned by Stop, or no prebuild ran — nil receiver is fine).
+// The expand pass then builds inline.
+func (bc *buildCache) take(p, q uint64) *built {
+	if bc == nil {
+		return nil
+	}
+	sh := &bc.shards[bc.shardOf(p, q)]
+	sh.mu.Lock()
+	b := sh.m[[2]uint64{p, q}]
+	sh.mu.Unlock()
+	return b
+}
+
 type engine struct {
-	c        *Checker
-	ctx      context.Context
-	sp       spec
-	nodes    []*pairNode
-	index    map[[2]uint64]int
-	frontier []int
+	c     *Checker
+	ctx   context.Context
+	sp    spec
+	nodes []*pairNode
+	index map[[2]uint64]int
+
+	// prebuilt holds the discovery pass's cached pair builds (nil when
+	// running sequentially).
+	prebuilt *buildCache
 
 	// Observability: nil when the checker has no tracer; every use is a
 	// nil-safe no-op then. Counters are resolved once per run so the hot
@@ -176,115 +263,141 @@ func (c *Checker) run(ctx context.Context, pi, qi *termInfo, sp spec) (Result, e
 	return res, nil
 }
 
-// explore closes the pair space breadth-first. Each BFS wave is built (pure
-// store reads) either inline or by a bounded worker pool, then merged into
-// the engine in submission order — so node numbering, budget errors and the
-// explored set are identical whatever the worker count. Context cancellation
-// is observed between pairs (sequential) and between claims (parallel), so a
-// deadline aborts the query promptly even on unbounded pair spaces.
+// explore closes the pair space in two passes. With workers > 1, a
+// work-stealing *discovery* pass (prebuild) races over the pair space and
+// caches each pair's built obligations — order-free, so it needs no barrier
+// and no coordination beyond first-claim dedup. The *expand* pass is the
+// authoritative one: it processes nodes strictly in index order (exactly the
+// sequential algorithm), consuming cached builds and building inline any pair
+// discovery missed. Node numbering, pair counts, budget/cancel errors and
+// Reasons are therefore identical at every worker count by construction —
+// parallelism only changes how often expand finds its work precomputed.
+// Context cancellation is observed between pairs, so a deadline aborts the
+// query promptly even on unbounded pair spaces.
 func (e *engine) explore(run *obs.Span) error {
-	workers := e.c.workers()
-	cWaves := e.tr.Counter("equiv.waves")
 	span := run.Child("equiv.explore")
 	defer span.End()
-	for len(e.frontier) > 0 {
-		wave := e.frontier
-		e.frontier = nil
-		cWaves.Add(1)
-		ws := span.Child("equiv.wave")
-		err := e.exploreWave(wave, workers)
-		ws.End()
-		if err != nil {
+	if e.c.workers() > 1 {
+		pb := span.Child("equiv.prebuild")
+		e.prebuild()
+		pb.End()
+	}
+	ex := span.Child("equiv.expand")
+	defer ex.End()
+	cPrebuilt := e.tr.Counter("equiv.prebuilt_used")
+	for i := 0; i < len(e.nodes); i++ {
+		if err := e.ctx.Err(); err != nil {
+			return ErrCanceled{err}
+		}
+		n := e.nodes[i]
+		b := e.prebuilt.take(n.p.id, n.q.id)
+		if b != nil {
+			cPrebuilt.Add(1)
+		} else {
+			b = e.buildPair(n.p, n.q, e.c.store)
+		}
+		if b.err != nil {
+			return b.err
+		}
+		if err := e.merge(n, b); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// exploreWave builds and merges one BFS wave (see explore).
-func (e *engine) exploreWave(wave []int, workers int) error {
-	if workers <= 1 || len(wave) == 1 {
-		for _, i := range wave {
-			if err := e.ctx.Err(); err != nil {
-				return ErrCanceled{err}
-			}
-			b := e.buildPair(e.nodes[i])
-			if b.err != nil {
-				return b.err
-			}
-			if err := e.merge(i, b); err != nil {
-				return err
-			}
+// prebuild is the work-stealing discovery pass: persistent workers, each
+// with a private deque of pairs and a per-worker interning arena, race to
+// build the reachable pair space into e.prebuilt. Every discovered successor
+// pair is claimed exactly once and pushed in one batch. The pass is purely
+// an accelerator: it may stop early (cancellation, budget) or miss pairs
+// (Stop abandons deques) without affecting the verdict.
+func (e *engine) prebuild() {
+	workers := e.c.workers()
+	e.prebuilt = newBuildCache()
+	maxClaims := int64(e.c.maxPairs())
+	var claimed atomic.Int64
+
+	cFlushes := e.tr.Counter("equiv.arena_flushes")
+	arenas := make([]*arena, workers)
+	for i := range arenas {
+		arenas[i] = newArena(e.c.store, cFlushes)
+	}
+
+	var pool *ws.Pool[pairItem]
+	pool = ws.NewPool(workers, func(w int, it pairItem) {
+		if e.ctx.Err() != nil {
+			pool.Stop()
+			return
 		}
-		return nil
-	}
-	builds := make([]*built, len(wave))
-	n := workers
-	if n > len(wave) {
-		n = len(wave)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				j := int(next.Add(1)) - 1
-				if j >= len(wave) {
-					return
-				}
-				if err := e.ctx.Err(); err != nil {
-					builds[j] = &built{err: ErrCanceled{err}}
+		b := e.buildPair(it.p, it.q, arenas[w])
+		e.prebuilt.put(it.p.id, it.q.id, b)
+		if b.err != nil || b.bad {
+			return
+		}
+		var batch []pairItem
+		for _, ob := range b.obs {
+			for _, cd := range ob.cands {
+				if !e.prebuilt.claim(cd[0].id, cd[1].id) {
 					continue
 				}
-				builds[j] = e.buildPair(e.nodes[wave[j]])
+				if claimed.Add(1) > maxClaims {
+					// The pair space exceeds the budget: expand will raise
+					// ErrBudget at exactly the sequential point, so further
+					// discovery is wasted work.
+					pool.Stop()
+					return
+				}
+				batch = append(batch, pairItem{cd[0], cd[1]})
 			}
-		}()
-	}
-	wg.Wait()
-	// ID-ordered merge: the first error (in wave order) wins, matching
-	// the sequential run.
-	for j, i := range wave {
-		if builds[j].err != nil {
-			return builds[j].err
 		}
-		if err := e.merge(i, builds[j]); err != nil {
-			return err
+		pool.Push(w, batch...)
+	})
+	seeds := make([]pairItem, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		if e.prebuilt.claim(n.p.id, n.q.id) {
+			claimed.Add(1)
+			seeds = append(seeds, pairItem{n.p, n.q})
 		}
 	}
-	return nil
+	pool.Run(seeds)
+	for _, a := range arenas {
+		a.flush()
+	}
+	st := pool.Stats()
+	e.tr.Counter("equiv.steals").Add(st.Steals)
+	e.tr.Counter("equiv.prebuilt_pairs").Add(e.prebuilt.puts.Load())
 }
 
 // buildPair computes the static checks and matching obligations of one pair,
-// touching only the shared store (safe to call from worker goroutines).
-func (e *engine) buildPair(n *pairNode) *built {
+// touching only the shared store through it (safe to call from discovery
+// workers, each with its own arena interner).
+func (e *engine) buildPair(p, q *termInfo, it interner) *built {
 	b := &built{}
 	var err error
 	switch e.sp.kind {
 	case relBarbed:
-		err = e.buildBarbed(n, b)
+		err = e.buildBarbed(p, q, it, b)
 	case relStep:
-		err = e.buildStep(n, b)
+		err = e.buildStep(p, q, it, b)
 	default:
-		err = e.buildLabelled(n, b)
+		err = e.buildLabelled(p, q, it, b)
 	}
 	b.err = err
 	return b
 }
 
 // merge installs one built pair: statically bad pairs keep their reason,
-// obligation candidates are interned to node indices (scheduling fresh pairs
-// onto the next frontier).
-func (e *engine) merge(i int, b *built) error {
-	n := e.nodes[i]
+// obligation candidates are interned to node indices (appending fresh pairs
+// to the node list, where the expand loop will reach them in order).
+func (e *engine) merge(n *pairNode, b *built) error {
 	if b.bad {
 		n.bad, n.staticBad, n.reason = true, true, b.reason
 		n.failSide, n.failBarb = b.failSide, b.failBarb
 		return nil
 	}
 	for _, ob := range b.obs {
-		o := obligation{desc: ob.desc, mv: ob.mv, candidates: make([]int, 0, len(ob.cands))}
+		o := obligation{mv: ob.mv, candidates: make([]int, 0, len(ob.cands))}
 		for _, cd := range ob.cands {
 			ci, err := e.node(cd[0], cd[1])
 			if err != nil {
@@ -297,8 +410,7 @@ func (e *engine) merge(i int, b *built) error {
 	return nil
 }
 
-// node interns the ordered pair (p,q) by store IDs, scheduling obligation
-// construction for new pairs.
+// node interns the ordered pair (p,q) by store IDs.
 func (e *engine) node(p, q *termInfo) (int, error) {
 	k := [2]uint64{p.id, q.id}
 	if i, ok := e.index[k]; ok {
@@ -310,7 +422,6 @@ func (e *engine) node(p, q *termInfo) (int, error) {
 	i := len(e.nodes)
 	e.nodes = append(e.nodes, &pairNode{p: p, q: q})
 	e.index[k] = i
-	e.frontier = append(e.frontier, i)
 	e.cPairs.Add(1)
 	return i, nil
 }
@@ -335,7 +446,6 @@ func (e *engine) fixpoint() {
 			if len(ob.candidates) == 0 {
 				if !n.bad {
 					n.bad = true
-					n.reason = ob.desc
 					work = append(work, i)
 				}
 				continue
@@ -358,7 +468,6 @@ func (e *engine) fixpoint() {
 			alive[d.node][d.ob]--
 			if alive[d.node][d.ob] == 0 {
 				dn.bad = true
-				dn.reason = dn.obs[d.ob].desc
 				work = append(work, int(d.node))
 			}
 		}
@@ -379,7 +488,7 @@ func (e *engine) failReason(n *pairNode) string {
 			}
 		}
 		if !ok {
-			return ob.desc
+			return ob.mv.describe()
 		}
 	}
 	return n.reason
@@ -387,9 +496,9 @@ func (e *engine) failReason(n *pairNode) string {
 
 // ---- barbed bisimulation (Definition 3) -----------------------------------
 
-func (e *engine) buildBarbed(n *pairNode, b *built) error {
+func (e *engine) buildBarbed(p, q *termInfo, it interner, b *built) error {
 	// Barb conditions.
-	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
+	pb, qb := strongBarbs(p), strongBarbs(q)
 	if !e.sp.weak {
 		if !pb.Equal(qb) {
 			side, a := barbWitness(pb, qb)
@@ -398,7 +507,7 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 		}
 	} else {
 		for _, a := range pb.Sorted() {
-			ok, err := e.c.weakBarb(n.q, a)
+			ok, err := e.c.weakBarbIn(it, q, a)
 			if err != nil {
 				return err
 			}
@@ -408,7 +517,7 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 			}
 		}
 		for _, a := range qb.Sorted() {
-			ok, err := e.c.weakBarb(n.p, a)
+			ok, err := e.c.weakBarbIn(it, p, a)
 			if err != nil {
 				return err
 			}
@@ -419,19 +528,19 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 		}
 	}
 	// τ moves.
-	pt, err := e.c.tauSucc(n.p)
+	pt, err := e.c.tauSuccIn(it, p)
 	if err != nil {
 		return err
 	}
-	qt, err := e.c.tauSucc(n.q)
+	qt, err := e.c.tauSuccIn(it, q)
 	if err != nil {
 		return err
 	}
-	qMatch, err := e.weakOrStrongTauTargets(n.q, qt)
+	qMatch, err := e.weakOrStrongTauTargets(it, q, qt)
 	if err != nil {
 		return err
 	}
-	pMatch, err := e.weakOrStrongTauTargets(n.p, pt)
+	pMatch, err := e.weakOrStrongTauTargets(it, p, pt)
 	if err != nil {
 		return err
 	}
@@ -440,16 +549,14 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 		for _, qs := range qMatch {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add(fmt.Sprintf("tau move of left to %s unmatched", stringOf(ps)),
-			obMove{side: "left", kind: "tau", mover: ps}, cands)
+		b.add(obMove{side: "left", kind: "tau", mover: ps}, cands)
 	}
 	for _, qs := range qt {
 		var cands [][2]*termInfo
 		for _, ps := range pMatch {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add(fmt.Sprintf("tau move of right to %s unmatched", stringOf(qs)),
-			obMove{side: "right", kind: "tau", mover: qs}, cands)
+		b.add(obMove{side: "right", kind: "tau", mover: qs}, cands)
 	}
 	return nil
 }
@@ -457,18 +564,18 @@ func (e *engine) buildBarbed(n *pairNode, b *built) error {
 // weakOrStrongTauTargets returns the states that may answer a τ move: the
 // strong τ successors, or the full τ* closure (including staying put) in the
 // weak case.
-func (e *engine) weakOrStrongTauTargets(ti *termInfo, strong []*termInfo) ([]*termInfo, error) {
+func (e *engine) weakOrStrongTauTargets(it interner, ti *termInfo, strong []*termInfo) ([]*termInfo, error) {
 	if !e.sp.weak {
 		return strong, nil
 	}
-	return e.c.tauClosure(ti)
+	return e.c.tauClosureIn(it, ti)
 }
 
 // ---- step bisimulation (Definition 5) --------------------------------------
 
-func (e *engine) buildStep(n *pairNode, b *built) error {
+func (e *engine) buildStep(p, q *termInfo, it interner, b *built) error {
 	// ↓φ barbs: subjects of output transitions.
-	pb, qb := strongBarbs(n.p), strongBarbs(n.q)
+	pb, qb := strongBarbs(p), strongBarbs(q)
 	if !e.sp.weak {
 		if !pb.Equal(qb) {
 			side, a := barbWitness(pb, qb)
@@ -477,7 +584,7 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 		}
 	} else {
 		for _, a := range pb.Sorted() {
-			ok, err := e.weakStepBarb(n.q, a)
+			ok, err := e.weakStepBarb(it, q, a)
 			if err != nil {
 				return err
 			}
@@ -487,7 +594,7 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 			}
 		}
 		for _, a := range qb.Sorted() {
-			ok, err := e.weakStepBarb(n.p, a)
+			ok, err := e.weakStepBarb(it, p, a)
 			if err != nil {
 				return err
 			}
@@ -498,20 +605,20 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 		}
 	}
 	// Autonomous moves, label-blind.
-	pa, err := e.c.autonomousSucc(n.p)
+	pa, err := e.c.autonomousSuccIn(it, p)
 	if err != nil {
 		return err
 	}
-	qa, err := e.c.autonomousSucc(n.q)
+	qa, err := e.c.autonomousSuccIn(it, q)
 	if err != nil {
 		return err
 	}
 	qTargets, pTargets := qa, pa
 	if e.sp.weak {
-		if qTargets, err = e.c.autonomousClosure(n.q); err != nil {
+		if qTargets, err = e.c.autonomousClosureIn(it, q); err != nil {
 			return err
 		}
-		if pTargets, err = e.c.autonomousClosure(n.p); err != nil {
+		if pTargets, err = e.c.autonomousClosureIn(it, p); err != nil {
 			return err
 		}
 	}
@@ -520,23 +627,21 @@ func (e *engine) buildStep(n *pairNode, b *built) error {
 		for _, qs := range qTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add(fmt.Sprintf("autonomous step of left to %s unmatched", stringOf(ps)),
-			obMove{side: "left", kind: "step", mover: ps}, cands)
+		b.add(obMove{side: "left", kind: "step", mover: ps}, cands)
 	}
 	for _, qs := range qa {
 		var cands [][2]*termInfo
 		for _, ps := range pTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add(fmt.Sprintf("autonomous step of right to %s unmatched", stringOf(qs)),
-			obMove{side: "right", kind: "step", mover: qs}, cands)
+		b.add(obMove{side: "right", kind: "step", mover: qs}, cands)
 	}
 	return nil
 }
 
 // weakStepBarb reports that some (τ ∪ output)*-derivative strongly barbs on a.
-func (e *engine) weakStepBarb(ti *termInfo, a names.Name) (bool, error) {
-	cl, err := e.c.autonomousClosure(ti)
+func (e *engine) weakStepBarb(it interner, ti *termInfo, a names.Name) (bool, error) {
+	cl, err := e.c.autonomousClosureIn(it, ti)
 	if err != nil {
 		return false, err
 	}

@@ -1,7 +1,6 @@
 package equiv
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -19,23 +18,23 @@ func stringOf(ti *termInfo) string { return syntax.String(ti.proc) }
 //  3. receptions-or-discards a(c̃)? matched by receptions-or-discards,
 //     for every channel either side listens on and every payload tuple over
 //     the pair universe.
-func (e *engine) buildLabelled(n *pairNode, b *built) error {
-	avoid := freeUnion(n.p, n.q)
+func (e *engine) buildLabelled(p, q *termInfo, it interner, b *built) error {
+	avoid := freeUnion(p, q)
 
 	// Clause 1: τ.
-	pt, err := e.c.tauSucc(n.p)
+	pt, err := e.c.tauSuccIn(it, p)
 	if err != nil {
 		return err
 	}
-	qt, err := e.c.tauSucc(n.q)
+	qt, err := e.c.tauSuccIn(it, q)
 	if err != nil {
 		return err
 	}
-	qTauTargets, err := e.weakOrStrongTauTargets(n.q, qt)
+	qTauTargets, err := e.weakOrStrongTauTargets(it, q, qt)
 	if err != nil {
 		return err
 	}
-	pTauTargets, err := e.weakOrStrongTauTargets(n.p, pt)
+	pTauTargets, err := e.weakOrStrongTauTargets(it, p, pt)
 	if err != nil {
 		return err
 	}
@@ -44,49 +43,47 @@ func (e *engine) buildLabelled(n *pairNode, b *built) error {
 		for _, qs := range qTauTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add(fmt.Sprintf("tau move of left to %s unmatched", stringOf(ps)),
-			obMove{side: "left", kind: "tau", mover: ps}, cands)
+		b.add(obMove{side: "left", kind: "tau", mover: ps}, cands)
 	}
 	for _, qs := range qt {
 		var cands [][2]*termInfo
 		for _, ps := range pTauTargets {
 			cands = append(cands, [2]*termInfo{ps, qs})
 		}
-		b.add(fmt.Sprintf("tau move of right to %s unmatched", stringOf(qs)),
-			obMove{side: "right", kind: "tau", mover: qs}, cands)
+		b.add(obMove{side: "right", kind: "tau", mover: qs}, cands)
 	}
 
 	// Clause 2: outputs on identical canonical labels.
-	if err := e.outputObligations(n, b, avoid, true); err != nil {
+	if err := e.outputObligations(p, q, it, b, avoid, true); err != nil {
 		return err
 	}
-	if err := e.outputObligations(n, b, avoid, false); err != nil {
+	if err := e.outputObligations(p, q, it, b, avoid, false); err != nil {
 		return err
 	}
 
 	// Clause 3: receptions-or-discards.
-	return e.reactionObligations(n, b)
+	return e.reactionObligations(p, q, it, b)
 }
 
 // outputObligations adds, for every output move of the `left` (or right)
 // component, the candidates derived from matching outputs of the other side.
-func (e *engine) outputObligations(n *pairNode, b *built, avoid names.Set, leftMoves bool) error {
-	mover, other := n.p, n.q
+func (e *engine) outputObligations(p, q *termInfo, it interner, b *built, avoid names.Set, leftMoves bool) error {
+	mover, other := p, q
 	if !leftMoves {
-		mover, other = n.q, n.p
+		mover, other = q, p
 	}
 	mouts := outputsCanon(mover, avoid)
 	// Pre-compute the other side's (possibly weak) answers per label.
 	answers := map[string][]*termInfo{}
 	collect := func(src *termInfo) error {
 		for _, ot := range outputsCanon(src, avoid) {
-			tgt, err := e.c.intern(ot.Target)
+			tgt, err := it.intern(ot.Target)
 			if err != nil {
 				return err
 			}
 			finals := []*termInfo{tgt}
 			if e.sp.weak {
-				if finals, err = e.c.tauClosure(tgt); err != nil {
+				if finals, err = e.c.tauClosureIn(it, tgt); err != nil {
 					return err
 				}
 			}
@@ -95,7 +92,7 @@ func (e *engine) outputObligations(n *pairNode, b *built, avoid names.Set, leftM
 		return nil
 	}
 	if e.sp.weak {
-		cl, err := e.c.tauClosure(other)
+		cl, err := e.c.tauClosureIn(it, other)
 		if err != nil {
 			return err
 		}
@@ -114,7 +111,7 @@ func (e *engine) outputObligations(n *pairNode, b *built, avoid names.Set, leftM
 		side = "right"
 	}
 	for _, mt := range mouts {
-		mtgt, err := e.c.intern(mt.Target)
+		mtgt, err := it.intern(mt.Target)
 		if err != nil {
 			return err
 		}
@@ -126,8 +123,7 @@ func (e *engine) outputObligations(n *pairNode, b *built, avoid names.Set, leftM
 				cands = append(cands, [2]*termInfo{ans, mtgt})
 			}
 		}
-		b.add(fmt.Sprintf("output %s of %s from %s unmatched", mt.Act, side, stringOf(mtgt)),
-			obMove{side: side, kind: "out", label: mt.Act.String(), mover: mtgt}, cands)
+		b.add(obMove{side: side, kind: "out", label: mt.Act.String(), mover: mtgt}, cands)
 	}
 	return nil
 }
@@ -136,9 +132,9 @@ func (e *engine) outputObligations(n *pairNode, b *built, avoid names.Set, leftM
 // which either side listens, and every payload c̃ over the pair universe,
 // every reaction (reception or discard) of one side must be matched by a
 // reaction of the other.
-func (e *engine) reactionObligations(n *pairNode, b *built) error {
-	shapes := inputShapes(n.p)
-	for s := range inputShapes(n.q) {
+func (e *engine) reactionObligations(p, q *termInfo, it interner, b *built) error {
+	shapes := inputShapes(p)
+	for s := range inputShapes(q) {
 		shapes[s] = true
 	}
 	ordered := make([]shape, 0, len(shapes))
@@ -147,41 +143,38 @@ func (e *engine) reactionObligations(n *pairNode, b *built) error {
 	}
 	sortShapes(ordered)
 	for _, s := range ordered {
-		u := pairUniverse(n.p, n.q, s.arity)
+		u := pairUniverse(p, q, s.arity)
 		for _, payload := range tuples(u, s.arity) {
-			pr, err := e.reactTargets(n.p, s.ch, payload)
+			pr, err := e.reactTargets(it, p, s.ch, payload)
 			if err != nil {
 				return err
 			}
-			qr, err := e.reactTargets(n.q, s.ch, payload)
+			qr, err := e.reactTargets(it, q, s.ch, payload)
 			if err != nil {
 				return err
 			}
 			// Strong one-step reactions (the moves to be matched).
-			pm, err := e.c.reactions(n.p, s.ch, payload)
+			pm, err := e.c.reactionsIn(it, p, s.ch, payload)
 			if err != nil {
 				return err
 			}
-			qm, err := e.c.reactions(n.q, s.ch, payload)
+			qm, err := e.c.reactionsIn(it, q, s.ch, payload)
 			if err != nil {
 				return err
 			}
-			lab := fmt.Sprintf("%s?(%s)", s.ch, joinNames(payload))
 			for _, r := range pm {
 				var cands [][2]*termInfo
 				for _, t := range qr {
 					cands = append(cands, [2]*termInfo{r, t})
 				}
-				b.add(fmt.Sprintf("reaction %s of left to %s unmatched", lab, stringOf(r)),
-					obMove{side: "left", kind: "react", ch: s.ch, payload: payload, mover: r}, cands)
+				b.add(obMove{side: "left", kind: "react", ch: s.ch, payload: payload, mover: r}, cands)
 			}
 			for _, r := range qm {
 				var cands [][2]*termInfo
 				for _, t := range pr {
 					cands = append(cands, [2]*termInfo{t, r})
 				}
-				b.add(fmt.Sprintf("reaction %s of right to %s unmatched", lab, stringOf(r)),
-					obMove{side: "right", kind: "react", ch: s.ch, payload: payload, mover: r}, cands)
+				b.add(obMove{side: "right", kind: "react", ch: s.ch, payload: payload, mover: r}, cands)
 			}
 		}
 	}
@@ -190,22 +183,22 @@ func (e *engine) reactionObligations(n *pairNode, b *built) error {
 
 // reactTargets returns the states that may answer a reaction move: strong
 // reactions, or weak ones (=ε=> · a(c̃)? · =ε=>) in the weak case.
-func (e *engine) reactTargets(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+func (e *engine) reactTargets(it interner, ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
 	if !e.sp.weak {
-		return e.c.reactions(ti, ch, payload)
+		return e.c.reactionsIn(it, ti, ch, payload)
 	}
-	pre, err := e.c.tauClosure(ti)
+	pre, err := e.c.tauClosureIn(it, ti)
 	if err != nil {
 		return nil, err
 	}
 	seen := map[uint64]*termInfo{}
 	for _, s := range pre {
-		rs, err := e.c.reactions(s, ch, payload)
+		rs, err := e.c.reactionsIn(it, s, ch, payload)
 		if err != nil {
 			return nil, err
 		}
 		for _, r := range rs {
-			post, err := e.c.tauClosure(r)
+			post, err := e.c.tauClosureIn(it, r)
 			if err != nil {
 				return nil, err
 			}

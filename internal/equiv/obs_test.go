@@ -21,9 +21,9 @@ func TestDisabledObsZeroAlloc(t *testing.T) {
 		run := tr.Span("equiv.run")
 		cPairs := tr.Counter("equiv.pairs_expanded")
 		ex := run.Child("equiv.explore")
-		ws := ex.Child("equiv.wave")
+		xp := ex.Child("equiv.expand")
 		cPairs.Add(1)
-		ws.End()
+		xp.End()
 		ex.End()
 		tr.Count("equiv.verdict_misses", 1)
 		fix := run.Child("equiv.fixpoint")
@@ -38,8 +38,8 @@ func TestDisabledObsZeroAlloc(t *testing.T) {
 // TestSpanTreeGolden pins the span tree of the paper's hello-world query —
 // a!.0 | a?(x).0 against its commutation — against a golden file. The
 // engine explores deterministically (sequential, fresh store), so the span
-// skeleton is stable: one run containing the explore phase (one child per
-// BFS wave) and the fixpoint sweep.
+// skeleton is stable: one run containing the explore phase (the in-order
+// expand pass; no prebuild child when Workers ≤ 1) and the fixpoint sweep.
 func TestSpanTreeGolden(t *testing.T) {
 	p, err := parser.Parse("a!.0 | a?(x).0")
 	if err != nil {

@@ -157,12 +157,86 @@ func shardOf(key string) uint32 {
 	return h % storeShards
 }
 
+// interner resolves terms to their canonical termInfo. The Store itself is
+// the plain implementation (every call takes a shard lock); the per-worker
+// arena (arena.go) is the batching one the work-stealing engine hands its
+// workers. Derivation code is parameterised on this interface so the same
+// memoisation logic serves both paths.
+type interner interface {
+	intern(p syntax.Proc) (*termInfo, error)
+	// internMany resolves a batch at once (the bulk path: canonicalise all,
+	// then visit each store shard at most once). The result is positional.
+	internMany(ps []syntax.Proc) ([]*termInfo, error)
+}
+
 // intern canonicalises p and returns its unique termInfo, computing the
 // transitions singleflight. Concurrent interns of the same term return the
 // same pointer.
 func (s *Store) intern(p syntax.Proc) (*termInfo, error) {
 	p = syntax.Simplify(p)
-	k := syntax.Key(p)
+	ti, fresh := s.resolve(syntax.Key(p), p)
+	if fresh {
+		s.internMisses.Add(1)
+		s.obsInternMisses.Add(1)
+	} else {
+		s.internHits.Add(1)
+		s.obsInternHits.Add(1)
+	}
+	return s.ready(ti)
+}
+
+// internMany is the Store's bulk intern: one shard visit per distinct shard
+// in the batch, transitions computed outside any lock.
+func (s *Store) internMany(ps []syntax.Proc) ([]*termInfo, error) {
+	keys := make([]string, len(ps))
+	simplified := make([]syntax.Proc, len(ps))
+	for i, p := range ps {
+		simplified[i] = syntax.Simplify(p)
+		keys[i] = syntax.Key(simplified[i])
+	}
+	out, fresh := s.resolveBatch(keys, simplified)
+	s.addInternCounts(uint64(len(ps))-fresh, fresh)
+	for _, ti := range out {
+		if _, err := s.ready(ti); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// resolveBatch looks up (or creates) a batch of already-simplified terms,
+// grouping indices by shard so each shard lock is taken at most once per
+// batch. It returns the positional termInfos and the number freshly created;
+// counters are NOT updated and transitions NOT computed — callers account
+// and ready() themselves (the arena batches the former across many calls).
+func (s *Store) resolveBatch(keys []string, simplified []syntax.Proc) ([]*termInfo, uint64) {
+	out := make([]*termInfo, len(keys))
+	var fresh uint64
+	bySh := map[uint32][]int{}
+	for i, k := range keys {
+		h := shardOf(k)
+		bySh[h] = append(bySh[h], i)
+	}
+	for h, idxs := range bySh {
+		sh := &s.shards[h]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			ti, ok := sh.terms[keys[i]]
+			if !ok {
+				ti = &termInfo{id: s.nextID.Add(1), proc: simplified[i], key: keys[i], free: syntax.FreeNames(simplified[i])}
+				sh.terms[keys[i]] = ti
+				fresh++
+			}
+			out[i] = ti
+		}
+		sh.mu.Unlock()
+	}
+	return out, fresh
+}
+
+// resolve looks up (or creates) the termInfo of an already-simplified term
+// under its shard lock. It does NOT compute transitions — call ready.
+func (s *Store) resolve(k string, p syntax.Proc) (ti *termInfo, fresh bool) {
 	sh := &s.shards[shardOf(k)]
 	sh.mu.Lock()
 	ti, ok := sh.terms[k]
@@ -171,13 +245,12 @@ func (s *Store) intern(p syntax.Proc) (*termInfo, error) {
 		sh.terms[k] = ti
 	}
 	sh.mu.Unlock()
-	if ok {
-		s.internHits.Add(1)
-		s.obsInternHits.Add(1)
-	} else {
-		s.internMisses.Add(1)
-		s.obsInternMisses.Add(1)
-	}
+	return ti, !ok
+}
+
+// ready computes ti's transitions singleflight (outside all shard locks) and
+// surfaces any derivation error.
+func (s *Store) ready(ti *termInfo) (*termInfo, error) {
 	ti.transOnce.Do(func() {
 		ti.trans, ti.transErr = s.sys.Steps(ti.proc)
 	})
@@ -185,6 +258,20 @@ func (s *Store) intern(p syntax.Proc) (*termInfo, error) {
 		return nil, ti.transErr
 	}
 	return ti, nil
+}
+
+// addInternCounts records a batch of intern hit/miss counts in two atomic
+// adds per class instead of two per call — the bulk-flush half of the
+// arena protocol.
+func (s *Store) addInternCounts(hits, misses uint64) {
+	if hits > 0 {
+		s.internHits.Add(hits)
+		s.obsInternHits.Add(int64(hits))
+	}
+	if misses > 0 {
+		s.internMisses.Add(misses)
+		s.obsInternMisses.Add(int64(misses))
+	}
 }
 
 // discardsOn reports whether the term ignores channel a (memoised).
@@ -213,7 +300,11 @@ func (s *Store) discardsOn(ti *termInfo, a names.Name) (bool, error) {
 }
 
 // tauSucc returns the interned τ-successors of ti (memoised; shared slice).
-func (s *Store) tauSucc(ti *termInfo) ([]*termInfo, error) {
+func (s *Store) tauSucc(ti *termInfo) ([]*termInfo, error) { return s.tauSuccIn(s, ti) }
+
+// tauSuccIn is tauSucc with interning routed through it (the store itself,
+// or a worker arena). Successor targets are resolved as one batch.
+func (s *Store) tauSuccIn(it interner, ti *termInfo) ([]*termInfo, error) {
 	ti.mu.Lock()
 	if ti.tauSuccsOK {
 		out := ti.tauSuccs
@@ -225,15 +316,18 @@ func (s *Store) tauSucc(ti *termInfo) ([]*termInfo, error) {
 	ti.mu.Unlock()
 	s.derivMisses.Add(1)
 	s.obsDerivMisses.Add(1)
-	out := []*termInfo{}
+	var targets []syntax.Proc
 	for _, t := range ti.trans {
 		if t.Act.IsTau() {
-			succ, err := s.intern(t.Target)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, succ)
+			targets = append(targets, t.Target)
 		}
+	}
+	out, err := it.internMany(targets)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = []*termInfo{}
 	}
 	ti.mu.Lock()
 	ti.tauSuccs, ti.tauSuccsOK = out, true
@@ -244,6 +338,11 @@ func (s *Store) tauSucc(ti *termInfo) ([]*termInfo, error) {
 // autonomousSucc returns the τ- and output-successors of ti, outputs with
 // extruded names canonicalised deterministically (memoised; shared slice).
 func (s *Store) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
+	return s.autonomousSuccIn(s, ti)
+}
+
+// autonomousSuccIn is autonomousSucc via an explicit interner (batched).
+func (s *Store) autonomousSuccIn(it interner, ti *termInfo) ([]*termInfo, error) {
 	ti.mu.Lock()
 	if ti.autoSuccsOK {
 		out := ti.autoSuccs
@@ -255,7 +354,7 @@ func (s *Store) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
 	ti.mu.Unlock()
 	s.derivMisses.Add(1)
 	s.obsDerivMisses.Add(1)
-	out := []*termInfo{}
+	var targets []syntax.Proc
 	for _, t := range ti.trans {
 		if !t.Act.IsStep() {
 			continue
@@ -264,11 +363,14 @@ func (s *Store) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
 		if t.Act.IsOutput() && len(t.Act.Bound) > 0 {
 			_, tgt = semantics.CanonTrans(t.Act, t.Target)
 		}
-		succ, err := s.intern(tgt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, succ)
+		targets = append(targets, tgt)
+	}
+	out, err := it.internMany(targets)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = []*termInfo{}
 	}
 	ti.mu.Lock()
 	ti.autoSuccs, ti.autoSuccsOK = out, true
@@ -279,6 +381,10 @@ func (s *Store) autonomousSucc(ti *termInfo) ([]*termInfo, error) {
 // tauClosure returns every term reachable from ti by τ* (including ti),
 // sorted by canonical key. Memoised; the returned slice is shared.
 func (s *Store) tauClosure(ti *termInfo, budget int) ([]*termInfo, error) {
+	return s.tauClosureIn(s, ti, budget)
+}
+
+func (s *Store) tauClosureIn(it interner, ti *termInfo, budget int) ([]*termInfo, error) {
 	ti.mu.Lock()
 	cl := ti.tauClosure
 	ti.mu.Unlock()
@@ -289,7 +395,9 @@ func (s *Store) tauClosure(ti *termInfo, budget int) ([]*termInfo, error) {
 	}
 	s.derivMisses.Add(1)
 	s.obsDerivMisses.Add(1)
-	cl, err := s.closure(ti, budget, s.tauSucc, "tau closure")
+	cl, err := s.closure(ti, budget, func(t *termInfo) ([]*termInfo, error) {
+		return s.tauSuccIn(it, t)
+	}, "tau closure")
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +410,10 @@ func (s *Store) tauClosure(ti *termInfo, budget int) ([]*termInfo, error) {
 // autonomousClosure returns the states reachable by (τ ∪ output)*, including
 // ti, sorted by canonical key. Memoised; the returned slice is shared.
 func (s *Store) autonomousClosure(ti *termInfo, budget int) ([]*termInfo, error) {
+	return s.autonomousClosureIn(s, ti, budget)
+}
+
+func (s *Store) autonomousClosureIn(it interner, ti *termInfo, budget int) ([]*termInfo, error) {
 	ti.mu.Lock()
 	cl := ti.autoClosure
 	ti.mu.Unlock()
@@ -312,7 +424,9 @@ func (s *Store) autonomousClosure(ti *termInfo, budget int) ([]*termInfo, error)
 	}
 	s.derivMisses.Add(1)
 	s.obsDerivMisses.Add(1)
-	cl, err := s.closure(ti, budget, s.autonomousSucc, "autonomous closure")
+	cl, err := s.closure(ti, budget, func(t *termInfo) ([]*termInfo, error) {
+		return s.autonomousSuccIn(it, t)
+	}, "autonomous closure")
 	if err != nil {
 		return nil, err
 	}
@@ -357,17 +471,23 @@ func (s *Store) closure(ti *termInfo, budget int, succ func(*termInfo) ([]*termI
 // instantiated with c̃, plus ti itself when it discards a. An empty result
 // means ti can neither receive nor ignore the message (ill-sorted usage).
 func (s *Store) reactions(ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
-	var out []*termInfo
+	return s.reactionsIn(s, ti, ch, payload)
+}
+
+// reactionsIn is reactions via an explicit interner (batched; not memoised —
+// the payload tuple varies per call).
+func (s *Store) reactionsIn(it interner, ti *termInfo, ch names.Name, payload []names.Name) ([]*termInfo, error) {
+	var targets []syntax.Proc
 	for _, t := range ti.trans {
 		if !t.Act.IsInput() || t.Act.Subj != ch || len(t.Act.Objs) != len(payload) {
 			continue
 		}
 		_, tgt := semantics.Instantiate(t, payload)
-		succ, err := s.intern(tgt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, succ)
+		targets = append(targets, tgt)
+	}
+	out, err := it.internMany(targets)
+	if err != nil {
+		return nil, err
 	}
 	d, err := s.discardsOn(ti, ch)
 	if err != nil {

@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bpi/internal/actions"
 	"bpi/internal/names"
 	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
+	"bpi/internal/ws"
 )
 
 // Edge is a ground transition to the state with index Dst. Lab is the
@@ -70,8 +72,9 @@ type Options struct {
 	// DisableSimplify turns off ~c-sound interning via syntax.Simplify
 	// (enabled by default; disable for debugging only — verdicts agree).
 	DisableSimplify bool
-	// Workers sets the number of concurrent exploration workers
-	// (default 1; >1 uses a parallel frontier).
+	// Workers sets the number of concurrent exploration workers (default 1;
+	// >1 adds a work-stealing discovery pass ahead of the deterministic
+	// interning replay — the graph is identical at every worker count).
 	Workers int
 	// AutonomousOnly restricts the graph to autonomous moves (τ and
 	// outputs), skipping input instantiation entirely. Barbed and step
@@ -79,7 +82,8 @@ type Options struct {
 	// transitions.
 	AutonomousOnly bool
 	// Obs, when non-nil, receives an lts.explore span and the counters
-	// lts.states, lts.edges and (parallel exploration) lts.waves.
+	// lts.states, lts.edges and (parallel exploration) lts.steals,
+	// lts.prebuilt_states.
 	Obs *obs.Tracer
 }
 
@@ -124,11 +128,7 @@ func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, e
 	}
 	g.Universe = base.Sorted()
 
-	intern := func(p syntax.Proc) (int, bool) {
-		if !opt.DisableSimplify {
-			p = syntax.Simplify(p)
-		}
-		k := syntax.Key(p)
+	internKeyed := func(p syntax.Proc, k string) (int, bool) {
 		if i, ok := g.index[k]; ok {
 			return i, false
 		}
@@ -137,6 +137,12 @@ func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, e
 		g.Edges = append(g.Edges, nil)
 		g.index[k] = i
 		return i, true
+	}
+	intern := func(p syntax.Proc) (int, bool) {
+		if !opt.DisableSimplify {
+			p = syntax.Simplify(p)
+		}
+		return internKeyed(p, syntax.Key(p))
 	}
 
 	var frontier []int
@@ -148,15 +154,16 @@ func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, e
 		}
 	}
 
-	workers := opt.Workers
-	var err error
-	if workers <= 1 {
-		err = exploreSequential(sys, g, frontier, opt, intern)
-	} else {
-		err = exploreParallel(sys, g, frontier, opt, workers)
+	// With workers > 1, a work-stealing discovery pass precomputes ground
+	// successor lists per state key; the replay below is the sequential
+	// algorithm either way, so the graph — state order, edges, truncation
+	// point — is identical at every worker count.
+	var pre *stateCache
+	if opt.Workers > 1 && len(frontier) > 0 {
+		pre = discover(sys, g, frontier, opt)
 	}
-	// End-of-run totals: zero engine overhead, and identical between the
-	// sequential and parallel explorers (same interning order).
+	err := exploreSequential(sys, g, frontier, opt, internKeyed, pre)
+	// End-of-run totals: zero engine overhead, worker-count independent.
 	opt.Obs.Count("lts.states", int64(g.NumStates()))
 	opt.Obs.Count("lts.edges", int64(g.NumEdges()))
 	return g, err
@@ -222,88 +229,171 @@ func forEachTuple(u []names.Name, k int, f func([]names.Name)) {
 	}
 }
 
+// stateBuilt is one state's discovered successor data: its ground
+// transitions plus the pre-simplified target of each and its canonical key,
+// so the replay pass never recomputes Simplify/Key for prebuilt states.
+type stateBuilt struct {
+	ts    []semantics.Trans
+	procs []syntax.Proc
+	keys  []string
+	err   error
+}
+
+// stateCache hands discovery results to the replay pass, keyed by state key
+// and sharded so discovery workers rarely contend. claim doubles as the
+// discovery-side dedup (nil placeholder until the build is put).
+type stateCache struct {
+	shards [64]struct {
+		mu sync.Mutex
+		m  map[string]*stateBuilt
+	}
+}
+
+func newStateCache() *stateCache {
+	sc := &stateCache{}
+	for i := range sc.shards {
+		sc.shards[i].m = make(map[string]*stateBuilt)
+	}
+	return sc
+}
+
+func (sc *stateCache) shardOf(k string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return int(h % 64)
+}
+
+func (sc *stateCache) claim(k string) bool {
+	sh := &sc.shards[sc.shardOf(k)]
+	sh.mu.Lock()
+	_, seen := sh.m[k]
+	if !seen {
+		sh.m[k] = nil
+	}
+	sh.mu.Unlock()
+	return !seen
+}
+
+func (sc *stateCache) put(k string, b *stateBuilt) {
+	sh := &sc.shards[sc.shardOf(k)]
+	sh.mu.Lock()
+	sh.m[k] = b
+	sh.mu.Unlock()
+}
+
+func (sc *stateCache) take(k string) *stateBuilt {
+	if sc == nil {
+		return nil
+	}
+	sh := &sc.shards[sc.shardOf(k)]
+	sh.mu.Lock()
+	b := sh.m[k]
+	sh.mu.Unlock()
+	return b
+}
+
+// buildState computes one state's stateBuilt (pure w.r.t. the graph).
+func buildState(sys *semantics.System, p syntax.Proc, g *Graph, opt Options) *stateBuilt {
+	b := &stateBuilt{}
+	b.ts, b.err = groundEdges(sys, p, g.Universe, opt.AutonomousOnly)
+	if b.err != nil {
+		return b
+	}
+	b.procs = make([]syntax.Proc, len(b.ts))
+	b.keys = make([]string, len(b.ts))
+	for i, t := range b.ts {
+		tp := t.Target
+		if !opt.DisableSimplify {
+			tp = syntax.Simplify(tp)
+		}
+		b.procs[i] = tp
+		b.keys[i] = syntax.Key(tp)
+	}
+	return b
+}
+
+// discover is the work-stealing discovery pass: persistent workers race over
+// the reachable state space, caching each state's ground successors. Purely
+// an accelerator for the replay — it may stop early (first error, state
+// budget) or miss states without affecting the resulting graph.
+func discover(sys *semantics.System, g *Graph, frontier []int, opt Options) *stateCache {
+	type item struct {
+		proc syntax.Proc
+		key  string
+	}
+	cache := newStateCache()
+	maxClaims := int64(opt.maxStates())
+	var claimed atomic.Int64
+	var pool *ws.Pool[item]
+	pool = ws.NewPool(opt.Workers, func(w int, it item) {
+		b := buildState(sys, it.proc, g, opt)
+		cache.put(it.key, b)
+		if b.err != nil {
+			// Replay will rediscover the error at the deterministic point;
+			// further discovery is wasted work.
+			pool.Stop()
+			return
+		}
+		var batch []item
+		for i, k := range b.keys {
+			if !cache.claim(k) {
+				continue
+			}
+			if claimed.Add(1) > maxClaims {
+				pool.Stop()
+				return
+			}
+			batch = append(batch, item{b.procs[i], k})
+		}
+		pool.Push(w, batch...)
+	})
+	seeds := make([]item, 0, len(frontier))
+	for _, i := range frontier {
+		st := g.States[i]
+		if cache.claim(st.Key) {
+			claimed.Add(1)
+			seeds = append(seeds, item{st.Proc, st.Key})
+		}
+	}
+	pool.Run(seeds)
+	st := pool.Stats()
+	opt.Obs.Count("lts.steals", st.Steals)
+	opt.Obs.Count("lts.prebuilt_states", st.Processed)
+	return cache
+}
+
+// exploreSequential is the authoritative pass: strictly FIFO over the
+// frontier, interning in edge order — the graph shape depends only on this
+// loop. pre (nil when Workers ≤ 1) supplies prebuilt successor lists; states
+// the discovery pass missed are built inline.
 func exploreSequential(sys *semantics.System, g *Graph, frontier []int, opt Options,
-	intern func(syntax.Proc) (int, bool)) error {
+	internKeyed func(syntax.Proc, string) (int, bool), pre *stateCache) error {
 	max := opt.maxStates()
 	for len(frontier) > 0 {
 		i := frontier[0]
 		frontier = frontier[1:]
-		ts, err := groundEdges(sys, g.States[i].Proc, g.Universe, opt.AutonomousOnly)
-		if err != nil {
-			return err
+		b := pre.take(g.States[i].Key)
+		if b == nil {
+			b = buildState(sys, g.States[i].Proc, g, opt)
 		}
-		for _, t := range ts {
+		if b.err != nil {
+			return b.err
+		}
+		for ei, t := range b.ts {
 			if len(g.States) >= max {
 				g.Truncated = true
 				return nil
 			}
-			j, fresh := intern(t.Target)
+			j, fresh := internKeyed(b.procs[ei], b.keys[ei])
 			g.Edges[i] = append(g.Edges[i], Edge{t.Act, t.Act.String(), j})
 			if fresh {
 				frontier = append(frontier, j)
 			}
 		}
 		dedupEdges(&g.Edges[i])
-	}
-	return nil
-}
-
-// exploreParallel runs a level-synchronised parallel BFS: each frontier level
-// is partitioned across workers that compute successor lists independently;
-// interning (the only shared mutation) happens under a mutex in the
-// coordinator, keeping the graph deterministic given the level order.
-func exploreParallel(sys *semantics.System, g *Graph, frontier []int, opt Options, workers int) error {
-	max := opt.maxStates()
-	type result struct {
-		src int
-		ts  []semantics.Trans
-		err error
-	}
-	cWaves := opt.Obs.Counter("lts.waves")
-	for len(frontier) > 0 {
-		cWaves.Add(1)
-		results := make([]result, len(frontier))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for fi, si := range frontier {
-			wg.Add(1)
-			go func(fi, si int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				ts, err := groundEdges(sys, g.States[si].Proc, g.Universe, opt.AutonomousOnly)
-				results[fi] = result{si, ts, err}
-			}(fi, si)
-		}
-		wg.Wait()
-		var next []int
-		for _, r := range results {
-			if r.err != nil {
-				return r.err
-			}
-			for _, t := range r.ts {
-				if len(g.States) >= max {
-					g.Truncated = true
-					return nil
-				}
-				p := t.Target
-				if !opt.DisableSimplify {
-					p = syntax.Simplify(p)
-				}
-				k := syntax.Key(p)
-				j, ok := g.index[k]
-				if !ok {
-					j = len(g.States)
-					g.States = append(g.States, State{p, k})
-					g.Edges = append(g.Edges, nil)
-					g.index[k] = j
-					next = append(next, j)
-				}
-				g.Edges[r.src] = append(g.Edges[r.src], Edge{t.Act, t.Act.String(), j})
-			}
-			dedupEdges(&g.Edges[r.src])
-		}
-		frontier = next
 	}
 	return nil
 }

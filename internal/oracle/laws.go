@@ -281,7 +281,7 @@ func lawObsConsistent() Law {
 			if got := seqC["equiv.pairs_expanded"]; got != int64(seq.Pairs) {
 				return fmt.Sprintf("equiv.pairs_expanded=%d but Result.Pairs=%d (sequential)", got, seq.Pairs), nil
 			}
-			for _, name := range []string{"equiv.pairs_expanded", "equiv.waves"} {
+			for _, name := range []string{"equiv.pairs_expanded", "equiv.worklist_pops"} {
 				if seqC[name] != parC[name] {
 					return fmt.Sprintf("%s: sequential=%d parallel=%d (scheduling leaked into a semantic counter)",
 						name, seqC[name], parC[name]), nil

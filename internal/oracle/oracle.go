@@ -96,6 +96,7 @@ func Registry() []Law {
 		lawEnginesAgree(),
 		lawObsConsistent(),
 		lawCertChecks(),
+		lawStressAgree(),
 	}
 }
 

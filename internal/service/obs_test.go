@@ -61,7 +61,7 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 	names := map[string]bool{}
 	collectSpanNames(tr.Spans, names)
-	for _, want := range []string{"equiv.run", "equiv.explore", "equiv.wave", "equiv.fixpoint"} {
+	for _, want := range []string{"equiv.run", "equiv.explore", "equiv.expand", "equiv.fixpoint"} {
 		if !names[want] {
 			t.Errorf("span tree lacks %q (have %v)", want, names)
 		}

@@ -1,0 +1,167 @@
+package stress
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/lts"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// TestSizes pins the exact LTS state counts the generators advertise — the
+// bench curve labels and the 10^5-state claim of the largest ladder rung
+// rest on these formulas. Only the sub-20k rungs are explored here (the
+// bigger ladder rungs take tens of seconds and share the same meshStates
+// formula the explored meshes pin).
+func TestSizes(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	cases := append(Corpus(), GoldenMesh(), Ladder()[0])
+	for _, c := range cases {
+		g, err := lts.Explore(sys, []syntax.Proc{c.P}, lts.Options{
+			AutonomousOnly: true, MaxStates: 1 << 17, Workers: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if g.Truncated {
+			t.Fatalf("%s: truncated at %d states", c.Name, g.NumStates())
+		}
+		if g.NumStates() != c.States {
+			t.Errorf("%s: %d states, config advertises %d", c.Name, g.NumStates(), c.States)
+		}
+	}
+	if biggest := Ladder()[len(Ladder())-1]; biggest.States < 100_000 {
+		t.Errorf("largest ladder rung %s has %d advertised states, want >= 1e5", biggest.Name, biggest.States)
+	}
+}
+
+// newChecker returns a stress-budgeted checker (the pair spaces here exceed
+// the default MaxPairs).
+func newChecker(workers int) *equiv.Checker {
+	var ch *equiv.Checker
+	if workers > 1 {
+		ch = equiv.NewParallelChecker(nil, workers)
+	} else {
+		ch = equiv.NewChecker(nil)
+	}
+	ch.MaxPairs = 1 << 18
+	ch.Certify = true
+	return ch
+}
+
+// TestWorkerLadderDeterministic decides each corpus pair — strong step and
+// strong barbed, certification on — at workers ∈ {1,2,4,8} and requires the
+// full Result (verdict, pair count, reason, certificate) to be deeply equal
+// at every rung, with the certificate accepted by the independent verifier.
+// Run under -race this doubles as the discovery-pass race test on real
+// topologies.
+func TestWorkerLadderDeterministic(t *testing.T) {
+	for _, c := range Corpus() {
+		for _, rel := range []struct {
+			name string
+			run  func(ch *equiv.Checker) (equiv.Result, error)
+		}{
+			{"step", func(ch *equiv.Checker) (equiv.Result, error) { return ch.Step(c.P, c.Q, false) }},
+			{"barbed", func(ch *equiv.Checker) (equiv.Result, error) { return ch.Barbed(c.P, c.Q, false) }},
+		} {
+			want, err := rel.run(newChecker(1))
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", c.Name, rel.name, err)
+			}
+			if !want.Related {
+				t.Fatalf("%s/%s: rotation not %s-bisimilar: %s", c.Name, rel.name, rel.name, want.Reason)
+			}
+			if want.Cert == nil {
+				t.Fatalf("%s/%s: no certificate", c.Name, rel.name)
+			}
+			if err := cert.Verify(want.Cert); err != nil {
+				t.Fatalf("%s/%s: certificate rejected: %v", c.Name, rel.name, err)
+			}
+			for _, w := range []int{2, 4, 8} {
+				got, err := rel.run(newChecker(w))
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", c.Name, rel.name, w, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/%s workers=%d: result diverges from sequential", c.Name, rel.name, w)
+				}
+			}
+		}
+	}
+}
+
+// TestLtsWorkerDeterministic explores each corpus term at workers 1 and 4
+// and requires identical graphs: state order, edges, roots and truncation.
+func TestLtsWorkerDeterministic(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	for _, c := range Corpus() {
+		seq, err := lts.Explore(sys, []syntax.Proc{c.P, c.Q}, lts.Options{
+			AutonomousOnly: true, MaxStates: 1 << 17,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		par, err := lts.Explore(sys, []syntax.Proc{c.P, c.Q}, lts.Options{
+			AutonomousOnly: true, MaxStates: 1 << 17, Workers: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", c.Name, err)
+		}
+		if !reflect.DeepEqual(seq.States, par.States) || !reflect.DeepEqual(seq.Edges, par.Edges) ||
+			!reflect.DeepEqual(seq.Roots, par.Roots) || seq.Truncated != par.Truncated {
+			t.Errorf("%s: graphs diverge between workers 1 and 4 (%v vs %v)", c.Name, seq, par)
+		}
+	}
+}
+
+// TestGoldenMeshPinned is the determinism golden: the mid-size gossip mesh's
+// strong-step verdict, explored-pair count and certificate hash are pinned
+// to a golden file, and every worker count must reproduce them bit-for-bit.
+func TestGoldenMeshPinned(t *testing.T) {
+	c := GoldenMesh()
+	var want string
+	for _, w := range []int{1, 2, 4, 8} {
+		r, err := newChecker(w).Step(c.P, c.Q, false)
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", c.Name, w, err)
+		}
+		raw, err := r.Cert.Marshal()
+		if err != nil {
+			t.Fatalf("marshal certificate: %v", err)
+		}
+		sum := sha256.Sum256(raw)
+		line := fmt.Sprintf("%s related=%v pairs=%d cert=%s\n",
+			c.Name, r.Related, r.Pairs, hex.EncodeToString(sum[:]))
+		if w == 1 {
+			want = line
+			continue
+		}
+		if line != want {
+			t.Fatalf("workers=%d diverges:\n got %s want %s", w, line, want)
+		}
+	}
+	golden := filepath.Join("testdata", "mesh_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if want != string(pinned) {
+		t.Errorf("golden drifted:\n got %s want %s", want, pinned)
+	}
+}

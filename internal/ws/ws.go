@@ -1,0 +1,225 @@
+// Package ws is the work-stealing frontier runtime shared by the parallel
+// engines (the equiv pair engine and the lts explorer). It replaces the
+// level-synchronised wave pools of PR 1: instead of spawning a goroutine
+// batch per BFS wave and joining at a global barrier, a Pool keeps a fixed
+// set of persistent workers, each owning a private deque of work items.
+// Owners push and pop at the tail (LIFO, cache-warm); a worker whose deque
+// runs dry steals the head half of a peer's deque (FIFO, oldest first — the
+// items most likely to fan out further).
+//
+// The pool makes NO ordering or determinism promises: items are processed
+// exactly once, in whatever order claiming and stealing produce. Callers
+// that need deterministic results (both engines do) must treat the pool as
+// a best-effort precompute and establish determinism in a separate ordered
+// pass — see internal/equiv's prebuild/expand split.
+//
+// Termination is by quiescence: an atomic in-flight counter tracks items
+// pushed but not yet processed; when it reaches zero every worker is
+// guaranteed to find no further work, and Run returns. Stop aborts early
+// (workers exit without draining), which callers use for context
+// cancellation, budget caps and first-error bail-out.
+package ws
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of a pool's scheduling counters.
+type Stats struct {
+	// Processed counts items handed to the process callback.
+	Processed int64
+	// Steals counts successful steal operations (not items stolen).
+	Steals int64
+	// Stolen counts items moved between deques by steals.
+	Stolen int64
+	// Batches counts owner-side batched pushes (one deque lock each).
+	Batches int64
+}
+
+// deque is one worker's private work queue. A mutex (rather than a lock-free
+// Chase-Lev deque) is deliberate: owners push in batches and pop one item per
+// build, so the lock is taken a handful of times per batch and is almost
+// always uncontended; steals — the only cross-worker traffic — take the
+// victim's lock briefly to move half the queue at once.
+type deque[T any] struct {
+	mu    sync.Mutex
+	items []T
+	_     [32]byte // pad to keep neighbouring deques off one cache line
+}
+
+// Pool runs a work-stealing fixpoint over items of type T.
+type Pool[T any] struct {
+	deques  []deque[T]
+	process func(worker int, item T)
+
+	inflight  atomic.Int64
+	stopped   atomic.Bool
+	processed atomic.Int64
+	steals    atomic.Int64
+	stolen    atomic.Int64
+	batches   atomic.Int64
+}
+
+// NewPool returns a pool of n workers (n < 1 means GOMAXPROCS). process is
+// called exactly once per pushed item; it may push follow-up work with
+// (*Pool).Push and abort the run with (*Pool).Stop. process must be safe for
+// concurrent invocation from n goroutines.
+func NewPool[T any](n int, process func(worker int, item T)) *Pool[T] {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool[T]{deques: make([]deque[T], n), process: process}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool[T]) Workers() int { return len(p.deques) }
+
+// Push enqueues items onto worker w's deque in one lock acquisition.
+// It is safe from inside process (the intended call site: a worker pushing
+// the successors it just discovered) and from outside before Run.
+func (p *Pool[T]) Push(w int, items ...T) {
+	if len(items) == 0 {
+		return
+	}
+	p.inflight.Add(int64(len(items)))
+	p.batches.Add(1)
+	d := &p.deques[w%len(p.deques)]
+	d.mu.Lock()
+	d.items = append(d.items, items...)
+	d.mu.Unlock()
+}
+
+// Stop makes every worker exit at its next scheduling point without
+// draining the deques. Idempotent; safe from inside process.
+func (p *Pool[T]) Stop() { p.stopped.Store(true) }
+
+// Stopped reports whether Stop was called.
+func (p *Pool[T]) Stopped() bool { return p.stopped.Load() }
+
+// Stats returns a snapshot of the scheduling counters.
+func (p *Pool[T]) Stats() Stats {
+	return Stats{
+		Processed: p.processed.Load(),
+		Steals:    p.steals.Load(),
+		Stolen:    p.stolen.Load(),
+		Batches:   p.batches.Load(),
+	}
+}
+
+// Run seeds the deques round-robin and blocks until every pushed item has
+// been processed (in-flight count quiescent) or Stop was called. A Pool is
+// single-shot: do not call Run twice.
+func (p *Pool[T]) Run(seeds []T) {
+	for i, s := range seeds {
+		p.Push(i, s)
+	}
+	var wg sync.WaitGroup
+	for w := range p.deques {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.worker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// worker is the scheduling loop: pop own tail, else steal, else back off
+// until the pool is quiescent.
+func (p *Pool[T]) worker(w int) {
+	idle := 0
+	for {
+		if p.stopped.Load() {
+			return
+		}
+		it, ok := p.pop(w)
+		if !ok {
+			it, ok = p.steal(w)
+		}
+		if !ok {
+			if p.inflight.Load() == 0 {
+				return
+			}
+			// Quiescence is near but peers still hold work: yield, then
+			// back off exponentially (20µs … 1ms) so a straggler-bound tail
+			// does not spin the other workers at 100% CPU — and so an
+			// oversubscribed host (more workers than cores) is not stuck
+			// timeslicing between idle spinners and the one productive
+			// worker.
+			idle++
+			if idle < 8 {
+				runtime.Gosched()
+			} else {
+				d := 20 * time.Microsecond << min(idle-8, 6)
+				if d > time.Millisecond {
+					d = time.Millisecond
+				}
+				time.Sleep(d)
+			}
+			continue
+		}
+		idle = 0
+		p.process(w, it)
+		p.processed.Add(1)
+		p.inflight.Add(-1)
+	}
+}
+
+// pop takes the newest item of w's own deque (LIFO keeps the working set of
+// recently-discovered successors cache-warm).
+func (p *Pool[T]) pop(w int) (T, bool) {
+	d := &p.deques[w]
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	it := d.items[n-1]
+	var zero T
+	d.items[n-1] = zero // release the reference for the GC
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return it, true
+}
+
+// steal scans the other workers round-robin from w+1 and moves the head
+// half of the first non-empty deque onto w's own, returning one item to
+// process immediately.
+func (p *Pool[T]) steal(w int) (T, bool) {
+	n := len(p.deques)
+	for off := 1; off < n; off++ {
+		v := &p.deques[(w+off)%n]
+		v.mu.Lock()
+		k := len(v.items)
+		if k == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		take := (k + 1) / 2
+		got := make([]T, take)
+		copy(got, v.items[:take])
+		rest := copy(v.items, v.items[take:])
+		for i := rest; i < k; i++ {
+			var zero T
+			v.items[i] = zero
+		}
+		v.items = v.items[:rest]
+		v.mu.Unlock()
+		p.steals.Add(1)
+		p.stolen.Add(int64(take))
+		if take > 1 {
+			d := &p.deques[w]
+			d.mu.Lock()
+			d.items = append(d.items, got[1:]...)
+			d.mu.Unlock()
+		}
+		return got[0], true
+	}
+	var zero T
+	return zero, false
+}

@@ -1,0 +1,140 @@
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestExactlyOnceFanout pushes a fan-out workload (every item spawns
+// children down to a depth) and checks each item is processed exactly once.
+func TestExactlyOnceFanout(t *testing.T) {
+	type item struct{ id, depth int }
+	const branch, depth = 3, 8
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var nextID atomic.Int64
+	nextID.Store(1)
+
+	var p *Pool[item]
+	p = NewPool(4, func(w int, it item) {
+		mu.Lock()
+		seen[it.id]++
+		mu.Unlock()
+		if it.depth == 0 {
+			return
+		}
+		kids := make([]item, branch)
+		for i := range kids {
+			kids[i] = item{int(nextID.Add(1)), it.depth - 1}
+		}
+		p.Push(w, kids...)
+	})
+	p.Run([]item{{0, depth}})
+
+	want := 0
+	for d, c := 0, 1; d <= depth; d++ {
+		want += c
+		c *= branch
+	}
+	if len(seen) != want {
+		t.Fatalf("processed %d distinct items, want %d", len(seen), want)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d processed %d times", id, n)
+		}
+	}
+	st := p.Stats()
+	if st.Processed != int64(want) {
+		t.Fatalf("Stats.Processed = %d, want %d", st.Processed, want)
+	}
+}
+
+// TestStealUnderContention funnels all work through worker 0's deque: the
+// seed worker pushes every item to itself, so the only way other workers make
+// progress is by stealing. Run under -race this exercises the owner-pop vs
+// thief path concurrently.
+func TestStealUnderContention(t *testing.T) {
+	const items = 2000
+	var processed atomic.Int64
+	byWorker := make([]atomic.Int64, 8)
+
+	var p *Pool[int]
+	p = NewPool(8, func(w int, it int) {
+		processed.Add(1)
+		byWorker[w].Add(1)
+		if it > 0 && it <= 4 {
+			// A few generations of follow-up work, always pushed to deque 0.
+			kids := make([]int, 0, 4)
+			for i := 0; i < 4; i++ {
+				kids = append(kids, it-1)
+			}
+			p.Push(0, kids...)
+		}
+	})
+	seeds := make([]int, items)
+	for i := range seeds {
+		seeds[i] = i % 3
+	}
+	// Seed everything onto worker 0 (bypass the round-robin of Run).
+	p.Push(0, seeds...)
+	p.Run(nil)
+
+	if processed.Load() == 0 {
+		t.Fatal("nothing processed")
+	}
+	if p.Stats().Steals == 0 {
+		t.Error("no steals despite a single hot deque and 8 workers")
+	}
+	others := int64(0)
+	for w := 1; w < 8; w++ {
+		others += byWorker[w].Load()
+	}
+	if others == 0 {
+		t.Error("workers 1..7 processed nothing — stealing is broken")
+	}
+}
+
+// TestEmptyStealShutdown: a pool whose seeds produce no follow-up work (and
+// one with no seeds at all) must terminate promptly rather than deadlock in
+// the steal loop.
+func TestEmptyStealShutdown(t *testing.T) {
+	ran := atomic.Int64{}
+	p := NewPool(8, func(w int, it int) { ran.Add(1) })
+	p.Run([]int{1, 2, 3})
+	if ran.Load() != 3 {
+		t.Fatalf("processed %d, want 3", ran.Load())
+	}
+
+	empty := NewPool(4, func(w int, it int) { t.Error("processed an item of an empty pool") })
+	empty.Run(nil) // must return immediately
+}
+
+// TestStopAbandonsQueue: Stop from inside process makes Run return without
+// draining the remaining items.
+func TestStopAbandonsQueue(t *testing.T) {
+	var processed atomic.Int64
+	var p *Pool[int]
+	p = NewPool(2, func(w int, it int) {
+		if processed.Add(1) == 1 {
+			p.Stop()
+		}
+	})
+	seeds := make([]int, 10000)
+	p.Run(seeds)
+	if !p.Stopped() {
+		t.Fatal("pool not stopped")
+	}
+	if processed.Load() == 10000 {
+		t.Error("Stop did not abandon the queue (all 10000 items ran)")
+	}
+}
+
+// TestDefaultWorkerCount: n < 1 resolves to GOMAXPROCS.
+func TestDefaultWorkerCount(t *testing.T) {
+	p := NewPool[int](0, func(int, int) {})
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+}
