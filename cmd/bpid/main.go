@@ -8,14 +8,24 @@
 //	bpid [-addr :8317] [-f defs.bpi] [-workers N] [-engine-workers N]
 //	     [-queue N] [-cache N] [-max-pairs N] [-max-closure N]
 //	     [-timeout D] [-max-timeout D]
+//	     [-ledger DIR] [-merkle-batch N] [-merkle-wait-ms MS]
+//
+// With -ledger, bpid opens (or creates) a persistent Merkle verdict ledger
+// in DIR: every persisted verdict is replayed through the independent
+// certificate verifier on startup — accepted records warm-start the verdict
+// cache, rejected ones are quarantined and counted — and every fresh
+// certified verdict is appended write-behind, sealed into hash-chained
+// Merkle batches of -merkle-batch records (or after -merkle-wait-ms,
+// whichever comes first). Inspect with `bpiledger`, or over HTTP via
+// GET /v1/ledger/stats and GET /v1/ledger/proof/{key}.
 //
 // Endpoints: POST /v1/{parse,step,explore,equiv,prove,run,jobs},
-// GET /v1/jobs/{id}, /healthz, /metrics (Prometheus text, including
-// bpid_engine_events_total engine counters), GET /trace/{id} (a finished
-// job's span tree and counters) and GET /debug/pprof/ (the standard Go
-// profiling surface). See the README section "Running the daemon" for curl
-// examples. SIGINT/SIGTERM drains: in-flight requests and accepted jobs
-// finish, new work is refused.
+// GET /v1/jobs/{id}, /v1/ledger/{stats,proof/{key}}, /healthz, /metrics
+// (Prometheus text, including bpid_engine_events_total engine counters),
+// GET /trace/{id} (a finished job's span tree and counters) and
+// GET /debug/pprof/ (the standard Go profiling surface). See the README
+// section "Running the daemon" for curl examples. SIGINT/SIGTERM drains:
+// in-flight requests and accepted jobs finish, new work is refused.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"bpi/internal/ledger"
 	"bpi/internal/parser"
 	"bpi/internal/service"
 	"bpi/internal/syntax"
@@ -46,6 +57,9 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on requested deadlines")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	ledgerDir := flag.String("ledger", "", "directory of the persistent verdict ledger (empty = no persistence)")
+	merkleBatch := flag.Int("merkle-batch", 64, "records per sealed Merkle batch")
+	merkleWait := flag.Int("merkle-wait-ms", 2000, "max milliseconds a record stays unsealed (0 = seal on batch size only)")
 	flag.Parse()
 
 	var env syntax.Env
@@ -64,6 +78,32 @@ func main() {
 		env = prog.Env
 	}
 
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		wait := time.Duration(*merkleWait) * time.Millisecond
+		if *merkleWait <= 0 {
+			wait = -1 // timed sealing off: seal on batch size and shutdown only
+		}
+		var err error
+		led, err = ledger.Open(*ledgerDir, ledger.Config{
+			Env:       env,
+			BatchSize: *merkleBatch,
+			MaxWait:   wait,
+		})
+		if err != nil {
+			log.Fatalf("bpid: %v", err)
+		}
+		st := led.Stats()
+		log.Printf("bpid: ledger %s: %d trusted records (%d batches, %d rejected), chain %.12s…",
+			*ledgerDir, st.Records, st.Batches, st.Rejected, st.ChainHead)
+		for _, note := range st.Notes {
+			log.Printf("bpid: ledger recovery: %s", note)
+		}
+		for _, rej := range led.Rejections() {
+			log.Printf("bpid: ledger quarantined: %s", rej)
+		}
+	}
+
 	svc := service.New(service.Config{
 		Env:            env,
 		Workers:        *workers,
@@ -74,6 +114,7 @@ func main() {
 		MaxClosure:     *maxClosure,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Ledger:         led,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
@@ -98,6 +139,16 @@ func main() {
 	if err := svc.Shutdown(dctx); err != nil {
 		log.Printf("bpid: %v", err)
 		os.Exit(1)
+	}
+	if led != nil {
+		// After the service drain: the write-behind appender has flushed, so
+		// closing seals the tail batch and snapshots the index.
+		if err := led.Close(); err != nil {
+			log.Printf("bpid: ledger close: %v", err)
+			os.Exit(1)
+		}
+		st := led.Stats()
+		log.Printf("bpid: ledger sealed: %d records in %d batches", st.Records, st.Batches)
 	}
 	fmt.Println("bpid: drained cleanly")
 }

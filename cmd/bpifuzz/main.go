@@ -7,6 +7,11 @@
 //	bpifuzz -laws axioms/decide-agree -seed 58 -budget 1   # replay one case
 //	bpifuzz -list
 //
+// The registry spans the paper's theorems, the §5 prover, the engines (the
+// bpid daemon included), verdict certificates, and the persistent Merkle
+// verdict ledger (ledger/roundtrip: decide → persist → reopen must preserve
+// verdict, certificate and inclusion proof).
+//
 // Every violation prints the exact flags that replay it alone; with -out,
 // shrunk counterexamples are also persisted as regression .case files
 // (see testdata/fuzz/README.md).

@@ -1,0 +1,240 @@
+// Command bpiledger inspects and audits the persistent Merkle verdict
+// ledger written by bpid -ledger. It is the offline counterpart of the
+// daemon's /v1/ledger endpoints: everything it reports is recomputed from
+// the log bytes and the independent certificate verifier — no trust in the
+// daemon that wrote the ledger is required.
+//
+// Usage:
+//
+//	bpiledger stats  [-f defs.bpi] <dir>
+//	bpiledger verify [-f defs.bpi] <dir>
+//	bpiledger proof  [-f defs.bpi] -key HASH <dir>
+//	bpiledger export [-f defs.bpi] [-o out.jsonl] <dir>
+//	bpiledger import [-f defs.bpi] [-i in.jsonl] <dir>
+//
+// verify replays the full log — framing checksums, Merkle roots, the seal
+// hash chain, and every record's certificate — and exits 1 if anything was
+// quarantined or the chain is broken. proof prints the compact inclusion
+// proof of a record (by the hex key hash that bpid reports as ledger_key)
+// and re-verifies it from the sealed root alone. export writes every
+// trusted record as JSON lines; import appends records from such a file
+// into another ledger, re-verifying each before it is written.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bpi/internal/ledger"
+	"bpi/internal/parser"
+	"bpi/internal/syntax"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	file := fs.String("f", "", "program file with definitions (for ledgers over defined constants)")
+	key := fs.String("key", "", "hex key hash of the record (proof)")
+	out := fs.String("o", "", "output file (export; default stdout)")
+	in := fs.String("i", "", "input file (import; default stdin)")
+	fs.Usage = usage
+	_ = fs.Parse(flag.Args()[1:])
+	if fs.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	dir := fs.Arg(0)
+
+	var env syntax.Env
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		fail(err)
+		prog, err := parser.ParseProgram(string(src))
+		fail(err)
+		env = prog.Env
+	}
+	// Timed sealing off: the CLI only seals explicitly (import → Close).
+	cfg := ledger.Config{Env: env, MaxWait: -1}
+
+	switch cmd {
+	case "stats":
+		runStats(dir, cfg)
+	case "verify":
+		runVerify(dir, cfg)
+	case "proof":
+		runProof(dir, cfg, *key)
+	case "export":
+		runExport(dir, cfg, *out)
+	case "import":
+		runImport(dir, cfg, *in)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// open opens the ledger read-style (every record re-verified) and always
+// closes it without appending, so inspection never mutates the log beyond
+// the torn-tail truncation repair.
+func open(dir string, cfg ledger.Config) *ledger.Ledger {
+	l, err := ledger.Open(dir, cfg)
+	fail(err)
+	return l
+}
+
+func runStats(dir string, cfg ledger.Config) {
+	l := open(dir, cfg)
+	defer l.Close()
+	st := l.Stats()
+	fmt.Printf("records   %d trusted, %d rejected, %d awaiting seal\n", st.Records, st.Rejected, st.Pending)
+	fmt.Printf("batches   %d sealed\n", st.Batches)
+	fmt.Printf("chain     %s", st.ChainHead)
+	if st.ChainBroken {
+		fmt.Printf("  (BROKEN)")
+	}
+	fmt.Println()
+	fmt.Printf("storage   %d bytes in %d segment(s)\n", st.Bytes, st.Segments)
+	for _, n := range st.Notes {
+		fmt.Printf("note      %s\n", n)
+	}
+}
+
+// runVerify is the full-scan audit: Open already replays every trust layer;
+// here the outcome decides the exit status and every quarantined record is
+// itemised.
+func runVerify(dir string, cfg ledger.Config) {
+	start := time.Now()
+	l := open(dir, cfg)
+	defer l.Close()
+	st := l.Stats()
+	for _, note := range st.Notes {
+		fmt.Fprintf(os.Stderr, "bpiledger: note: %s\n", note)
+	}
+	for _, rej := range l.Rejections() {
+		fmt.Fprintf(os.Stderr, "bpiledger: REJECTED %s\n", rej)
+	}
+	fmt.Printf("%d records verified, %d rejected, %d batches, chain %.12s… (%s)\n",
+		st.Records, st.Rejected, st.Batches, st.ChainHead, time.Since(start).Round(time.Millisecond))
+	if st.Rejected > 0 || st.ChainBroken {
+		if st.ChainBroken {
+			fmt.Fprintln(os.Stderr, "bpiledger: seal hash chain is BROKEN")
+		}
+		os.Exit(1)
+	}
+}
+
+func runProof(dir string, cfg ledger.Config, key string) {
+	if key == "" {
+		fail(fmt.Errorf("proof needs -key HASH (the ledger_key bpid reports)"))
+	}
+	l := open(dir, cfg)
+	defer l.Close()
+	p, err := l.Proof(key)
+	fail(err)
+	// Independent re-check before printing: a proof this command emits has
+	// been folded back to its sealed root.
+	fail(ledger.VerifyProof(p))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(p))
+	fmt.Fprintf(os.Stderr, "bpiledger: proof verified: leaf %d of %d, batch %d, root %.12s…\n",
+		p.Leaf, p.Count, p.Batch, p.Root)
+}
+
+func runExport(dir string, cfg ledger.Config, out string) {
+	l := open(dir, cfg)
+	defer l.Close()
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		fail(err)
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	n, err := l.Export(bw)
+	fail(err)
+	fail(bw.Flush())
+	fmt.Fprintf(os.Stderr, "bpiledger: exported %d records\n", n)
+}
+
+// runImport appends records from a JSONL export into dir. Each record is
+// re-verified (certificate replay included) before it is written — import
+// is a trust boundary, not a byte copy — and sequence numbers are
+// reassigned by the destination ledger.
+func runImport(dir string, cfg ledger.Config, in string) {
+	r := os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		fail(err)
+		defer f.Close()
+		r = f
+	}
+	l := open(dir, cfg)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	line, imported, rejected := 0, 0, 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec ledger.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			fmt.Fprintf(os.Stderr, "bpiledger: line %d: %v\n", line, err)
+			rejected++
+			continue
+		}
+		if _, err := l.VerifyRecord(&rec); err != nil {
+			fmt.Fprintf(os.Stderr, "bpiledger: line %d REJECTED: %v\n", line, err)
+			rejected++
+			continue
+		}
+		rec.Seq = 0 // reassigned by Append
+		_, err := l.Append(rec)
+		fail(err)
+		imported++
+	}
+	fail(sc.Err())
+	fail(l.Close()) // seals the imported tail batch
+	fmt.Fprintf(os.Stderr, "bpiledger: imported %d records, rejected %d\n", imported, rejected)
+	if rejected > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bpiledger — offline audit of the bpid verdict ledger
+
+  bpiledger stats  [-f defs.bpi] <dir>                 summary + recovery notes
+  bpiledger verify [-f defs.bpi] <dir>                 full-scan replay; exit 1 on any rejection
+  bpiledger proof  [-f defs.bpi] -key HASH <dir>       print + re-verify one inclusion proof
+  bpiledger export [-f defs.bpi] [-o out.jsonl] <dir>  trusted records as JSON lines
+  bpiledger import [-f defs.bpi] [-i in.jsonl] <dir>   append records, re-verifying each
+
+Everything is recomputed from the log bytes: framing checksums, Merkle
+roots, the seal hash chain, and every record's certificate replayed
+against the independent verifier. Exits 1 on verification failures,
+2 on usage errors.
+
+  -f file  program file with definitions, for ledgers whose terms mention
+           defined constants
+`)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpiledger:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,510 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/parser"
+)
+
+// testPairs are distinct canonical pairs (so each record gets its own key),
+// mixing relations, strong/weak, and positive/negative verdicts.
+var testPairs = []struct {
+	rel  string
+	weak bool
+	p, q string
+}{
+	{cert.RelLabelled, false, "a!", "a!"},
+	{cert.RelLabelled, false, "a! | b!", "a!.b! + b!.a!"},
+	{cert.RelLabelled, true, "tau.a!", "a!"},
+	{cert.RelLabelled, false, "a?(x).x!", "a?(y).y!"},
+	{cert.RelBarbed, false, "nu x.a!(x)", "nu y.a!(y)"},
+	{cert.RelBarbed, true, "tau.tau.c!", "c!"},
+	{cert.RelStep, true, "tau.a!(b)", "a!(b)"},
+	{cert.RelStep, false, "a!.b!", "a!.c!"},
+	{cert.RelLabelled, false, "a!", "b!"},
+	{cert.RelLabelled, false, "nu b.(b! | b?(x).c!)", "tau.c! + c!"},
+}
+
+// certRecord decides one pair with a certifying checker and wraps the verdict.
+func certRecord(t *testing.T, ch *equiv.Checker, rel string, weak bool, p, q string) Record {
+	t.Helper()
+	pp, err := parser.Parse(p)
+	if err != nil {
+		t.Fatalf("parse %q: %v", p, err)
+	}
+	qq, err := parser.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	var r equiv.Result
+	switch rel {
+	case cert.RelLabelled:
+		r, err = ch.Labelled(pp, qq, weak)
+	case cert.RelBarbed:
+		r, err = ch.Barbed(pp, qq, weak)
+	case cert.RelStep:
+		r, err = ch.Step(pp, qq, weak)
+	default:
+		t.Fatalf("unknown relation %q", rel)
+	}
+	if err != nil {
+		t.Fatalf("%s(%s, %s): %v", rel, p, q, err)
+	}
+	rec, err := NewRecord(rel, weak, 0, 0, 0, r.Related, r.Pairs, r.Reason, r.Cert)
+	if err != nil {
+		t.Fatalf("NewRecord(%s, %s): %v", p, q, err)
+	}
+	return rec
+}
+
+func allRecords(t *testing.T) []Record {
+	t.Helper()
+	ch := equiv.NewChecker(nil)
+	ch.Certify = true
+	recs := make([]Record, 0, len(testPairs))
+	for _, tp := range testPairs {
+		recs = append(recs, certRecord(t, ch, tp.rel, tp.weak, tp.p, tp.q))
+	}
+	return recs
+}
+
+// writeLedger appends recs into a fresh ledger at dir and closes it.
+func writeLedger(t *testing.T, dir string, cfg Config, recs []Record) {
+	t.Helper()
+	l, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// noTimer disables timed sealing so tests control batch boundaries exactly.
+var noTimer = Config{BatchSize: 4, MaxWait: -1}
+
+// TestRoundtripWarmStart is the core contract: decide → persist → reopen →
+// every record replays verified, produces a verifiable inclusion proof, and
+// the chain head is intact.
+func TestRoundtripWarmStart(t *testing.T) {
+	recs := allRecords(t)
+	dir := t.TempDir()
+	writeLedger(t, dir, noTimer, recs)
+
+	l, err := Open(dir, noTimer)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+
+	got := map[string]Record{}
+	n := l.Replay(func(r *Record, crt *cert.Certificate) {
+		if crt == nil {
+			t.Fatalf("replayed record %d without a certificate", r.Seq)
+		}
+		if crt.Related != r.Related {
+			t.Fatalf("record %d: certificate verdict %t vs record %t", r.Seq, crt.Related, r.Related)
+		}
+		got[r.Key] = *r
+	})
+	if n != len(recs) {
+		t.Fatalf("replayed %d records, want %d", n, len(recs))
+	}
+	for _, want := range recs {
+		r, ok := got[want.Key]
+		if !ok {
+			t.Fatalf("record %q not replayed", want.Key)
+		}
+		if r.Related != want.Related || r.Rel != want.Rel || r.Weak != want.Weak || r.Reason != want.Reason {
+			t.Fatalf("record %q drifted across the roundtrip: %+v vs %+v", want.Key, r, want)
+		}
+	}
+
+	st := l.Stats()
+	if st.Records != len(recs) || st.Rejected != 0 || st.Pending != 0 || st.ChainBroken {
+		t.Fatalf("stats after clean reopen: %+v", st)
+	}
+	wantBatches := (len(recs) + noTimer.BatchSize - 1) / noTimer.BatchSize
+	if st.Batches != wantBatches {
+		t.Fatalf("batches = %d, want %d", st.Batches, wantBatches)
+	}
+
+	// Every key yields a proof that verifies from the seal alone.
+	for _, want := range recs {
+		p, err := l.Proof(want.KeyHash)
+		if err != nil {
+			t.Fatalf("Proof(%s): %v", want.Key, err)
+		}
+		if err := VerifyProof(p); err != nil {
+			t.Fatalf("VerifyProof(%s): %v", want.Key, err)
+		}
+		// Tampered proofs must not verify.
+		bad := *p
+		bad.Record = bytes.Replace(p.Record, []byte(`"related":`), []byte(`"related_x":`), 1)
+		if VerifyProof(&bad) == nil {
+			t.Fatalf("tampered proof record for %s verified", want.Key)
+		}
+	}
+
+	var sb strings.Builder
+	if n, err := l.Export(&sb); err != nil || n != len(recs) {
+		t.Fatalf("Export: n=%d err=%v", n, err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != len(recs) {
+		t.Fatalf("export wrote %d lines, want %d", lines, len(recs))
+	}
+}
+
+// TestProofPendingAndUnknown pins the proof lookup taxonomy.
+func TestProofPendingAndUnknown(t *testing.T) {
+	recs := allRecords(t)[:2]
+	l, err := Open(t.TempDir(), Config{BatchSize: 100, MaxWait: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if _, err := l.Proof(recs[0].KeyHash); err != ErrPending {
+		t.Fatalf("unsealed proof error = %v, want ErrPending", err)
+	}
+	if _, err := l.Proof(KeyHash("no|such|key")); err != ErrUnknownKey {
+		t.Fatalf("unknown key error = %v, want ErrUnknownKey", err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	p, err := l.Proof(recs[0].KeyHash)
+	if err != nil {
+		t.Fatalf("sealed proof: %v", err)
+	}
+	if err := VerifyProof(p); err != nil {
+		t.Fatalf("VerifyProof: %v", err)
+	}
+}
+
+// TestTimedSeal checks the MaxWait latency bound: a lone appended record is
+// sealed by the background loop without reaching the batch size.
+func TestTimedSeal(t *testing.T) {
+	recs := allRecords(t)[:1]
+	l, err := Open(t.TempDir(), Config{BatchSize: 1000, MaxWait: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(recs[0]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Batches == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed seal never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := l.Stats()
+	if st.Pending != 0 || st.Seals != 1 || st.SealWaitSeconds <= 0 {
+		t.Fatalf("after timed seal: %+v", st)
+	}
+}
+
+// lastSegment returns the path of the highest-numbered segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("segmentNames: %v (%d)", err, len(names))
+	}
+	return filepath.Join(dir, names[len(names)-1])
+}
+
+// TestTruncatedTailRecovery crashes mid-write (simulated by chopping bytes
+// off the tail) and demands the healthy prefix warm-starts with a note.
+func TestTruncatedTailRecovery(t *testing.T) {
+	recs := allRecords(t)
+	dir := t.TempDir()
+	writeLedger(t, dir, noTimer, recs) // 10 records → batches of 4,4 + tail seal of 2
+
+	seg := lastSegment(t, dir)
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, buf[:len(buf)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := Open(dir, noTimer)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	if st.Rejected != 0 || st.ChainBroken {
+		t.Fatalf("torn tail must not reject records: %+v", st)
+	}
+	// The chopped bytes destroyed the final seal: its two records are back
+	// to pending, every record still replays.
+	if n := l.Replay(func(*Record, *cert.Certificate) {}); n != len(recs) {
+		t.Fatalf("replayed %d, want %d", n, len(recs))
+	}
+	if st.Batches != 2 || st.Pending != 2 {
+		t.Fatalf("batches=%d pending=%d, want 2 and 2", st.Batches, st.Pending)
+	}
+	found := false
+	for _, note := range st.Notes {
+		found = found || strings.Contains(note, "truncated")
+	}
+	if !found {
+		t.Fatalf("no truncation note in %v", st.Notes)
+	}
+}
+
+// flipEntryByte flips one payload byte of the idx-th entry in the segment.
+// With fixCRC the checksum is recomputed, modelling deliberate tampering
+// rather than bit rot — framing then passes and only the Merkle seal can
+// catch the rewrite.
+func flipEntryByte(t *testing.T, path string, idx int, fixCRC bool) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i := 0; ; i++ {
+		_, payload, next, ok, _ := decodeEntry(buf, off)
+		if !ok {
+			t.Fatalf("entry %d not found in %s", idx, path)
+		}
+		if i == idx {
+			buf[off+headerBytes+len(payload)/2] ^= 0x01
+			if fixCRC {
+				crc := crc32.Checksum(buf[off+4:off+headerBytes+len(payload)], crcTable)
+				binary.LittleEndian.PutUint32(buf[off+headerBytes+len(payload):], crc)
+			}
+			break
+		}
+		off = next
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitFlipQuarantinesBatch: a checksum-failing record is skipped, its
+// seal no longer matches, and the whole batch is condemned fail-closed —
+// while the later, untouched batch still replays.
+func TestBitFlipQuarantinesBatch(t *testing.T) {
+	recs := allRecords(t)
+	dir := t.TempDir()
+	writeLedger(t, dir, noTimer, recs)
+
+	flipEntryByte(t, lastSegment(t, dir), 0, false) // first record of batch 0
+
+	l, err := Open(dir, noTimer)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	if !st.ChainBroken {
+		t.Fatal("bit flip inside a sealed batch did not break the chain")
+	}
+	if st.Rejected != noTimer.BatchSize {
+		t.Fatalf("rejected = %d, want the whole batch (%d)", st.Rejected, noTimer.BatchSize)
+	}
+	if n := l.Replay(func(*Record, *cert.Certificate) {}); n != len(recs)-noTimer.BatchSize {
+		t.Fatalf("replayed %d, want %d (healthy batches only)", n, len(recs)-noTimer.BatchSize)
+	}
+	if len(l.Rejections()) != noTimer.BatchSize {
+		t.Fatalf("Rejections() = %v", l.Rejections())
+	}
+}
+
+// TestTamperedBytesBreakChain: rewriting a sealed record *with a corrected
+// checksum* still condemns the batch — integrity does not rest on CRC alone.
+func TestTamperedBytesBreakChain(t *testing.T) {
+	recs := allRecords(t)
+	dir := t.TempDir()
+	writeLedger(t, dir, noTimer, recs)
+
+	flipEntryByte(t, lastSegment(t, dir), 1, true)
+
+	l, err := Open(dir, noTimer)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	if !st.ChainBroken || st.Rejected < 1 {
+		t.Fatalf("fixed-CRC tampering went unnoticed: %+v", st)
+	}
+	if n := l.Replay(func(*Record, *cert.Certificate) {}); n > len(recs)-1 {
+		t.Fatalf("replayed %d records from a tampered batch", n)
+	}
+}
+
+// TestForgedRecordsQuarantined covers the semantic layer: records whose
+// bytes are perfectly intact (written and sealed normally) but whose claims
+// their certificates do not support. Each forgery class is quarantined
+// individually; the honest records around them still warm-start.
+func TestForgedRecordsQuarantined(t *testing.T) {
+	recs := allRecords(t)
+	honest := len(recs) - 3
+
+	flipped := recs[honest] // verdict flipped, certificate untouched
+	flipped.Related = !flipped.Related
+	swapped := recs[honest+1] // certificate swapped in from another pair
+	swapped.Cert = recs[0].Cert
+	doctored := recs[honest+2] // certificate body edited to match the lie
+	doctored.Cert = bytes.Replace(doctored.Cert, []byte(`"related":true`), []byte(`"related":false`), 1)
+	if bytes.Equal(doctored.Cert, recs[honest+2].Cert) {
+		// The pair was negative; flip the other way.
+		doctored.Cert = bytes.Replace(doctored.Cert, []byte(`"related":false`), []byte(`"related":true`), 1)
+	}
+
+	dir := t.TempDir()
+	writeLedger(t, dir, noTimer, append(append([]Record(nil), recs[:honest]...), flipped, swapped, doctored))
+
+	l, err := Open(dir, noTimer)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	if st.Rejected != 3 {
+		t.Fatalf("rejected = %d, want 3 forgeries; rejections: %v", st.Rejected, l.Rejections())
+	}
+	if st.ChainBroken {
+		t.Fatal("forged content must not read as a chain break (the bytes are intact)")
+	}
+	if n := l.Replay(func(r *Record, _ *cert.Certificate) {
+		if r.Key == flipped.Key || r.Key == swapped.Key || r.Key == doctored.Key {
+			t.Fatalf("forged record %q replayed as trusted", r.Key)
+		}
+	}); n != honest {
+		t.Fatalf("replayed %d, want %d honest records", n, honest)
+	}
+	// A forged record never gets a proof (it is not a trusted entry).
+	if _, err := l.Proof(flipped.KeyHash); err != ErrUnknownKey {
+		t.Fatalf("Proof(forged) = %v, want ErrUnknownKey", err)
+	}
+}
+
+// TestSegmentRolling forces multiple segments and re-reads across them.
+func TestSegmentRolling(t *testing.T) {
+	recs := allRecords(t)
+	dir := t.TempDir()
+	cfg := Config{BatchSize: 3, MaxWait: -1, SegmentBytes: 1024}
+	writeLedger(t, dir, cfg, recs)
+
+	names, err := segmentNames(dir)
+	if err != nil || len(names) < 2 {
+		t.Fatalf("expected multiple segments, got %v (%v)", names, err)
+	}
+	l, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if n := l.Replay(func(*Record, *cert.Certificate) {}); n != len(recs) {
+		t.Fatalf("replayed %d across segments, want %d", n, len(recs))
+	}
+	if st := l.Stats(); st.Segments != len(names) || st.ChainBroken || st.Rejected != 0 {
+		t.Fatalf("stats across segments: %+v", st)
+	}
+}
+
+// TestIndexRecovery: a corrupt advisory index is noted and rebuilt; the log
+// stays authoritative.
+func TestIndexRecovery(t *testing.T) {
+	recs := allRecords(t)[:3]
+	dir := t.TempDir()
+	writeLedger(t, dir, noTimer, recs)
+
+	if err := os.WriteFile(filepath.Join(dir, indexName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, noTimer)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	st := l.Stats()
+	found := false
+	for _, n := range st.Notes {
+		found = found || strings.Contains(n, "index.json")
+	}
+	if !found {
+		t.Fatalf("no index note in %v", st.Notes)
+	}
+	if st.Records != 3 || st.Rejected != 0 {
+		t.Fatalf("index corruption affected the log: %+v", st)
+	}
+	l.Close()
+
+	// The rebuilt index round-trips silently.
+	l, err = Open(dir, noTimer)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer l.Close()
+	for _, n := range l.Stats().Notes {
+		if strings.Contains(n, "index.json") {
+			t.Fatalf("rebuilt index still flagged: %v", n)
+		}
+	}
+}
+
+// TestClosedLedger pins Close idempotence and the post-Close append error.
+func TestClosedLedger(t *testing.T) {
+	l, err := Open(t.TempDir(), noTimer)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(Record{}); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestNewRecordRefusals pins the constructor's fail-closed checks.
+func TestNewRecordRefusals(t *testing.T) {
+	if _, err := NewRecord(cert.RelLabelled, false, 0, 0, 0, true, 0, "", nil); err == nil {
+		t.Fatal("nil certificate accepted")
+	}
+	ch := equiv.NewChecker(nil)
+	ch.Certify = true
+	rec := certRecord(t, ch, cert.RelLabelled, false, "a!", "a!")
+	crt, err := cert.Unmarshal(rec.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRecord(cert.RelLabelled, false, 0, 0, 0, !crt.Related, 0, "", crt); err == nil {
+		t.Fatal("verdict/certificate disagreement accepted")
+	}
+	if _, err := NewRecord(cert.RelBarbed, false, 0, 0, 0, crt.Related, 0, "", crt); err == nil {
+		t.Fatal("relation mismatch accepted")
+	}
+}

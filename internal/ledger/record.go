@@ -1,0 +1,182 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"bpi/internal/cert"
+	"bpi/internal/parser"
+	"bpi/internal/syntax"
+)
+
+// Record is one persisted verdict: the canonical pair key, the verdict with
+// its Result metadata, the budgets it was computed under (so a warm-started
+// daemon can rebuild the exact verdict-cache key), and the marshalled
+// certificate that makes the record trustworthy across binary versions.
+type Record struct {
+	// Seq is the ledger-assigned append sequence number (1-based).
+	Seq uint64 `json:"seq"`
+	// Key is the canonical pair key: relation | weak | the lexicographically
+	// ordered alpha-class keys of the two canonical terms. KeyHash is its
+	// SHA-256 in hex, the URL-safe address of the record.
+	Key     string `json:"key"`
+	KeyHash string `json:"key_hash"`
+
+	Rel     string `json:"rel"`
+	Weak    bool   `json:"weak,omitempty"`
+	P       string `json:"p"`
+	Q       string `json:"q"`
+	Related bool   `json:"related"`
+	Pairs   int    `json:"pairs,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+
+	// Budgets the verdict was computed under. A conclusive verdict is a pure
+	// function of the canonical pair and the relation alone; the budgets are
+	// carried only so replay can seed the daemon's budget-keyed LRU exactly.
+	MaxPairs   int `json:"max_pairs,omitempty"`
+	MaxClosure int `json:"max_closure,omitempty"`
+	MaxSubs    int `json:"max_subs,omitempty"`
+
+	// UnixNano is the append wall-clock time (informational only).
+	UnixNano int64 `json:"t,omitempty"`
+
+	// Cert is the marshalled internal/cert certificate. Replay trusts a
+	// record only after the independent verifier accepts this certificate
+	// and its terms re-derive Key.
+	Cert json.RawMessage `json:"cert"`
+}
+
+// PairKey builds the canonical ledger key from the relation spec and the two
+// alpha-class keys (syntax.Key of the simplified terms). All the paper's
+// relations are symmetric, so the sides are ordered lexicographically and one
+// key serves both orientations.
+func PairKey(rel string, weak bool, kp, kq string) string {
+	if kq < kp {
+		kp, kq = kq, kp
+	}
+	return fmt.Sprintf("%s|%t|%s|%s", rel, weak, kp, kq)
+}
+
+// KeyHash is the hex SHA-256 of a logical pair key — the address used by
+// GET /v1/ledger/proof/{key} and `bpiledger proof -key`.
+func KeyHash(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+// termKey parses one canonically printed term and returns its alpha-class key.
+func termKey(src string) (string, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("ledger: unparseable term %q: %w", src, err)
+	}
+	return syntax.Key(syntax.Simplify(p)), nil
+}
+
+// NewRecord assembles an unsequenced record from a certified verdict. The
+// terms and the pair key are derived from the certificate itself, so the
+// record cannot name a different pair than its evidence proves.
+func NewRecord(rel string, weak bool, maxPairs, maxClosure, maxSubs int,
+	related bool, pairs int, reason string, crt *cert.Certificate) (Record, error) {
+	if crt == nil {
+		return Record{}, fmt.Errorf("ledger: refusing to record an uncertified verdict")
+	}
+	if crt.Relation != rel || crt.Weak != weak || crt.Related != related {
+		return Record{}, fmt.Errorf("ledger: certificate (%s weak=%t related=%t) disagrees with verdict (%s weak=%t related=%t)",
+			crt.Relation, crt.Weak, crt.Related, rel, weak, related)
+	}
+	kp, err := termKey(crt.P)
+	if err != nil {
+		return Record{}, err
+	}
+	kq, err := termKey(crt.Q)
+	if err != nil {
+		return Record{}, err
+	}
+	raw, err := json.Marshal(crt)
+	if err != nil {
+		return Record{}, fmt.Errorf("ledger: marshal certificate: %w", err)
+	}
+	key := PairKey(rel, weak, kp, kq)
+	return Record{
+		Key: key, KeyHash: KeyHash(key),
+		Rel: rel, Weak: weak, P: crt.P, Q: crt.Q,
+		Related: related, Pairs: pairs, Reason: reason,
+		MaxPairs: maxPairs, MaxClosure: maxClosure, MaxSubs: maxSubs,
+		Cert: raw,
+	}, nil
+}
+
+// Seal is the payload of one sealed Merkle batch: the records it covers, the
+// tree root over their payload hashes, and the hash chain linking it to every
+// seal before it. Chain = SHA-256(PrevBytes || RootBytes), from a fixed
+// genesis value, so rewriting any sealed batch breaks every later link.
+type Seal struct {
+	Batch    int    `json:"batch"`
+	FirstSeq uint64 `json:"first_seq"`
+	Count    int    `json:"count"`
+	Root     string `json:"root"`
+	Prev     string `json:"prev"`
+	Chain    string `json:"chain"`
+	UnixNano int64  `json:"t,omitempty"`
+}
+
+// On-disk framing: every entry (verdict or seal) is
+//
+//	[4B magic][1B type][4B length][payload][4B CRC-32C]
+//
+// with the checksum covering type+length+payload. Length-prefix framing makes
+// a payload bit-flip skippable (the next entry still aligns); a corrupted
+// header is indistinguishable from a torn write and ends the readable region.
+const (
+	entryMagic   = 0xB1D6E901
+	entryVerdict = byte(1)
+	entrySeal    = byte(2)
+	headerBytes  = 4 + 1 + 4
+	trailerBytes = 4
+
+	// maxEntryBytes bounds a single payload; anything larger is treated as a
+	// corrupted header rather than an allocation request.
+	maxEntryBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeEntry frames one payload for appending.
+func encodeEntry(typ byte, payload []byte) []byte {
+	buf := make([]byte, headerBytes+len(payload)+trailerBytes)
+	binary.LittleEndian.PutUint32(buf[0:], entryMagic)
+	buf[4] = typ
+	binary.LittleEndian.PutUint32(buf[5:], uint32(len(payload)))
+	copy(buf[headerBytes:], payload)
+	crc := crc32.Checksum(buf[4:headerBytes+len(payload)], crcTable)
+	binary.LittleEndian.PutUint32(buf[headerBytes+len(payload):], crc)
+	return buf
+}
+
+// decodeEntry reads the entry at buf[off:]. It returns the entry type, the
+// payload, the offset just past the entry, and ok=false when the bytes at off
+// do not frame a whole entry (torn tail or corrupted header). A framed entry
+// whose checksum fails returns ok=true with crcOK=false: the caller can skip
+// it and keep reading.
+func decodeEntry(buf []byte, off int) (typ byte, payload []byte, next int, ok, crcOK bool) {
+	if off+headerBytes > len(buf) {
+		return 0, nil, 0, false, false
+	}
+	if binary.LittleEndian.Uint32(buf[off:]) != entryMagic {
+		return 0, nil, 0, false, false
+	}
+	typ = buf[off+4]
+	n := int(binary.LittleEndian.Uint32(buf[off+5:]))
+	if n > maxEntryBytes || off+headerBytes+n+trailerBytes > len(buf) {
+		return 0, nil, 0, false, false
+	}
+	payload = buf[off+headerBytes : off+headerBytes+n]
+	want := binary.LittleEndian.Uint32(buf[off+headerBytes+n:])
+	got := crc32.Checksum(buf[off+4:off+headerBytes+n], crcTable)
+	return typ, payload, off + headerBytes + n + trailerBytes, true, want == got
+}

@@ -20,6 +20,9 @@
 //   - Certificates: every verdict's replayable proof object (internal/cert)
 //     must be accepted by the independent verifier, on the fresh and the
 //     memoised path alike.
+//   - Persistence: a certified verdict survives the full ledger lifecycle
+//     (internal/ledger) — append, seal, reopen — unchanged, certificate and
+//     inclusion proof included.
 //
 // Everything is reproducible: iteration i of a run with seed s draws all
 // randomness from mix(s + i), and every violation reports the exact
@@ -97,6 +100,7 @@ func Registry() []Law {
 		lawObsConsistent(),
 		lawCertChecks(),
 		lawStressAgree(),
+		lawLedgerRoundtrip(),
 	}
 }
 

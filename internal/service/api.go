@@ -2,6 +2,7 @@ package service
 
 import (
 	"bpi/internal/cert"
+	"bpi/internal/ledger"
 	"bpi/internal/obs"
 )
 
@@ -32,6 +33,14 @@ const (
 	CodeShuttingDown    = "shutting_down"
 	CodeNotFound        = "not_found"
 	CodeInternal        = "internal"
+	// CodePending marks a resource that will exist but does not yet: a
+	// certificate of a still-running job, or an inclusion proof of a
+	// not-yet-sealed ledger record. Served as 409 — retry after the job
+	// finishes / the batch seals.
+	CodePending = "pending"
+	// CodeJobFailed marks a certificate request against a job that finished
+	// in error: the resource never came to exist and retrying is pointless.
+	CodeJobFailed = "job_failed"
 )
 
 // errorResponse is the JSON envelope of an error.
@@ -127,6 +136,11 @@ type EquivResponse struct {
 	// Certificate is the verdict's replayable proof object, present when
 	// the request set Cert (cached verdicts return the cached certificate).
 	Certificate *cert.Certificate `json:"certificate,omitempty"`
+	// LedgerKey is the verdict's content address in the persistent ledger
+	// (the hex SHA-256 of the canonical pair key), present when the daemon
+	// runs with -ledger. Feed it to GET /v1/ledger/proof/{key} or
+	// `bpiledger proof` once the record's batch seals.
+	LedgerKey string `json:"ledger_key,omitempty"`
 }
 
 // CertificateResponse is the body of GET /certificate/{id}: the replayable
@@ -138,6 +152,20 @@ type CertificateResponse struct {
 	Weak        bool              `json:"weak"`
 	Related     bool              `json:"related"`
 	Certificate *cert.Certificate `json:"certificate"`
+}
+
+// LedgerStatsResponse is the body of GET /v1/ledger/stats. Enabled is false
+// (and everything else zero) when the daemon runs without -ledger.
+type LedgerStatsResponse struct {
+	Enabled bool `json:"enabled"`
+	// Replayed counts persisted verdicts that passed every trust layer at
+	// startup and seeded the verdict cache; Stats.Rejected counts the
+	// quarantined ones.
+	Replayed int `json:"replayed"`
+	// DroppedAppends counts verdicts NOT persisted because the async append
+	// queue was full — the hot path never blocks on the ledger.
+	DroppedAppends uint64       `json:"dropped_appends"`
+	Stats          ledger.Stats `json:"stats"`
 }
 
 // ProveRequest asks whether A ⊢ p = q (Section 5) for finite terms.

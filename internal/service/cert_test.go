@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"testing"
 	"time"
@@ -129,4 +130,88 @@ func TestJobCertificateEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job certificate: HTTP %d, want 404", resp.StatusCode)
 	}
+}
+
+// TestCertificateStatusTaxonomy table-tests GET /certificate/{id} across
+// every job lifecycle state, pinning both the HTTP status and the typed
+// code: 409 pending while the job exists but has not finished, 404
+// job_failed when it finished in error (terminal — retrying is pointless),
+// 404 not_found for an id that never existed, 400 for a kind that never
+// records certificates.
+func TestCertificateStatusTaxonomy(t *testing.T) {
+	_, ts, client := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	// Occupy the single worker slot with a slow run, so the next job stays
+	// pending deterministically.
+	slowID, err := client.Submit(ctx, service.JobRequest{
+		Kind: service.JobRun,
+		Run:  &service.RunRequest{Term: "(rec T(a). a!.T(a))(tick)", MaxSteps: 1 << 20, TimeoutMs: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pendingID, err := client.Submit(ctx, service.JobRequest{
+		Kind:  service.JobEquiv,
+		Equiv: &service.EquivRequest{P: "a!", Q: "a!", Rel: service.RelLabelled},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A job that fails fast on a parse error, polled to completion after
+	// the slot frees up (checked at the end so the slow run keeps the slot
+	// busy for the pending case first).
+	failedID, err := client.Submit(ctx, service.JobRequest{
+		Kind:  service.JobEquiv,
+		Equiv: &service.EquivRequest{P: "a!(", Q: "a!", Rel: service.RelLabelled},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name, id string, wantStatus int, wantCode string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/certificate/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s: HTTP %d, want %d", name, resp.StatusCode, wantStatus)
+		}
+		if wantCode == "" {
+			return
+		}
+		var er struct {
+			Error service.ErrorBody `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("%s: decoding error envelope: %v", name, err)
+		}
+		if er.Error.Code != wantCode {
+			t.Fatalf("%s: code %q, want %q", name, er.Error.Code, wantCode)
+		}
+	}
+
+	// While the slot is held, the submitted equiv job is pending/running.
+	check("pending job", pendingID, http.StatusConflict, service.CodePending)
+	check("unknown job", "job-999", http.StatusNotFound, service.CodeNotFound)
+
+	// Let everything finish, then pin the terminal states.
+	if _, err := client.Wait(ctx, slowID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, pendingID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Wait(ctx, failedID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.JobFailed {
+		t.Fatalf("parse-error job state = %s, want failed", st.State)
+	}
+	check("failed job", failedID, http.StatusNotFound, service.CodeJobFailed)
+	check("finished job", pendingID, http.StatusOK, "")
+	check("wrong kind", slowID, http.StatusBadRequest, service.CodeInvalidRequest)
 }

@@ -26,6 +26,8 @@ import (
 //	GET  /v1/jobs/{id} poll an async job
 //	GET  /trace/{id}   span tree + engine counters of an async job
 //	GET  /certificate/{id} replayable certificate of a finished equiv job
+//	GET  /v1/ledger/stats      persistent verdict-ledger summary
+//	GET  /v1/ledger/proof/{key} Merkle inclusion proof of a persisted verdict
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/pprof/ the net/http/pprof profiling surface
@@ -41,6 +43,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", instrument(s, "/v1/jobs/{id}", s.handleJobStatus))
 	mux.HandleFunc("GET /trace/{id}", instrument(s, "/trace/{id}", s.handleTrace))
 	mux.HandleFunc("GET /certificate/{id}", instrument(s, "/certificate/{id}", s.handleCertificate))
+	mux.HandleFunc("GET /v1/ledger/stats", instrument(s, "/v1/ledger/stats", s.handleLedgerStats))
+	mux.HandleFunc("GET /v1/ledger/proof/{key}", instrument(s, "/v1/ledger/proof/{key}", s.handleLedgerProof))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// The pprof surface: the daemon runs its own mux, so the handlers are
@@ -121,8 +125,10 @@ func fail(eb *ErrorBody) (int, any) {
 		status = http.StatusGatewayTimeout
 	case CodeQueueFull, CodeShuttingDown:
 		status = http.StatusServiceUnavailable
-	case CodeNotFound:
+	case CodeNotFound, CodeJobFailed:
 		status = http.StatusNotFound
+	case CodePending:
+		status = http.StatusConflict
 	}
 	return status, errorResponse{Error: *eb}
 }
@@ -331,6 +337,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"bpid_verdict_cache_hits_total", "Verdict-cache hits.", "", hits},
 		{"bpid_verdict_cache_misses_total", "Verdict-cache misses.", "", misses},
 		{"bpid_verdict_cache_hit_rate", "Verdict-cache hit rate since start.", "", hitRate},
+	}
+	// Per-(relation, mode) cache traffic, so warm-start effectiveness is
+	// attributable per workload. Sorted for a stable exposition.
+	relHits, relMisses := s.cache.relCounts()
+	for _, series := range []struct {
+		name, help string
+		counts     map[relMode]uint64
+	}{
+		{"bpid_verdict_cache_rel_hits_total", "Verdict-cache hits by relation and strong/weak mode.", relHits},
+		{"bpid_verdict_cache_rel_misses_total", "Verdict-cache misses by relation and strong/weak mode.", relMisses},
+	} {
+		keys := make([]relMode, 0, len(series.counts))
+		for k := range series.counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].rel != keys[j].rel {
+				return keys[i].rel < keys[j].rel
+			}
+			return keys[i].mode < keys[j].mode
+		})
+		for _, k := range keys {
+			gauges = append(gauges, gauge{series.name, series.help,
+				fmt.Sprintf("{rel=%q,mode=%q}", k.rel, k.mode), float64(series.counts[k])})
+		}
+	}
+	if s.ledger != nil {
+		ls := s.ledger.Stats()
+		gauges = append(gauges,
+			gauge{"bpid_ledger_records_total", "Trusted records in the persistent verdict ledger.", "", float64(ls.Records)},
+			gauge{"bpid_ledger_replay_rejected_total", "Persisted records quarantined by the fail-closed replay.", "", float64(ls.Rejected)},
+			gauge{"bpid_ledger_replayed_total", "Verified records replayed into the verdict cache at startup.", "", float64(s.replayed)},
+			gauge{"bpid_ledger_batches_total", "Sealed Merkle batches.", "", float64(ls.Batches)},
+			gauge{"bpid_ledger_pending_records", "Appended records awaiting their batch seal.", "", float64(ls.Pending)},
+			gauge{"bpid_ledger_seals_total", "Batches sealed by this process.", "", float64(ls.Seals)},
+			gauge{"bpid_ledger_seal_wait_seconds_total", "Summed first-append-to-seal latency of this process's batches.", "", ls.SealWaitSeconds},
+			gauge{"bpid_ledger_dropped_appends_total", "Verdicts not persisted because the write-behind queue was full.", "", float64(s.ledgerDropped.Load())},
+		)
+	}
+	gauges = append(gauges, []gauge{
 		{"bpid_workers", "Worker-pool size.", `{state="total"}`, float64(cap(s.slots))},
 		{"bpid_workers", "Worker-pool size.", `{state="busy"}`, float64(len(s.slots))},
 		{"bpid_jobs", "Jobs by state.", `{state="pending"}`, float64(jc[JobPending])},
@@ -338,7 +384,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"bpid_jobs", "Jobs by state.", `{state="done"}`, float64(jc[JobDone])},
 		{"bpid_jobs", "Jobs by state.", `{state="failed"}`, float64(jc[JobFailed])},
 		{"bpid_uptime_seconds", "Seconds since daemon start.", "", time.Since(s.started).Seconds()},
-	}
+	}...)
 	// Engine counters from the daemon tracer, one labelled series per
 	// counter name (sorted for a stable exposition).
 	counters := s.obs.Counters()

@@ -189,10 +189,14 @@ func (m *jobManager) certificate(id string) (*CertificateResponse, *ErrorBody) {
 	}
 	switch j.status.State {
 	case JobPending, JobRunning:
-		return nil, &ErrorBody{Code: CodeNotFound,
+		// 409, not 404: the job exists and will record a certificate; the
+		// client should retry after the job finishes.
+		return nil, &ErrorBody{Code: CodePending,
 			Message: fmt.Sprintf("job %s is %s; its certificate is recorded when it finishes", id, j.status.State)}
 	case JobFailed:
-		return nil, &ErrorBody{Code: CodeNotFound,
+		// Terminal: the certificate never came to exist, retrying is
+		// pointless — distinct from an unknown job id only by code.
+		return nil, &ErrorBody{Code: CodeJobFailed,
 			Message: fmt.Sprintf("job %s failed (%s); no certificate was recorded", id, j.status.Error.Code)}
 	}
 	if j.status.Equiv == nil || j.status.Equiv.Certificate == nil {

@@ -1,0 +1,253 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/ledger"
+	"bpi/internal/parser"
+	"bpi/internal/service"
+)
+
+// openLedger opens a test ledger with deterministic sealing (every record
+// seals immediately; no background timer).
+func openLedger(t *testing.T, dir string) *ledger.Ledger {
+	t.Helper()
+	l, err := ledger.Open(dir, ledger.Config{BatchSize: 1, MaxWait: -1})
+	if err != nil {
+		t.Fatalf("ledger.Open: %v", err)
+	}
+	return l
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestLedgerWarmStart is the daemon-level roundtrip: verdicts computed by
+// one daemon process persist, and a second process over the same directory
+// replays them into its verdict cache — repeat queries hit without touching
+// the engine — and serves verifiable inclusion proofs for them.
+func TestLedgerWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	queries := []string{
+		`{"p":"a! | b!","q":"a!.b! + b!.a!","rel":"labelled"}`,
+		`{"p":"tau.a!","q":"a!","rel":"labelled","weak":true}`,
+		`{"p":"a!","q":"b!","rel":"labelled"}`,
+	}
+
+	// First life: compute and persist.
+	led1 := openLedger(t, dir)
+	srv1, ts1, _ := newTestServer(t, service.Config{Ledger: led1})
+	var keys []string
+	for _, q := range queries {
+		resp, body := post(t, ts1, "/v1/equiv", q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("equiv: %d %s", resp.StatusCode, body)
+		}
+		var er service.EquivResponse
+		if err := json.Unmarshal([]byte(body), &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Cached {
+			t.Fatalf("first computation reported cached: %s", body)
+		}
+		if er.LedgerKey == "" {
+			t.Fatalf("no ledger_key on a ledger-backed daemon: %s", body)
+		}
+		keys = append(keys, er.LedgerKey)
+	}
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := led1.Close(); err != nil {
+		t.Fatalf("ledger close: %v", err)
+	}
+
+	// Second life: warm start from the same directory.
+	led2 := openLedger(t, dir)
+	defer led2.Close()
+	_, ts2, _ := newTestServer(t, service.Config{Ledger: led2})
+
+	var stats service.LedgerStatsResponse
+	if code := getJSON(t, ts2.URL+"/v1/ledger/stats", &stats); code != http.StatusOK {
+		t.Fatalf("ledger stats: %d", code)
+	}
+	if !stats.Enabled || stats.Replayed != len(queries) || stats.Stats.Records != len(queries) {
+		t.Fatalf("warm-start stats: %+v", stats)
+	}
+	if stats.Stats.Rejected != 0 || stats.Stats.ChainBroken {
+		t.Fatalf("clean ledger reported damage: %+v", stats)
+	}
+
+	// Repeat queries come from the replayed cache, certificate included.
+	for i, q := range queries {
+		_, body := post(t, ts2, "/v1/equiv", strings.TrimSuffix(q, "}")+`,"cert":true}`)
+		var er service.EquivResponse
+		if err := json.Unmarshal([]byte(body), &er); err != nil {
+			t.Fatal(err)
+		}
+		if !er.Cached {
+			t.Fatalf("query %d not served from the warm-started cache: %s", i, body)
+		}
+		if er.LedgerKey != keys[i] {
+			t.Fatalf("query %d ledger key drifted: %s vs %s", i, er.LedgerKey, keys[i])
+		}
+		if er.Certificate == nil {
+			t.Fatalf("replayed verdict lost its certificate: %s", body)
+		}
+		if err := cert.Verify(er.Certificate); err != nil {
+			t.Fatalf("replayed certificate does not verify: %v", err)
+		}
+	}
+
+	// Inclusion proofs are served and verify offline.
+	for _, key := range keys {
+		var proof ledger.InclusionProof
+		if code := getJSON(t, ts2.URL+"/v1/ledger/proof/"+key, &proof); code != http.StatusOK {
+			t.Fatalf("proof %s: %d", key, code)
+		}
+		if err := ledger.VerifyProof(&proof); err != nil {
+			t.Fatalf("proof %s does not verify: %v", key, err)
+		}
+	}
+
+	// The metrics surface carries the ledger series and the per-relation
+	// cache split.
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"bpid_ledger_records_total 3",
+		"bpid_ledger_replay_rejected_total 0",
+		"bpid_ledger_replayed_total 3",
+		`bpid_verdict_cache_rel_hits_total{rel="labelled",mode="strong"} 2`,
+		`bpid_verdict_cache_rel_hits_total{rel="labelled",mode="weak"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestLedgerForgedRecordNotTrusted plants a record whose verdict its own
+// certificate disproves: the warm start must quarantine it (counted, never
+// cached) and a fresh query must recompute the true verdict.
+func TestLedgerForgedRecordNotTrusted(t *testing.T) {
+	dir := t.TempDir()
+	led1 := openLedger(t, dir)
+
+	ch := equiv.NewChecker(nil)
+	ch.Certify = true
+	p, _ := parser.Parse("a! | b!")
+	q, _ := parser.Parse("a!.b! + b!.a!")
+	r, err := ch.Labelled(p, q, false)
+	if err != nil || !r.Related {
+		t.Fatalf("Labelled: %v related=%t", err, r.Related)
+	}
+	rec, err := ledger.NewRecord(service.RelLabelled, false, 0, 0, 0, r.Related, r.Pairs, r.Reason, r.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Related = false // the lie: certificate proves related=true
+	if _, err := led1.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := led1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	led2 := openLedger(t, dir)
+	defer led2.Close()
+	_, ts, _ := newTestServer(t, service.Config{Ledger: led2})
+
+	var stats service.LedgerStatsResponse
+	getJSON(t, ts.URL+"/v1/ledger/stats", &stats)
+	if stats.Replayed != 0 || stats.Stats.Rejected != 1 {
+		t.Fatalf("forged record not quarantined: %+v", stats)
+	}
+
+	// The forged verdict must not have seeded the cache: the query is a
+	// fresh computation and reports the true verdict.
+	_, body := post(t, ts, "/v1/equiv", `{"p":"a! | b!","q":"a!.b! + b!.a!","rel":"labelled"}`)
+	var er service.EquivResponse
+	if err := json.Unmarshal([]byte(body), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Cached || !er.Related {
+		t.Fatalf("forged record influenced the verdict: %s", body)
+	}
+}
+
+// TestLedgerProofTaxonomy pins the proof endpoint's error taxonomy: 409
+// pending for an unsealed record, 404 for an unknown key, and the
+// no-ledger daemon answers stats with enabled=false.
+func TestLedgerProofTaxonomy(t *testing.T) {
+	dir := t.TempDir()
+	led, err := ledger.Open(dir, ledger.Config{BatchSize: 1000, MaxWait: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	_, ts, _ := newTestServer(t, service.Config{Ledger: led})
+
+	_, body := post(t, ts, "/v1/equiv", `{"p":"a!","q":"a!","rel":"labelled"}`)
+	var er service.EquivResponse
+	if err := json.Unmarshal([]byte(body), &er); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/ledger/proof/" + er.LedgerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unsealed proof status = %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/ledger/proof/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown proof status = %d, want 404", resp.StatusCode)
+	}
+
+	_, tsNo, _ := newTestServer(t, service.Config{})
+	var stats service.LedgerStatsResponse
+	if code := getJSON(t, tsNo.URL+"/v1/ledger/stats", &stats); code != http.StatusOK || stats.Enabled {
+		t.Fatalf("no-ledger stats: code=%d %+v", code, stats)
+	}
+	resp, err = http.Get(tsNo.URL + "/v1/ledger/proof/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-ledger proof status = %d, want 404", resp.StatusCode)
+	}
+}

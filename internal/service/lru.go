@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"bpi/internal/ledger"
 )
 
 // verdictCache is a bounded LRU of equivalence verdicts keyed on the
@@ -14,14 +16,35 @@ import (
 // checker itself interns through the same canonicalisation, and all the
 // paper's relations are symmetric, so the key orders the two sides
 // lexicographically and one entry serves both orientations.
+//
+// Hits and misses are counted both in aggregate and per (relation, mode)
+// class, so warm-start effectiveness is attributable per workload on
+// /metrics (bpid_verdict_cache_rel_{hits,misses}_total{rel,mode}).
 type verdictCache struct {
 	mu      sync.Mutex
 	max     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
 
+	relHits   map[relMode]uint64 // guarded by mu
+	relMisses map[relMode]uint64
+
 	hits   atomic.Uint64
 	misses atomic.Uint64
+}
+
+// relMode is the per-workload counter class: the relation crossed with
+// strong/weak.
+type relMode struct {
+	rel  string
+	mode string // "strong" | "weak"
+}
+
+func newRelMode(rel string, weak bool) relMode {
+	if weak {
+		return relMode{rel, "weak"}
+	}
+	return relMode{rel, "strong"}
 }
 
 type cacheEntry struct {
@@ -33,29 +56,37 @@ func newVerdictCache(max int) *verdictCache {
 	if max <= 0 {
 		max = 4096
 	}
-	return &verdictCache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+	return &verdictCache{max: max, order: list.New(), entries: make(map[string]*list.Element),
+		relHits: map[relMode]uint64{}, relMisses: map[relMode]uint64{}}
 }
 
-// verdictCacheKey builds the cache key from the relation spec, the budgets
-// and the lexicographically ordered canonical keys of the two terms.
+// verdictCacheKey builds the cache key: the ledger's canonical pair key (the
+// relation spec plus the lexicographically ordered canonical term keys) with
+// the request budgets appended. Sharing ledger.PairKey here is what lets a
+// warm-start replay rebuild exactly this key from a persisted record.
 func verdictCacheKey(rel string, weak bool, maxPairs, maxClosure, maxSubs int, kp, kq string) string {
-	if kq < kp {
-		kp, kq = kq, kp
-	}
-	return fmt.Sprintf("%s|%t|%d|%d|%d|%s|%s", rel, weak, maxPairs, maxClosure, maxSubs, kp, kq)
+	return budgetKey(ledger.PairKey(rel, weak, kp, kq), maxPairs, maxClosure, maxSubs)
 }
 
-// get returns the cached verdict and bumps its recency.
-func (c *verdictCache) get(key string) (EquivResponse, bool) {
+// budgetKey appends the budget axes onto a canonical pair key.
+func budgetKey(pairKey string, maxPairs, maxClosure, maxSubs int) string {
+	return fmt.Sprintf("%s|%d|%d|%d", pairKey, maxPairs, maxClosure, maxSubs)
+}
+
+// get returns the cached verdict and bumps its recency, counting the
+// hit/miss against the (relation, mode) class.
+func (c *verdictCache) get(key, rel string, weak bool) (EquivResponse, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses.Add(1)
+		c.relMisses[newRelMode(rel, weak)]++
 		return EquivResponse{}, false
 	}
 	c.order.MoveToFront(el)
 	c.hits.Add(1)
+	c.relHits[newRelMode(rel, weak)]++
 	return el.Value.(*cacheEntry).resp, true
 }
 
@@ -75,6 +106,21 @@ func (c *verdictCache) put(key string, resp EquivResponse) {
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).key)
 	}
+}
+
+// relCounts snapshots the per-(relation, mode) hit/miss counters.
+func (c *verdictCache) relCounts() (hits, misses map[relMode]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hits = make(map[relMode]uint64, len(c.relHits))
+	for k, v := range c.relHits {
+		hits[k] = v
+	}
+	misses = make(map[relMode]uint64, len(c.relMisses))
+	for k, v := range c.relMisses {
+		misses[k] = v
+	}
+	return hits, misses
 }
 
 func (c *verdictCache) len() int {

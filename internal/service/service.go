@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bpi/internal/axioms"
 	"bpi/internal/cert"
 	"bpi/internal/equiv"
+	"bpi/internal/ledger"
 	"bpi/internal/machine"
 	"bpi/internal/names"
 	"bpi/internal/obs"
@@ -68,6 +70,11 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxTermBytes bounds the source size of any single term (default 64 KiB).
 	MaxTermBytes int
+	// Ledger, when set, is an opened persistent verdict ledger: verified
+	// records replay into the verdict cache at New, and fresh certified
+	// verdicts are appended write-behind (see ledger.go). The caller keeps
+	// ownership and closes it after Shutdown.
+	Ledger *ledger.Ledger
 }
 
 func (c Config) workers() int {
@@ -123,6 +130,16 @@ type Server struct {
 	// own per-job tracer (see jobManager) served by GET /trace/{id}.
 	obs *obs.Tracer
 
+	// Ledger state (nil/zero without Config.Ledger): the write-behind
+	// append queue, its single writer goroutine, the count of records
+	// replayed into the cache at startup, and appends dropped on queue
+	// pressure. See ledger.go.
+	ledger        *ledger.Ledger
+	ledgerCh      chan pendingAppend
+	ledgerWG      sync.WaitGroup
+	ledgerDropped atomic.Uint64
+	replayed      int
+
 	slots    chan struct{} // worker-pool semaphore; len() = busy workers
 	inflight sync.WaitGroup
 
@@ -146,6 +163,7 @@ func New(cfg Config) *Server {
 	s.store = equiv.NewStore(s.sys)
 	s.store.SetObs(s.obs)
 	s.jobs = newJobManager(s, cfg.queueDepth())
+	s.attachLedger()
 	return s
 }
 
@@ -166,6 +184,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Only after the drain: no in-flight request can enqueue appends
+		// anymore, so the write-behind queue can be closed and flushed.
+		s.stopLedger()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: shutdown drain: %w", ctx.Err())
@@ -288,9 +309,9 @@ func (s *Server) runEquiv(ctx context.Context, req *EquivRequest, tr *obs.Tracer
 		return nil, &ErrorBody{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("unknown relation %q (want labelled|barbed|step|onestep|congruence)", req.Rel)}
 	}
-	key := verdictCacheKey(req.Rel, req.Weak, req.MaxPairs, req.MaxClosure, req.MaxSubs,
-		syntax.Key(syntax.Simplify(p)), syntax.Key(syntax.Simplify(q)))
-	if resp, ok := s.cache.get(key); ok {
+	kp, kq := syntax.Key(syntax.Simplify(p)), syntax.Key(syntax.Simplify(q))
+	key := verdictCacheKey(req.Rel, req.Weak, req.MaxPairs, req.MaxClosure, req.MaxSubs, kp, kq)
+	if resp, ok := s.cache.get(key, req.Rel, req.Weak); ok {
 		resp.Cached = true
 		resp.ElapsedMs = 0
 		if !req.Cert {
@@ -333,7 +354,14 @@ func (s *Server) runEquiv(ctx context.Context, req *EquivRequest, tr *obs.Tracer
 		return nil, classify(err)
 	}
 	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if s.ledger != nil {
+		// The content address is derivable right here (the canonical keys
+		// are already computed); the record itself is built and appended by
+		// the write-behind goroutine.
+		resp.LedgerKey = ledger.KeyHash(ledger.PairKey(req.Rel, req.Weak, kp, kq))
+	}
 	s.cache.put(key, resp)
+	s.recordVerdict(req, &resp)
 	if !req.Cert {
 		stripped := resp
 		stripped.Certificate = nil
