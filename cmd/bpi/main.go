@@ -10,6 +10,9 @@
 //	bpi run      [-f file] [-n max] [-seed s] [-trace] [term]
 //	                                 execute by broadcast scheduling
 //	bpi fmt      [-f file] [term]    parse and pretty-print
+//	bpi protocols [-list] [-run name] [-workers n] [-cert out.json]
+//	                                 list/run the broadcast-algorithm
+//	                                 scenario library (internal/protocols)
 //
 // Terms come from the command line or from a program file (-f) holding
 // "let" definitions and a main term.
@@ -47,6 +50,8 @@ func main() {
 		err = cmdRun(args)
 	case "fmt":
 		err = cmdFmt(args)
+	case "protocols":
+		err = cmdProtocols(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -68,6 +73,8 @@ func usage() {
   bpi explore  [-f file] [-n max] [term]       reachable transition graph
   bpi run      [-f file] [-n max] [-seed s] [-trace] [term]
   bpi fmt      [-f file] [term]                parse and pretty-print
+  bpi protocols [-list] [-run name] [-workers n] [-cert out.json] [-terms]
+                                               broadcast-algorithm scenario library
 `)
 }
 

@@ -10,8 +10,14 @@
 // checkers in parallel-engine mode, so the footer reports both wall-clocks.
 //
 // Usage: bpibench [-run regexp-free-substring] [-v] [-parallel] [-workers n]
-// [-json file] [-stress] [-trace out.json] [-counters] [-cpuprofile file]
-// [-memprofile file]
+// [-json file] [-stress] [-protocols] [-trace out.json] [-counters]
+// [-cpuprofile file] [-memprofile file]
+//
+// -protocols runs the internal/protocols conformance ladder: each protocol
+// scenario (gossip star, leader election, multicast emulation) is decided
+// against its behavioural spec at 1/2/4 workers, verdicts must match the
+// scenario's expectation and be bit-identical across worker counts, and the
+// per-rung curve lands in the JSON report next to the stress curve.
 //
 // The experiment suite's wall-clock ratio is NOT the headline parallelism
 // number: the individual experiments are sub-50ms, so a suite "speedup" is
@@ -46,6 +52,7 @@ import (
 	"bpi/internal/obs"
 	"bpi/internal/papers"
 	"bpi/internal/pi"
+	"bpi/internal/protocols"
 	"bpi/internal/pvm"
 	"bpi/internal/ram"
 	brand "bpi/internal/rand"
@@ -143,17 +150,18 @@ type expJSON struct {
 }
 
 type benchJSON struct {
-	GOMAXPROCS   int       `json:"gomaxprocs"`
-	HostCPUs     int       `json:"host_cpus"`
-	Workers      int       `json:"workers"`
-	SequentialMS float64   `json:"sequential_ms"`
-	ParallelMS   float64   `json:"parallel_ms,omitempty"`
-	Speedup      float64   `json:"speedup,omitempty"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	HostCPUs     int     `json:"host_cpus"`
+	Workers      int     `json:"workers"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
 	// SpeedupNote explains a withheld suite speedup (sub-50ms experiments,
 	// or a single-P runtime).
-	SpeedupNote string      `json:"speedup_note,omitempty"`
-	Stress      *stressJSON `json:"stress,omitempty"`
-	Experiments []expJSON   `json:"experiments"`
+	SpeedupNote string         `json:"speedup_note,omitempty"`
+	Stress      *stressJSON    `json:"stress,omitempty"`
+	Protocols   *protocolsJSON `json:"protocols,omitempty"`
+	Experiments []expJSON      `json:"experiments"`
 }
 
 type stressPointJSON struct {
@@ -205,9 +213,9 @@ func runStress(verbose bool) (*stressJSON, int) {
 				ch = equiv.NewChecker(nil)
 			}
 			// The largest rung's pair space is ~5M (pair density grows with
-		// mesh size: ~30x states at mesh-20, ~36x at mesh-22); 1<<23 keeps
-		// comfortable headroom so the curve never hits the budget.
-		ch.MaxPairs = 1 << 23
+			// mesh size: ~30x states at mesh-20, ~36x at mesh-22); 1<<23 keeps
+			// comfortable headroom so the curve never hits the budget.
+			ch.MaxPairs = 1 << 23
 			ch = instrument(ch)
 			start := time.Now()
 			r, err := ch.Step(c.P, c.Q, false)
@@ -255,6 +263,78 @@ func runStress(verbose bool) (*stressJSON, int) {
 	return out, failures
 }
 
+type protocolsRungJSON struct {
+	Name   string            `json:"name"`
+	Algo   string            `json:"algo"`
+	Rel    string            `json:"rel"`
+	Weak   bool              `json:"weak"`
+	States int               `json:"states"`
+	Pairs  int               `json:"pairs"`
+	Points []stressPointJSON `json:"points"`
+}
+
+type protocolsJSON struct {
+	HostCPUs int                 `json:"host_cpus"`
+	Rungs    []protocolsRungJSON `json:"rungs"`
+}
+
+// protocolsWorkerCounts is the per-rung worker ladder of the protocol
+// conformance curve (the acceptance matrix: sequential, parallel at 2 and
+// 4 workers).
+var protocolsWorkerCounts = []int{1, 2, 4}
+
+// runProtocols decides every internal/protocols Ladder rung — a real
+// broadcast algorithm against its behavioural spec, in the scenario's own
+// relation — at each worker count, each run on a fresh store. Verdicts must
+// match the scenario's expectation and be bit-identical across worker
+// counts. Returns the curve and the number of failures.
+func runProtocols(verbose bool) (*protocolsJSON, int) {
+	out := &protocolsJSON{HostCPUs: runtime.NumCPU()}
+	failures := 0
+	for _, s := range protocols.Ladder() {
+		rung := protocolsRungJSON{Name: s.Name, Algo: s.Algo, Rel: string(s.Rel),
+			Weak: s.Weak, States: s.States}
+		var baseMS float64
+		var base equiv.Result
+		for i, w := range protocolsWorkerCounts {
+			ch := instrument(protocols.NewChecker(w))
+			start := time.Now()
+			r, err := protocols.Decide(ch, s)
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if err != nil {
+				fmt.Printf("protocols %-16s workers=%d: ERROR %v\n", s.Name, w, err)
+				failures++
+				continue
+			}
+			if i == 0 {
+				baseMS, base = ms, r
+				rung.Pairs = r.Pairs
+				if r.Related != s.WantEquiv {
+					fmt.Printf("protocols %-16s: verdict %v, scenario expects %v (%s)\n",
+						s.Name, r.Related, s.WantEquiv, r.Reason)
+					failures++
+				}
+			} else if r.Related != base.Related || r.Pairs != base.Pairs || r.Reason != base.Reason {
+				fmt.Printf("protocols %-16s workers=%d: verdict diverged from sequential (related %v/%v pairs %d/%d)\n",
+					s.Name, w, r.Related, base.Related, r.Pairs, base.Pairs)
+				failures++
+			}
+			rung.Points = append(rung.Points, stressPointJSON{Workers: w, MS: ms, Speedup: baseMS / ms})
+			if verbose {
+				fmt.Printf("protocols %-16s workers=%d: %.0fms\n", s.Name, w, ms)
+			}
+		}
+		var cells []string
+		for _, pt := range rung.Points {
+			cells = append(cells, fmt.Sprintf("w%d %.0fms (%.2fx)", pt.Workers, pt.MS, pt.Speedup))
+		}
+		fmt.Printf("protocols %-16s %6d states %8d pairs  %s\n",
+			rung.Name, rung.States, rung.Pairs, strings.Join(cells, "  "))
+		out.Rungs = append(out.Rungs, rung)
+	}
+	return out, failures
+}
+
 // main delegates to run so the profile-writing defers fire before the
 // process exits with the suite's status code.
 func main() { os.Exit(run()) }
@@ -266,6 +346,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "parallel fan-out width (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_equiv.json style) to this file")
 	stressFlag := flag.Bool("stress", false, "run the internal/stress scaling ladder (10^5+ states) at 1/2/4/8 workers; this is the headline parallelism number and takes minutes")
+	protocolsFlag := flag.Bool("protocols", false, "run the internal/protocols conformance ladder (broadcast algorithms vs their specs) at 1/2/4 workers")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file covering the whole suite")
 	counters := flag.Bool("counters", false, "print aggregate engine counters to stderr after the suite")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
@@ -382,6 +463,13 @@ func run() int {
 		st, sf := runStress(*verbose)
 		failures += sf
 		report.Stress = st
+	}
+
+	if *protocolsFlag {
+		fmt.Println(strings.Repeat("-", 110))
+		pr, pf := runProtocols(*verbose)
+		failures += pf
+		report.Protocols = pr
 	}
 
 	if *jsonPath != "" {

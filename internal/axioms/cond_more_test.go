@@ -1,0 +1,101 @@
+package axioms
+
+import (
+	"strings"
+	"testing"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// TestCondStrings pins the rendering of the condition grammar (the strings
+// appear in prover traces and error messages).
+func TestCondStrings(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		want string
+	}{
+		{True{}, "true"},
+		{Eq{a, b}, "[a=b]"},
+		{Neq(a, b), "¬[a=b]"},
+		{False(), "¬true"},
+		{And{Eq{a, b}, Neq(a, c)}, "[a=b]∧¬[a=c]"},
+	}
+	for _, cse := range cases {
+		if got := cse.c.String(); got != cse.want {
+			t.Errorf("String(%#v) = %q, want %q", cse.c, got, cse.want)
+		}
+	}
+}
+
+// TestWorldSubstAgrees ties World.Subst to Agrees (Definition 18): every
+// world's representative substitution agrees with the world's own complete
+// condition, and with no other world's.
+func TestWorldSubstAgrees(t *testing.T) {
+	v := names.NewSet(a, b, c)
+	ws := Worlds(v)
+	for i, w := range ws {
+		if !Agrees(w.Subst(), w.Cond()) {
+			t.Errorf("world %s does not agree with its own condition", w)
+		}
+		for j, u := range ws {
+			if i != j && Agrees(w.Subst(), u.Cond()) {
+				t.Errorf("world %s agrees with foreign condition of %s", w, u)
+			}
+		}
+	}
+}
+
+// TestProverTraceAndBounds checks the derivation-outline surface (Tracing /
+// TraceLines) and the explicit MaxNames/MaxSteps overrides.
+func TestProverTraceAndBounds(t *testing.T) {
+	pr := NewProver(nil)
+	pr.Tracing = true
+	pr.MaxNames = 4
+	pr.MaxSteps = 50000
+	p := syntax.Choice(syntax.SendN(a, b), syntax.TauP(syntax.PNil))
+	ok, err := pr.Decide(p, p)
+	if err != nil || !ok {
+		t.Fatalf("Decide(p,p) = %v, %v", ok, err)
+	}
+	lines := pr.TraceLines()
+	if len(lines) == 0 {
+		t.Fatal("Tracing produced no trace lines")
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "world") {
+		t.Errorf("trace mentions no world specialisation:\n%s", joined)
+	}
+	// A fresh silent prover keeps no trace.
+	quiet := NewProver(nil)
+	if ok, err := quiet.Decide(p, p); err != nil || !ok {
+		t.Fatalf("quiet Decide = %v, %v", ok, err)
+	}
+	if len(quiet.TraceLines()) != 0 {
+		t.Error("silent prover recorded trace lines")
+	}
+}
+
+// TestHNFInputChannels pins the listener summary of a head normal form:
+// channels with the arities of their input binders, per world.
+func TestHNFInputChannels(t *testing.T) {
+	// a?(x).0 + a?(x,y).0 + b!().0 listens on a at arities 1 and 2.
+	p := syntax.Choice(
+		syntax.Recv(a, []names.Name{x}, syntax.PNil),
+		syntax.Recv(a, []names.Name{x, "y"}, syntax.PNil),
+		syntax.SendN(b),
+	)
+	h, err := ComputeHNF(sharedSys, p, syntax.FreeNames(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h.Worlds {
+		ins := h.InputChannels(i)
+		if len(ins) != 1 || ins[a] == nil {
+			t.Fatalf("world %d: InputChannels = %v, want listeners on a only", i, ins)
+		}
+		if !ins[a][1] || !ins[a][2] || len(ins[a]) != 2 {
+			t.Errorf("world %d: arities on a = %v, want {1,2}", i, ins[a])
+		}
+	}
+}

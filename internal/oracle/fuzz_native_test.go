@@ -33,3 +33,29 @@ func FuzzDecideAgree(f *testing.F) {
 		}
 	})
 }
+
+// FuzzProtocolsConform is the native go-fuzz twin of the protocols/conform
+// law: every mutated seed draws a scenario from the protocol catalogue and
+// all engines must reproduce its expected conformance verdict with
+// verifying certificates. Run with:
+//
+//	go test -run '^$' -fuzz FuzzProtocolsConform -fuzztime 30s ./internal/oracle
+func FuzzProtocolsConform(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 1 << 33} {
+		f.Add(seed)
+	}
+	env := NewEnv(2)
+	law := lawProtocolsConform()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		g := brand.New(mix(seed), law.Config)
+		p, q, tag := law.Gen(g)
+		detail, err := law.Check(context.Background(), env, p, q)
+		if err != nil {
+			t.Skip() // engine budget exhausted
+		}
+		if detail != "" {
+			t.Errorf("seed %d [%s]: %s\n p = %s\n q = %s",
+				seed, tag, detail, syntax.Print(p), syntax.Print(q))
+		}
+	})
+}

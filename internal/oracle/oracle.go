@@ -23,6 +23,9 @@
 //   - Persistence: a certified verdict survives the full ledger lifecycle
 //     (internal/ledger) — append, seal, reopen — unchanged, certificate and
 //     inclusion proof included.
+//   - Protocol conformance: every internal/protocols scenario — healthy or
+//     fault-injected — gets the verdict its spec expects, in its own
+//     relation, on every engine, certificates included.
 //
 // Everything is reproducible: iteration i of a run with seed s draws all
 // randomness from mix(s + i), and every violation reports the exact
@@ -101,6 +104,7 @@ func Registry() []Law {
 		lawCertChecks(),
 		lawStressAgree(),
 		lawLedgerRoundtrip(),
+		lawProtocolsConform(),
 	}
 }
 

@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/protocols"
+	brand "bpi/internal/rand"
+	"bpi/internal/syntax"
+)
+
+// protoKey identifies a catalogue pair independently of which law iteration
+// drew it — the shrinker mutates terms, so Check must recognise whether the
+// pair it is handed still IS a catalogue scenario (full conformance check,
+// expected verdict included) or a shrunken fragment (engine agreement
+// only; there is no expected verdict for an arbitrary term pair).
+func protoKey(p, q syntax.Proc) string {
+	return syntax.Print(p) + "\x00" + syntax.Print(q)
+}
+
+var (
+	protoOnce     sync.Once
+	protoExpected map[string]protocols.Scenario
+)
+
+func protoScenarios() map[string]protocols.Scenario {
+	protoOnce.Do(func() {
+		protoExpected = map[string]protocols.Scenario{}
+		for _, s := range protocols.Catalogue() {
+			protoExpected[protoKey(s.Impl, s.Spec)] = s
+		}
+	})
+	return protoExpected
+}
+
+// lawProtocolsConform is the protocol-library conformance law: on every
+// catalogue scenario (healthy and fault-injected), the sequential pair
+// engine, the work-stealing parallel engine at 2 and 4 workers and the
+// partition-refinement engine must agree with the scenario's expected
+// verdict in the scenario's own relation, with bit-identical parallel
+// Results and certificates that pass the independent verifier. On shrunken
+// pairs the expected-verdict clause drops away and the law degrades to
+// engine agreement in the scenario relations — so a violation minimises
+// like any other law without the shrinker having to preserve catalogue
+// membership.
+func lawProtocolsConform() Law {
+	return Law{
+		Name:   "protocols/conform",
+		Doc:    "every protocol scenario's conformance verdict matches its spec on all engines, certificates verify",
+		Config: richConfig(), // unused by Gen; scenarios are parameterised, not random ASTs
+		Gen: func(g *brand.Gen) (syntax.Proc, syntax.Proc, string) {
+			cat := protocols.Catalogue()
+			s := cat[g.Intn(len(cat))]
+			return s.Impl, s.Spec, s.Name
+		},
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			s, known := protoScenarios()[protoKey(p, q)]
+			if !known {
+				// Shrunken pair: keep the engine-agreement half of the law
+				// in the strong relations (weak closures on arbitrary
+				// fragments are disproportionately expensive for a shrink
+				// probe).
+				s = protocols.Scenario{Impl: p, Spec: q, Rel: protocols.RelStep}
+			}
+			decide := func(w int) (equiv.Result, error) {
+				return protocols.DecideCtx(ctx, protocols.NewChecker(w), s)
+			}
+			seq, err := decide(1)
+			if err != nil {
+				return "", err
+			}
+			if known && seq.Related != s.WantEquiv {
+				return fmt.Sprintf("%s: sequential verdict %v, scenario expects %v (%s)",
+					s.Name, seq.Related, s.WantEquiv, seq.Reason), nil
+			}
+			if seq.Cert == nil {
+				return s.Name + ": certifying checker returned no certificate", nil
+			}
+			if err := cert.Verify(seq.Cert); err != nil {
+				return fmt.Sprintf("%s: pair-engine certificate rejected: %v", s.Name, err), nil
+			}
+			for _, w := range []int{2, 4} {
+				par, err := decide(w)
+				if err != nil {
+					return "", err
+				}
+				if seq.Related != par.Related || seq.Pairs != par.Pairs || seq.Reason != par.Reason {
+					return fmt.Sprintf("%s: parallel engine (workers=%d) diverges: related %v/%v pairs %d/%d",
+						s.Name, w, seq.Related, par.Related, seq.Pairs, par.Pairs), nil
+				}
+			}
+			refOK, refCert, err := protocols.Refine(s, 1<<15)
+			if err != nil {
+				return "", nil // joint LTS over budget on a pathological shrink probe; vacuous
+			}
+			if refOK != seq.Related {
+				return fmt.Sprintf("%s: refinement=%v pair engine=%v", s.Name, refOK, seq.Related), nil
+			}
+			if refCert != nil {
+				if err := cert.Verify(refCert); err != nil {
+					return fmt.Sprintf("%s: refiner certificate rejected: %v", s.Name, err), nil
+				}
+			}
+			return "", nil
+		},
+	}
+}

@@ -1,0 +1,76 @@
+package protocols
+
+import (
+	"context"
+	"fmt"
+
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/lts"
+	"bpi/internal/refine"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// NewChecker returns a pair-engine checker budgeted for the catalogue and
+// ladder pair spaces, certifying, with the requested worker count (1 =
+// sequential engine, >1 = the work-stealing parallel engine).
+func NewChecker(workers int) *equiv.Checker {
+	var chk *equiv.Checker
+	if workers > 1 {
+		chk = equiv.NewParallelChecker(nil, workers)
+	} else {
+		chk = equiv.NewChecker(nil)
+	}
+	chk.MaxPairs = 1 << 20
+	chk.Certify = true
+	return chk
+}
+
+// Decide runs the scenario's conformance query — Rel at Weak — on the given
+// checker. The verdict answers "does Impl conform to Spec?"; compare with
+// s.WantEquiv for the expected outcome.
+func Decide(chk *equiv.Checker, s Scenario) (equiv.Result, error) {
+	return DecideCtx(context.Background(), chk, s)
+}
+
+// DecideCtx is Decide honouring ctx.
+func DecideCtx(ctx context.Context, chk *equiv.Checker, s Scenario) (equiv.Result, error) {
+	switch s.Rel {
+	case RelBarbed:
+		return chk.BarbedCtx(ctx, s.Impl, s.Spec, s.Weak)
+	case RelStep:
+		return chk.StepCtx(ctx, s.Impl, s.Spec, s.Weak)
+	}
+	return equiv.Result{}, fmt.Errorf("protocols: unknown relation %q", s.Rel)
+}
+
+// Refine decides the scenario's conformance with the partition-refinement
+// engine over the joint autonomous LTS — the independent second opinion the
+// conform law compares against the pair engine. Strong relations return the
+// refiner's certificate; the weak refiners produce verdicts only (cert is
+// nil), the pair engine supplies the weak certificates.
+func Refine(s Scenario, maxStates int) (ok bool, crt *cert.Certificate, err error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	g, err := lts.Explore(semantics.NewSystem(nil), []syntax.Proc{s.Impl, s.Spec},
+		lts.Options{AutonomousOnly: true, MaxStates: maxStates})
+	if err != nil {
+		return false, nil, err
+	}
+	if g.Truncated {
+		return false, nil, fmt.Errorf("protocols: joint LTS truncated at %d states", maxStates)
+	}
+	switch {
+	case s.Rel == RelStep && !s.Weak:
+		crt, ok, err = refine.CertifyStrongStep(g)
+	case s.Rel == RelBarbed && !s.Weak:
+		crt, ok, err = refine.CertifyStrongBarbed(g)
+	case s.Rel == RelStep && s.Weak:
+		ok, err = refine.WeakStep(g)
+	default:
+		ok, err = refine.WeakBarbed(g)
+	}
+	return ok, crt, err
+}

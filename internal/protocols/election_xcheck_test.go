@@ -1,0 +1,44 @@
+package protocols
+
+import (
+	"testing"
+
+	"bpi/internal/equiv"
+	"bpi/internal/papers"
+	"bpi/internal/semantics"
+)
+
+// TestElectionMatchesPapers cross-checks the two independent renderings of
+// the broadcast leader election: the recursive-definition version behind
+// examples/leaderelect (internal/papers, Candidate defined in an Env) and
+// this package's closed-term generator. At matching parameters they must be
+// equivalent — strong step AND weak step — and the generator's enumerated
+// spec must accept the papers implementation directly, not just via
+// transitivity.
+func TestElectionMatchesPapers(t *testing.T) {
+	env := papers.ElectionEnv()
+	for n := 2; n <= 4; n++ {
+		ours := Election(n, Fault{})
+		theirs := papers.ElectionSystem(n, "claim", "lead", "follow")
+		for _, weak := range []bool{false, true} {
+			chk := equiv.NewChecker(semantics.NewSystem(env))
+			chk.MaxPairs = 1 << 18
+			r, err := chk.Step(theirs, ours.Impl, weak)
+			if err != nil {
+				t.Fatalf("n=%d weak=%v: %v", n, weak, err)
+			}
+			if !r.Related {
+				t.Errorf("n=%d: papers election diverges from generator impl (weak=%v): %s",
+					n, weak, r.Reason)
+			}
+			r, err = chk.Step(theirs, ours.Spec, weak)
+			if err != nil {
+				t.Fatalf("n=%d weak=%v (spec): %v", n, weak, err)
+			}
+			if !r.Related {
+				t.Errorf("n=%d: papers election fails the generator spec (weak=%v): %s",
+					n, weak, r.Reason)
+			}
+		}
+	}
+}

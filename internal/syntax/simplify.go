@@ -52,22 +52,27 @@ func simplify(p Proc, inst names.Set) Proc {
 		}
 		return Prefix{t.Pre, simplify(t.Cont, inst)}
 	case Sum:
-		parts := collectSum(p)
-		for i := range parts {
-			parts[i] = simplify(parts[i], inst)
+		// Re-collect after simplifying: a summand may itself collapse to a
+		// sum (e.g. a decided match), whose parts must join this level's
+		// dedupe and ordering or a second pass would normalise further.
+		var parts []Proc
+		for _, q := range collectSum(p) {
+			parts = append(parts, collectSum(simplify(q, inst))...)
 		}
 		parts = dedupeDropNil(parts)
 		sortByKey(parts)
 		return Choice(parts...)
 	case Par:
-		parts := collectPar(p)
-		out := parts[:0]
-		for _, q := range parts {
-			q = simplify(q, inst)
-			if _, isNil := q.(Nil); isNil {
-				continue
+		// Same re-flattening as Sum: a component collapsing to a composition
+		// must not leave a nested Par that re-associates on the next pass.
+		var out []Proc
+		for _, q := range collectPar(p) {
+			for _, r := range collectPar(simplify(q, inst)) {
+				if _, isNil := r.(Nil); isNil {
+					continue
+				}
+				out = append(out, r)
 			}
-			out = append(out, q)
 		}
 		sortByKey(out)
 		return Group(out...)
