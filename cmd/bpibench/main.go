@@ -10,8 +10,16 @@
 // checkers in parallel-engine mode, so the footer reports both wall-clocks.
 //
 // Usage: bpibench [-run regexp-free-substring] [-v] [-parallel] [-workers n]
-// [-json file] [-stress] [-protocols] [-trace out.json] [-counters]
-// [-cpuprofile file] [-memprofile file]
+// [-json file] [-stress] [-protocols] [-compiled] [-trace out.json]
+// [-counters] [-cpuprofile file] [-memprofile file]
+//
+// -compiled runs the suite's checkers on compiled transition programs and,
+// with -stress, re-runs every stress point on a compiled store after the
+// interpreted run: verdicts must be bit-identical, and the per-point
+// interpreted/compiled time ratios are published (compiled_ms,
+// compiled_ratio, and the gate figure compiled_min_ratio — the worst ratio
+// over points whose interpreted run took >= 200ms; shorter points are
+// recorded but excluded as scheduling noise).
 //
 // -protocols runs the internal/protocols conformance ladder: each protocol
 // scenario (gossip star, leader election, multicast emulation) is decided
@@ -169,6 +177,13 @@ type stressPointJSON struct {
 	MS      float64 `json:"ms"`
 	// Speedup is sequential-ms / this-point-ms on the same rung.
 	Speedup float64 `json:"speedup"`
+	// CompiledMS is the same point re-run with the compiled transition
+	// programs (-compiled only), after a bit-identity check against the
+	// interpreted verdict.
+	CompiledMS float64 `json:"compiled_ms,omitempty"`
+	// CompiledRatio is interpreted-ms / compiled-ms at this point: > 1
+	// means the compiled path was faster.
+	CompiledRatio float64 `json:"compiled_ratio,omitempty"`
 }
 
 type stressRungJSON struct {
@@ -187,6 +202,13 @@ type stressJSON struct {
 	// Headline4W is the 4-worker speedup on the largest rung; omitted when
 	// the host has fewer than 2 CPUs (the figure would be meaningless).
 	Headline4W float64 `json:"headline_speedup_4w,omitempty"`
+	// CompiledMinRatio is the worst interpreted/compiled time ratio over
+	// the points whose interpreted run took >= 200ms (-compiled only) — the
+	// number the CI guard gates on (compiled must stay >= 0.9x). Sub-200ms
+	// points are recorded but excluded: their ratio is scheduling noise.
+	CompiledMinRatio float64 `json:"compiled_min_ratio,omitempty"`
+	// CompiledNote explains a withheld CompiledMinRatio.
+	CompiledNote string `json:"compiled_note,omitempty"`
 }
 
 // stressWorkerCounts is the per-rung worker ladder of the scaling curve.
@@ -196,27 +218,36 @@ var stressWorkerCounts = []int{1, 2, 4, 8}
 // — the engine still has to close the full reachable pair space to say yes)
 // at each worker count, each run on a fresh store so no run inherits another
 // run's memoised semantics. Verdicts must be bit-identical across worker
-// counts; any divergence is counted as a failure. Returns the curve and the
-// number of failures.
-func runStress(verbose bool) (*stressJSON, int) {
+// counts; any divergence is counted as a failure. With compiled, every point
+// is re-run on a compiled store and the verdicts must also be bit-identical;
+// the interpreted/compiled time ratios feed compiled_min_ratio. Returns the
+// curve and the number of failures.
+func runStress(verbose, compiled bool) (*stressJSON, int) {
 	out := &stressJSON{HostCPUs: runtime.NumCPU()}
 	failures := 0
+	stressChecker := func(w int, comp bool) *equiv.Checker {
+		var ch *equiv.Checker
+		if w > 1 {
+			ch = equiv.NewParallelChecker(nil, w)
+		} else {
+			ch = equiv.NewChecker(nil)
+		}
+		// The largest rung's pair space is ~5M (pair density grows with
+		// mesh size: ~30x states at mesh-20, ~36x at mesh-22); 1<<23 keeps
+		// comfortable headroom so the curve never hits the budget.
+		ch.MaxPairs = 1 << 23
+		if comp {
+			ch.Store().EnableCompiled()
+		}
+		return instrument(ch)
+	}
+	minRatio, eligible := 0.0, 0
 	for _, c := range stress.Ladder() {
 		rung := stressRungJSON{Name: c.Name, States: c.States}
 		var baseMS float64
 		var base equiv.Result
 		for i, w := range stressWorkerCounts {
-			var ch *equiv.Checker
-			if w > 1 {
-				ch = equiv.NewParallelChecker(nil, w)
-			} else {
-				ch = equiv.NewChecker(nil)
-			}
-			// The largest rung's pair space is ~5M (pair density grows with
-			// mesh size: ~30x states at mesh-20, ~36x at mesh-22); 1<<23 keeps
-			// comfortable headroom so the curve never hits the budget.
-			ch.MaxPairs = 1 << 23
-			ch = instrument(ch)
+			ch := stressChecker(w, false)
 			start := time.Now()
 			r, err := ch.Step(c.P, c.Q, false)
 			ms := float64(time.Since(start).Microseconds()) / 1000
@@ -237,14 +268,45 @@ func runStress(verbose bool) (*stressJSON, int) {
 					c.Name, w, r.Related, base.Related, r.Pairs, base.Pairs)
 				failures++
 			}
-			rung.Points = append(rung.Points, stressPointJSON{Workers: w, MS: ms, Speedup: baseMS / ms})
+			pt := stressPointJSON{Workers: w, MS: ms, Speedup: baseMS / ms}
+			if compiled {
+				cch := stressChecker(w, true)
+				cstart := time.Now()
+				cr, cerr := cch.Step(c.P, c.Q, false)
+				cms := float64(time.Since(cstart).Microseconds()) / 1000
+				if cerr != nil {
+					fmt.Printf("stress %-8s workers=%d: compiled ERROR %v\n", c.Name, w, cerr)
+					failures++
+				} else {
+					if cr.Related != r.Related || cr.Pairs != r.Pairs || cr.Reason != r.Reason {
+						fmt.Printf("stress %-8s workers=%d: compiled verdict diverged (related %v/%v pairs %d/%d)\n",
+							c.Name, w, cr.Related, r.Related, cr.Pairs, r.Pairs)
+						failures++
+					}
+					pt.CompiledMS = cms
+					pt.CompiledRatio = ms / cms
+					// Only interpreted runs >= 200ms are long enough for the
+					// ratio to be a measurement rather than scheduling noise.
+					if ms >= 200 {
+						if eligible == 0 || pt.CompiledRatio < minRatio {
+							minRatio = pt.CompiledRatio
+						}
+						eligible++
+					}
+				}
+			}
+			rung.Points = append(rung.Points, pt)
 			if verbose {
 				fmt.Printf("stress %-8s workers=%d: %.0fms\n", c.Name, w, ms)
 			}
 		}
 		var cells []string
 		for _, pt := range rung.Points {
-			cells = append(cells, fmt.Sprintf("w%d %.1fs (%.2fx)", pt.Workers, pt.MS/1000, pt.Speedup))
+			cell := fmt.Sprintf("w%d %.1fs (%.2fx)", pt.Workers, pt.MS/1000, pt.Speedup)
+			if pt.CompiledMS > 0 {
+				cell += fmt.Sprintf(" [compiled %.1fs, %.2fx]", pt.CompiledMS/1000, pt.CompiledRatio)
+			}
+			cells = append(cells, cell)
 		}
 		fmt.Printf("stress %-8s %7d states %8d pairs  %s\n", c.Name, rung.States, rung.Pairs, strings.Join(cells, "  "))
 		out.Rungs = append(out.Rungs, rung)
@@ -259,6 +321,16 @@ func runStress(verbose bool) (*stressJSON, int) {
 	} else {
 		fmt.Printf("stress: host has %d CPU(s), GOMAXPROCS=%d — curve recorded, headline speedup withheld (needs >= 2 of each)\n",
 			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	if compiled {
+		if eligible == 0 {
+			out.CompiledNote = "compiled_min_ratio withheld: no interpreted point reached 200ms, the ratios would be scheduling noise"
+			fmt.Println("stress: " + out.CompiledNote)
+		} else {
+			out.CompiledMinRatio = minRatio
+			fmt.Printf("stress: compiled_min_ratio %.2f over %d eligible points (interpreted-ms / compiled-ms; >= 0.9 required by CI)\n",
+				minRatio, eligible)
+		}
 	}
 	return out, failures
 }
@@ -346,6 +418,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "parallel fan-out width (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_equiv.json style) to this file")
 	stressFlag := flag.Bool("stress", false, "run the internal/stress scaling ladder (10^5+ states) at 1/2/4/8 workers; this is the headline parallelism number and takes minutes")
+	compiledFlag := flag.Bool("compiled", false, "run suite checkers on compiled transition programs, and add an interpreted-vs-compiled comparison to every -stress point (bit-identity enforced; feeds compiled_min_ratio)")
 	protocolsFlag := flag.Bool("protocols", false, "run the internal/protocols conformance ladder (broadcast algorithms vs their specs) at 1/2/4 workers")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file covering the whole suite")
 	counters := flag.Bool("counters", false, "print aggregate engine counters to stderr after the suite")
@@ -383,6 +456,14 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "bpibench: memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *compiledFlag {
+		newChecker = func() *equiv.Checker {
+			ch := equiv.NewChecker(nil)
+			ch.Store().EnableCompiled()
+			return instrument(ch)
+		}
 	}
 
 	exps := suite()
@@ -425,7 +506,13 @@ func run() int {
 	}
 
 	if *parallel {
-		newChecker = func() *equiv.Checker { return instrument(equiv.NewParallelChecker(nil, 0)) }
+		newChecker = func() *equiv.Checker {
+			ch := equiv.NewParallelChecker(nil, 0)
+			if *compiledFlag {
+				ch.Store().EnableCompiled()
+			}
+			return instrument(ch)
+		}
 		par, parWall := runSuite(exps, *workers)
 		for i, e := range exps {
 			if par[i].failed() && !seq[i].failed() {
@@ -460,7 +547,7 @@ func run() int {
 
 	if *stressFlag {
 		fmt.Println(strings.Repeat("-", 110))
-		st, sf := runStress(*verbose)
+		st, sf := runStress(*verbose, *compiledFlag)
 		failures += sf
 		report.Stress = st
 	}

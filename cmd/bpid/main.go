@@ -7,8 +7,12 @@
 //
 //	bpid [-addr :8317] [-f defs.bpi] [-workers N] [-engine-workers N]
 //	     [-queue N] [-cache N] [-max-pairs N] [-max-closure N]
-//	     [-timeout D] [-max-timeout D]
+//	     [-timeout D] [-max-timeout D] [-compiled]
 //	     [-ledger DIR] [-merkle-batch N] [-merkle-wait-ms MS]
+//
+// With -compiled the shared store serves transitions from compiled
+// transition programs (internal/tprog); verdicts are bit-identical, and
+// /metrics additionally exposes the tprog compile/cache/fallback counters.
 //
 // With -ledger, bpid opens (or creates) a persistent Merkle verdict ledger
 // in DIR: every persisted verdict is replayed through the independent
@@ -60,6 +64,7 @@ func main() {
 	ledgerDir := flag.String("ledger", "", "directory of the persistent verdict ledger (empty = no persistence)")
 	merkleBatch := flag.Int("merkle-batch", 64, "records per sealed Merkle batch")
 	merkleWait := flag.Int("merkle-wait-ms", 2000, "max milliseconds a record stays unsealed (0 = seal on batch size only)")
+	compiled := flag.Bool("compiled", false, "serve transitions from compiled transition programs (bit-identical verdicts; tprog counters on /metrics)")
 	flag.Parse()
 
 	var env syntax.Env
@@ -115,6 +120,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Ledger:         led,
+		Compiled:       *compiled,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -99,19 +99,6 @@ func (c *Checker) memoRun(ctx context.Context, p, q syntax.Proc, sp spec) (Resul
 	return res, nil
 }
 
-func anyRelated(l *termInfo, rs []*termInfo, related func(a, b *termInfo) (bool, error)) (bool, error) {
-	for _, r := range rs {
-		ok, err := related(l, r)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			return true, nil
-		}
-	}
-	return false, nil
-}
-
 // semanticsInstantiate grounds a symbolic input transition (alias kept local
 // so the onestep code reads uniformly).
 func semanticsInstantiate(t semantics.Trans, payload []names.Name) (actions.Act, syntax.Proc) {

@@ -1,0 +1,425 @@
+package equiv
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"bpi/internal/cert"
+	"bpi/internal/names"
+	"bpi/internal/obs"
+	brand "bpi/internal/rand"
+	"bpi/internal/semantics"
+	"bpi/internal/stress"
+	"bpi/internal/syntax"
+)
+
+// freshCompiledChecker returns a certifying checker over its own store, in
+// interpreted or compiled mode.
+func freshCompiledChecker(workers int, compiled bool) *Checker {
+	var ch *Checker
+	if workers <= 1 {
+		ch = NewChecker(nil)
+	} else {
+		ch = NewParallelChecker(nil, workers)
+	}
+	ch.Certify = true
+	if compiled {
+		ch.store.EnableCompiled()
+	}
+	return ch
+}
+
+func certHash(t *testing.T, c *cert.Certificate) string {
+	t.Helper()
+	if c == nil {
+		return ""
+	}
+	raw, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("cert marshal: %v", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestCompiledVerdictsBitIdentical is the engine-level agreement gate: for
+// every relation, strong and weak, at workers 1/2/4, the compiled store
+// must reproduce the interpreted verdict, pair count, Reason string and
+// certificate bytes exactly — and the compiled-path certificate must pass
+// the independent verifier.
+func TestCompiledVerdictsBitIdentical(t *testing.T) {
+	a, b, x, y := names.Name("a"), names.Name("b"), names.Name("x"), names.Name("y")
+	G := syntax.Group(syntax.RecvN(b), syntax.RecvN(b, x))
+	type pair struct{ p, q syntax.Proc }
+	pairs := []pair{
+		{G, syntax.PNil},
+		{syntax.TauP(G), G},
+		{G, syntax.RecvN(b, x)},
+		{syntax.Restrict(G, b), syntax.PNil},
+		{syntax.Restrict(syntax.Group(syntax.SendN(a, x), syntax.Recv(x, []names.Name{y}, syntax.SendN(y))), x),
+			syntax.TauP(syntax.PNil)},
+		{syntax.Group(syntax.SendN(a), syntax.RecvN(a)), syntax.TauP(syntax.SendN(a))},
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		g := brand.New(seed, brand.OracleConfig())
+		p, q := g.Pair()
+		pairs = append(pairs, pair{p, q})
+	}
+	rc := stress.Corpus()[0]
+	pairs = append(pairs, pair{rc.P, rc.Q})
+
+	type relFn func(*Checker, syntax.Proc, syntax.Proc, bool) (Result, error)
+	rels := map[string]relFn{
+		"labelled": (*Checker).Labelled,
+		"barbed":   (*Checker).Barbed,
+		"step":     (*Checker).Step,
+	}
+	for pi, pr := range pairs {
+		for rname, rel := range rels {
+			for _, weak := range []bool{false, true} {
+				for _, workers := range []int{1, 2, 4} {
+					name := fmt.Sprintf("pair%d/%s/weak=%v/w%d", pi, rname, weak, workers)
+					ri, ierr := rel(freshCompiledChecker(workers, false), pr.p, pr.q, weak)
+					rc, cerr := rel(freshCompiledChecker(workers, true), pr.p, pr.q, weak)
+					if (ierr != nil) != (cerr != nil) {
+						t.Fatalf("%s: error mismatch: interpreted %v, compiled %v", name, ierr, cerr)
+					}
+					if ierr != nil {
+						continue
+					}
+					if ri.Related != rc.Related || ri.Pairs != rc.Pairs || ri.Reason != rc.Reason {
+						t.Fatalf("%s: verdicts differ:\n interpreted %+v\n compiled    %+v", name, ri, rc)
+					}
+					ih, ch := certHash(t, ri.Cert), certHash(t, rc.Cert)
+					if ih != ch {
+						t.Fatalf("%s: certificate hashes differ: %s vs %s", name, ih, ch)
+					}
+					if rc.Cert != nil {
+						if err := cert.Verify(rc.Cert); err != nil {
+							t.Fatalf("%s: compiled-path certificate rejected: %v", name, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledFallbackParity pins the fallback contract: a term whose
+// transition program cannot be compiled (unguarded recursion) is served by
+// the interpreter, so the caller sees exactly the interpreted error — and
+// the fallback is visible in Stats.
+func TestCompiledFallbackParity(t *testing.T) {
+	p := syntax.Rec{Id: "A", Body: syntax.Call{Id: "A"}}
+	q := syntax.SendN("a")
+
+	ci := freshCompiledChecker(1, false)
+	cc := freshCompiledChecker(1, true)
+	_, ierr := ci.Labelled(p, q, false)
+	_, cerr := cc.Labelled(p, q, false)
+	if ierr == nil || cerr == nil {
+		t.Fatalf("unguarded recursion accepted: interpreted %v, compiled %v", ierr, cerr)
+	}
+	var bi, bc semantics.ErrUnfoldBudget
+	if !errors.As(ierr, &bi) || !errors.As(cerr, &bc) || bi != bc {
+		t.Fatalf("error surface differs: interpreted %v, compiled %v", ierr, cerr)
+	}
+	if got := cc.store.Stats().CompiledFallbacks; got == 0 {
+		t.Fatal("fallback not recorded in Stats")
+	}
+	if got := ci.store.Stats().CompiledFallbacks; got != 0 {
+		t.Fatalf("interpreted store recorded %d fallbacks", got)
+	}
+}
+
+// TestCompiledTermIDsImmutable pins invalidation-free correctness: term IDs
+// assigned by the store never change, no matter how much compiled-mode
+// churn happens — and a term's compiled program is the cache's canonical
+// unit for its syntax, stable across re-interning.
+func TestCompiledTermIDsImmutable(t *testing.T) {
+	s := NewStore(nil)
+	s.EnableCompiled()
+	a, b, x := names.Name("a"), names.Name("b"), names.Name("x")
+	terms := []syntax.Proc{
+		syntax.Group(syntax.SendN(a), syntax.RecvN(a, x)),
+		syntax.Group(syntax.RecvN(b), syntax.RecvN(b, x)),
+		syntax.Restrict(syntax.Group(syntax.SendN(a, x), syntax.RecvN(x)), x),
+		stress.Corpus()[0].P,
+	}
+	ids := make([]uint64, len(terms))
+	progs := make([]interface{}, len(terms))
+	for i, p := range terms {
+		ti, err := s.intern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ti.prog == nil {
+			t.Fatalf("term %d not served by the compiled path", i)
+		}
+		ids[i], progs[i] = ti.id, ti.prog
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				p := terms[(w+i)%len(terms)]
+				ti, err := s.intern(syntax.Par{L: p, R: syntax.SendN(names.Name(fmt.Sprintf("ch%d", i%7)))})
+				if err != nil {
+					t.Errorf("churn intern: %v", err)
+					return
+				}
+				if _, err := s.tauSucc(ti); err != nil {
+					t.Errorf("churn tauSucc: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, p := range terms {
+		ti, err := s.intern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ti.id != ids[i] {
+			t.Fatalf("term %d changed ID: %d -> %d", i, ids[i], ti.id)
+		}
+		if ti.prog != progs[i] {
+			t.Fatalf("term %d changed compiled program identity", i)
+		}
+		canon, err := s.progs.Compile(ti.proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon != ti.prog {
+			t.Fatalf("term %d's program is not the cache's canonical unit", i)
+		}
+	}
+}
+
+// TestCompiledStoreSingleflight pins that the store's transOnce plus the
+// cache's publication protocol collapse 32 concurrent interns of one cold
+// term into exactly one compilation per unit.
+func TestCompiledStoreSingleflight(t *testing.T) {
+	s := NewStore(nil)
+	s.EnableCompiled()
+	p := stress.Corpus()[1].P
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	const goroutines = 32
+	infos := make([]*termInfo, goroutines)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			ti, err := s.intern(p)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			infos[i] = ti
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if infos[i] != infos[0] {
+			t.Fatal("interns returned different termInfos")
+		}
+	}
+	st := s.progs.Stats()
+	if st.Units == 0 {
+		t.Fatal("no compiled units")
+	}
+	if st.Compiles != uint64(st.Units) {
+		t.Fatalf("compiles = %d for %d units: singleflight leaked work", st.Compiles, st.Units)
+	}
+}
+
+// TestCompiledStoreAccessors pins the EnableCompiled/Compiled/ProgCache
+// surface: idempotent enabling, and tracer attachment in both orders
+// (SetObs before EnableCompiled and after).
+func TestCompiledStoreAccessors(t *testing.T) {
+	s := NewStore(nil)
+	if s.Compiled() {
+		t.Fatal("fresh store reports compiled")
+	}
+	if s.ProgCache() != nil {
+		t.Fatal("fresh store has a prog cache")
+	}
+
+	// Tracer attached first: EnableCompiled must wire it into the new cache.
+	tr := obs.New()
+	s.SetObs(tr)
+	s.EnableCompiled()
+	if !s.Compiled() || s.ProgCache() == nil {
+		t.Fatal("EnableCompiled did not enable the compiled path")
+	}
+	pc := s.ProgCache()
+	s.EnableCompiled() // idempotent: must not replace the cache
+	if s.ProgCache() != pc {
+		t.Fatal("double EnableCompiled replaced the prog cache")
+	}
+	if _, err := s.intern(syntax.SendN(names.Name("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Counters()["tprog.compiles"] == 0 {
+		t.Error("tracer attached before EnableCompiled saw no compiles")
+	}
+
+	// Opposite order: enabling first, then SetObs reaches the live cache.
+	s2 := NewStore(nil)
+	s2.EnableCompiled()
+	tr2 := obs.New()
+	s2.SetObs(tr2)
+	if _, err := s2.intern(syntax.SendN(names.Name("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Counters()["tprog.compiles"] == 0 {
+		t.Error("tracer attached after EnableCompiled saw no compiles")
+	}
+}
+
+// TestCompiledDerivedObservations: the derived-observation helpers the
+// relations are built from (autonomous successors and closure, broadcast
+// reactions, weak barbs) must agree between the interpreted and compiled
+// stores term by term.
+func TestCompiledDerivedObservations(t *testing.T) {
+	a, b, x := names.Name("a"), names.Name("b"), names.Name("x")
+	terms := []syntax.Proc{
+		syntax.TauP(syntax.SendN(a)),
+		syntax.Par{L: syntax.SendN(a, b), R: syntax.Recv(a, []names.Name{x}, syntax.SendN(x))},
+		syntax.Group(syntax.RecvN(b), syntax.RecvN(b, x)),
+		syntax.TauP(syntax.TauP(syntax.RecvN(b))),
+	}
+	keys := func(tis []*termInfo) []string {
+		out := make([]string, len(tis))
+		for i, ti := range tis {
+			out[i] = syntax.Key(ti.proc)
+		}
+		return out
+	}
+	ci := freshCompiledChecker(1, false)
+	cc := freshCompiledChecker(1, true)
+	for _, p := range terms {
+		ti, err := ci.intern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, err := cc.intern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, err := ci.autonomousSucc(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := cc.autonomousSucc(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(keys(is), keys(cs)) {
+			t.Errorf("%s: autonomousSucc %v vs %v", syntax.String(p), keys(is), keys(cs))
+		}
+		icl, err := ci.autonomousClosure(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccl, err := cc.autonomousClosure(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(keys(icl), keys(ccl)) {
+			t.Errorf("%s: autonomousClosure %v vs %v", syntax.String(p), keys(icl), keys(ccl))
+		}
+		ir, err := ci.reactions(ti, a, []names.Name{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := cc.reactions(tc, a, []names.Name{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(keys(ir), keys(cr)) {
+			t.Errorf("%s: reactions(a,b) %v vs %v", syntax.String(p), keys(ir), keys(cr))
+		}
+		for _, ch := range []names.Name{a, b} {
+			iw, err := ci.weakBarb(ti, ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cw, err := cc.weakBarb(tc, ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iw != cw {
+				t.Errorf("%s: weakBarb(%s) interpreted %v, compiled %v", syntax.String(p), ch, iw, cw)
+			}
+		}
+	}
+}
+
+// TestCompiledOneStepAgrees: the one-step expansion relation (~+ / ≈+,
+// Definition 15) and its certificates must also agree bit-for-bit between
+// the interpreted and compiled stores.
+func TestCompiledOneStepAgrees(t *testing.T) {
+	a, b, x := names.Name("a"), names.Name("b"), names.Name("x")
+	G := syntax.Group(syntax.RecvN(b), syntax.RecvN(b, x))
+	pairs := []struct{ p, q syntax.Proc }{
+		{G, G},
+		{G, syntax.PNil},
+		{syntax.TauP(G), G},
+		{syntax.Par{L: syntax.SendN(a, b), R: syntax.Recv(a, []names.Name{x}, syntax.SendN(x))}, syntax.TauP(syntax.SendN(b))},
+		{syntax.RecvN(b), syntax.RecvN(b, x)},
+	}
+	for _, weak := range []bool{false, true} {
+		ci := freshCompiledChecker(1, false)
+		cc := freshCompiledChecker(1, true)
+		for _, pr := range pairs {
+			name := fmt.Sprintf("%s ~+ %s (weak=%v)", syntax.String(pr.p), syntax.String(pr.q), weak)
+			iok, ierr := ci.OneStep(pr.p, pr.q, weak)
+			cok, cerr := cc.OneStep(pr.p, pr.q, weak)
+			if ierr != nil || cerr != nil {
+				t.Fatalf("%s: interpreted err %v, compiled err %v", name, ierr, cerr)
+			}
+			if iok != cok {
+				t.Fatalf("%s: interpreted %v, compiled %v", name, iok, cok)
+			}
+			icrt, iok2, ierr := ci.OneStepCert(pr.p, pr.q, weak)
+			ccrt, cok2, cerr := cc.OneStepCert(pr.p, pr.q, weak)
+			if ierr != nil || cerr != nil {
+				t.Fatalf("%s: cert: interpreted err %v, compiled err %v", name, ierr, cerr)
+			}
+			if iok2 != iok || cok2 != cok {
+				t.Fatalf("%s: certifying verdict flipped: %v/%v vs %v/%v", name, iok, iok2, cok, cok2)
+			}
+			ih, ch := certHash(t, icrt), certHash(t, ccrt)
+			if ih != ch {
+				t.Fatalf("%s: one-step certificate hashes differ: %s vs %s", name, ih, ch)
+			}
+			if ccrt != nil {
+				if err := cert.Verify(ccrt); err != nil {
+					t.Fatalf("%s: compiled one-step certificate rejected: %v", name, err)
+				}
+			}
+		}
+	}
+
+	// Certification requires the Certify option.
+	plain := NewChecker(nil)
+	if _, _, err := plain.OneStepCert(G, G, false); err == nil {
+		t.Error("OneStepCert without Certify succeeded")
+	}
+}

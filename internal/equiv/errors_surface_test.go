@@ -1,0 +1,24 @@
+package equiv
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestErrorSurfaces pins the text and unwrap behaviour of the checker's
+// inconclusive-verdict errors — callers branch on these.
+func TestErrorSurfaces(t *testing.T) {
+	eb := ErrBudget{What: "pairs"}
+	if !strings.Contains(eb.Error(), "pairs") {
+		t.Errorf("ErrBudget text %q does not name the budget", eb.Error())
+	}
+	ec := ErrCanceled{Cause: context.DeadlineExceeded}
+	if !strings.Contains(ec.Error(), "canceled") {
+		t.Errorf("ErrCanceled text %q", ec.Error())
+	}
+	if !errors.Is(ec, context.DeadlineExceeded) {
+		t.Error("ErrCanceled does not unwrap to its context cause")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
+	"bpi/internal/tprog"
 )
 
 // Store is the concurrency-safe semantic layer shared by Checkers. It
@@ -43,7 +44,44 @@ type Store struct {
 	// no atomic traffic — until a tracer is attached.
 	obsInternHits, obsInternMisses *obs.Counter
 	obsDerivHits, obsDerivMisses   *obs.Counter
+	obsCompiledFallbacks           *obs.Counter
+
+	// progs, when non-nil (EnableCompiled), is the shared compiled-unit
+	// cache: ready() derives transitions by compiling and executing the
+	// term's transition program instead of interpreting the syntax tree,
+	// and discardsOn answers from the program's precomputed listen set. A
+	// term whose compilation fails falls back to the interpreter, so the
+	// error surface (e.g. unfold-budget exhaustion) is unchanged.
+	progs *tprog.Cache
+	// obsTracer is retained so EnableCompiled can attach counters to a
+	// cache created after SetObs.
+	obsTracer *obs.Tracer
+	// compiledFallbacks counts terms served by the interpreter because
+	// compilation failed while compiled mode was on.
+	compiledFallbacks atomic.Uint64
 }
+
+// EnableCompiled switches the store to the compiled fast path: per-term
+// transition programs (internal/tprog), compiled once, cached by exact
+// syntax and shared across all consumers of this store. Verdicts, pair
+// counts and certificates are bit-identical to the interpreted path. Call
+// before the store is shared across goroutines; enabling twice is a no-op.
+func (s *Store) EnableCompiled() {
+	if s.progs != nil {
+		return
+	}
+	s.progs = tprog.NewCache(s.sys)
+	if s.obsTracer != nil {
+		s.progs.SetObs(s.obsTracer)
+	}
+}
+
+// Compiled reports whether the compiled fast path is enabled.
+func (s *Store) Compiled() bool { return s.progs != nil }
+
+// ProgCache returns the store's compiled-unit cache, or nil when the store
+// is interpreting.
+func (s *Store) ProgCache() *tprog.Cache { return s.progs }
 
 // SetObs mirrors the store's reuse counters (store.intern_hits/misses,
 // store.deriv_hits/misses) onto t, live rather than snapshot — so a
@@ -54,6 +92,11 @@ func (s *Store) SetObs(t *obs.Tracer) {
 	s.obsInternMisses = t.Counter("store.intern_misses")
 	s.obsDerivHits = t.Counter("store.deriv_hits")
 	s.obsDerivMisses = t.Counter("store.deriv_misses")
+	s.obsCompiledFallbacks = t.Counter("tprog.fallbacks")
+	s.obsTracer = t
+	if s.progs != nil {
+		s.progs.SetObs(t)
+	}
 }
 
 // Stats is a snapshot of a store's occupancy and reuse counters.
@@ -69,6 +112,9 @@ type Stats struct {
 	DerivationHits, DerivationMisses uint64
 	// ShardMin / ShardMax bound the per-shard term counts (occupancy spread).
 	ShardMin, ShardMax int
+	// CompiledFallbacks counts terms the interpreter served because their
+	// transition program failed to compile (0 unless compiled mode is on).
+	CompiledFallbacks uint64
 }
 
 // Stats returns a consistent-enough snapshot of the store counters (each
@@ -78,8 +124,9 @@ func (s *Store) Stats() Stats {
 		Terms:            s.nextID.Load(),
 		InternHits:       s.internHits.Load(),
 		InternMisses:     s.internMisses.Load(),
-		DerivationHits:   s.derivHits.Load(),
-		DerivationMisses: s.derivMisses.Load(),
+		DerivationHits:    s.derivHits.Load(),
+		DerivationMisses:  s.derivMisses.Load(),
+		CompiledFallbacks: s.compiledFallbacks.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -130,10 +177,13 @@ type termInfo struct {
 	key  string
 	free names.Set // free names; treat as immutable — Clone before mutating
 
-	// trans is computed once, singleflight, on first demand.
+	// trans is computed once, singleflight, on first demand. In compiled
+	// mode, prog is the term's transition program (nil if compilation
+	// failed and the interpreter served the term instead).
 	transOnce sync.Once
 	trans     []semantics.Trans
 	transErr  error
+	prog      *tprog.Prog
 
 	// mu guards the lazily memoised fields below. Never held while calling
 	// into the store for other terms.
@@ -249,9 +299,22 @@ func (s *Store) resolve(k string, p syntax.Proc) (ti *termInfo, fresh bool) {
 }
 
 // ready computes ti's transitions singleflight (outside all shard locks) and
-// surfaces any derivation error.
+// surfaces any derivation error. In compiled mode the transitions come from
+// the term's transition program — bit-identical to Steps by construction —
+// with the interpreter as fallback when compilation fails, so enabling
+// compiled mode never changes what a caller observes.
 func (s *Store) ready(ti *termInfo) (*termInfo, error) {
 	ti.transOnce.Do(func() {
+		if s.progs != nil {
+			if pr, err := s.progs.Compile(ti.proc); err == nil {
+				if ts, err := pr.Transitions(); err == nil {
+					ti.prog, ti.trans = pr, ts
+					return
+				}
+			}
+			s.compiledFallbacks.Add(1)
+			s.obsCompiledFallbacks.Add(1)
+		}
 		ti.trans, ti.transErr = s.sys.Steps(ti.proc)
 	})
 	if ti.transErr != nil {
@@ -274,8 +337,15 @@ func (s *Store) addInternCounts(hits, misses uint64) {
 	}
 }
 
-// discardsOn reports whether the term ignores channel a (memoised).
+// discardsOn reports whether the term ignores channel a (memoised). A
+// compiled term answers from its program's precomputed Table 2 discard set
+// — no recursion, no per-name memo map.
 func (s *Store) discardsOn(ti *termInfo, a names.Name) (bool, error) {
+	if ti.prog != nil {
+		s.derivHits.Add(1)
+		s.obsDerivHits.Add(1)
+		return ti.prog.Discards(a), nil
+	}
 	ti.mu.Lock()
 	v, ok := ti.discards[a]
 	ti.mu.Unlock()

@@ -1,0 +1,106 @@
+package lts_test
+
+import (
+	"reflect"
+	"testing"
+
+	"bpi/internal/lts"
+	"bpi/internal/protocols"
+	"bpi/internal/semantics"
+	"bpi/internal/stress"
+	"bpi/internal/syntax"
+	"bpi/internal/tprog"
+)
+
+// graphsEqual compares two graphs field by field: same states in the same
+// order (procs and keys), same edges, roots, universe, truncation.
+func graphsEqual(t *testing.T, name string, gi, gc *lts.Graph) {
+	t.Helper()
+	if gi.NumStates() != gc.NumStates() {
+		t.Fatalf("%s: state counts differ: interpreted %d, compiled %d", name, gi.NumStates(), gc.NumStates())
+	}
+	for i := range gi.States {
+		if gi.States[i].Key != gc.States[i].Key || !syntax.Equal(gi.States[i].Proc, gc.States[i].Proc) {
+			t.Fatalf("%s: state %d differs: interpreted %s, compiled %s",
+				name, i, syntax.String(gi.States[i].Proc), syntax.String(gc.States[i].Proc))
+		}
+	}
+	if !reflect.DeepEqual(gi.Edges, gc.Edges) {
+		t.Fatalf("%s: edge lists differ", name)
+	}
+	if !reflect.DeepEqual(gi.Roots, gc.Roots) || !reflect.DeepEqual(gi.Universe, gc.Universe) {
+		t.Fatalf("%s: roots/universe differ", name)
+	}
+	if gi.Truncated != gc.Truncated {
+		t.Fatalf("%s: truncation differs: interpreted %v, compiled %v", name, gi.Truncated, gc.Truncated)
+	}
+}
+
+// TestCompiledGraphIdentical requires lts.Explore with Compiled to produce a
+// bit-identical graph on protocol and stress terms, at workers 1 and 4,
+// both full and autonomous-only, sharing one program cache across builds.
+func TestCompiledGraphIdentical(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	tc := tprog.NewCache(sys)
+	type tcase struct {
+		name  string
+		roots []syntax.Proc
+	}
+	var cases []tcase
+	for _, sc := range protocols.Catalogue()[:8] {
+		cases = append(cases, tcase{sc.Name, []syntax.Proc{sc.Impl, sc.Spec}})
+	}
+	for _, cfg := range stress.Corpus()[:2] {
+		cases = append(cases, tcase{cfg.Name, []syntax.Proc{cfg.P, cfg.Q}})
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 4} {
+			for _, auto := range []bool{false, true} {
+				opt := lts.Options{MaxStates: 4000, Workers: workers, AutonomousOnly: auto}
+				gi, ierr := lts.Explore(sys, c.roots, opt)
+				opt.Compiled, opt.Progs = true, tc
+				gc, cerr := lts.Explore(sys, c.roots, opt)
+				if ierr != nil || cerr != nil {
+					t.Fatalf("%s: explore errors: interpreted %v, compiled %v", c.name, ierr, cerr)
+				}
+				graphsEqual(t, c.name, gi, gc)
+			}
+		}
+	}
+	if st := tc.Stats(); st.Units == 0 || st.Hits == 0 {
+		t.Fatalf("shared program cache unused across builds: %+v", st)
+	}
+}
+
+// TestCompiledTruncationIdentical pins that a state budget truncates the
+// compiled build at exactly the same point as the interpreted one.
+func TestCompiledTruncationIdentical(t *testing.T) {
+	cfg := stress.Corpus()[2]
+	sys := semantics.NewSystem(nil)
+	opt := lts.Options{MaxStates: 40, AutonomousOnly: true}
+	gi, ierr := lts.Explore(sys, []syntax.Proc{cfg.P}, opt)
+	opt.Compiled = true
+	gc, cerr := lts.Explore(sys, []syntax.Proc{cfg.P}, opt)
+	if ierr != nil || cerr != nil {
+		t.Fatalf("explore errors: %v, %v", ierr, cerr)
+	}
+	if !gi.Truncated {
+		t.Skip("budget did not truncate; corpus changed")
+	}
+	graphsEqual(t, cfg.Name, gi, gc)
+}
+
+// TestCompiledErrorParity pins the error surface: a term the interpreter
+// rejects is rejected identically by the compiled build.
+func TestCompiledErrorParity(t *testing.T) {
+	p := syntax.Rec{Id: "A", Body: syntax.Call{Id: "A"}}
+	sys := semantics.NewSystem(nil)
+	_, ierr := lts.Explore(sys, []syntax.Proc{p}, lts.Options{})
+	_, cerr := lts.Explore(sys, []syntax.Proc{p}, lts.Options{Compiled: true})
+	if ierr == nil || cerr == nil {
+		t.Fatalf("unguarded recursion explored: interpreted %v, compiled %v", ierr, cerr)
+	}
+	if ierr.Error() != cerr.Error() {
+		t.Fatalf("error surface differs:\n interpreted %v\n compiled    %v", ierr, cerr)
+	}
+}

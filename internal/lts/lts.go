@@ -24,6 +24,7 @@ import (
 	"bpi/internal/obs"
 	"bpi/internal/semantics"
 	"bpi/internal/syntax"
+	"bpi/internal/tprog"
 	"bpi/internal/ws"
 )
 
@@ -81,6 +82,16 @@ type Options struct {
 	// bisimilarity are decided on such graphs; they never inspect input
 	// transitions.
 	AutonomousOnly bool
+	// Compiled switches ground successor computation to compiled transition
+	// programs (internal/tprog). The resulting graph is bit-identical to the
+	// interpreted build at every worker count; compilation failures surface
+	// as the same errors the interpreter reports.
+	Compiled bool
+	// Progs optionally supplies a shared transition-program cache for
+	// Compiled mode, so repeated explorations reuse compiled units. Its
+	// definition environment should match sys. When nil, a private cache
+	// over sys is created per Explore call.
+	Progs *tprog.Cache
 	// Obs, when non-nil, receives an lts.explore span and the counters
 	// lts.states, lts.edges and (parallel exploration) lts.steals,
 	// lts.prebuilt_states.
@@ -112,10 +123,42 @@ func FreshReservoir(n int) []names.Name {
 	return out
 }
 
+// stepper computes ground transition lists either through the interpreter
+// or through compiled transition programs. Both sources share the broadcast
+// composition core, so the lists are bit-identical.
+type stepper struct {
+	sys *semantics.System
+	tc  *tprog.Cache // non-nil in Compiled mode
+}
+
+func (s stepper) steps(p syntax.Proc) ([]semantics.Trans, error) {
+	if s.tc != nil {
+		if ts, err := s.tc.Transitions(p); err == nil {
+			return ts, nil
+		}
+		// Compile failure (unguarded recursion, unfold budget): fall back so
+		// the caller sees exactly the interpreted error surface, matching the
+		// equiv store's contract.
+	}
+	return s.sys.Steps(p)
+}
+
+func (o Options) stepper(sys *semantics.System) stepper {
+	if !o.Compiled {
+		return stepper{sys: sys}
+	}
+	tc := o.Progs
+	if tc == nil {
+		tc = tprog.NewCache(sys)
+	}
+	return stepper{sys: sys, tc: tc}
+}
+
 // Explore builds the graph reachable from the given roots.
 func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, error) {
 	span := opt.Obs.Span("lts.explore")
 	defer span.End()
+	st := opt.stepper(sys)
 	g := &Graph{index: map[string]int{}}
 	base := names.NewSet(opt.Universe...)
 	if len(opt.Universe) == 0 {
@@ -160,9 +203,9 @@ func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, e
 	// point — is identical at every worker count.
 	var pre *stateCache
 	if opt.Workers > 1 && len(frontier) > 0 {
-		pre = discover(sys, g, frontier, opt)
+		pre = discover(st, g, frontier, opt)
 	}
-	err := exploreSequential(sys, g, frontier, opt, internKeyed, pre)
+	err := exploreSequential(st, g, frontier, opt, internKeyed, pre)
 	// End-of-run totals: zero engine overhead, worker-count independent.
 	opt.Obs.Count("lts.states", int64(g.NumStates()))
 	opt.Obs.Count("lts.edges", int64(g.NumEdges()))
@@ -172,8 +215,8 @@ func Explore(sys *semantics.System, roots []syntax.Proc, opt Options) (*Graph, e
 // groundEdges computes the ground successor list of state p: τ and output
 // transitions as-is (outputs canonicalised), inputs instantiated over
 // universe ∪ fn(p).
-func groundEdges(sys *semantics.System, p syntax.Proc, universe []names.Name, autonomousOnly bool) ([]semantics.Trans, error) {
-	ts, err := sys.Steps(p)
+func groundEdges(st stepper, p syntax.Proc, universe []names.Name, autonomousOnly bool) ([]semantics.Trans, error) {
+	ts, err := st.steps(p)
 	if err != nil {
 		return nil, err
 	}
@@ -296,9 +339,9 @@ func (sc *stateCache) take(k string) *stateBuilt {
 }
 
 // buildState computes one state's stateBuilt (pure w.r.t. the graph).
-func buildState(sys *semantics.System, p syntax.Proc, g *Graph, opt Options) *stateBuilt {
+func buildState(st stepper, p syntax.Proc, g *Graph, opt Options) *stateBuilt {
 	b := &stateBuilt{}
-	b.ts, b.err = groundEdges(sys, p, g.Universe, opt.AutonomousOnly)
+	b.ts, b.err = groundEdges(st, p, g.Universe, opt.AutonomousOnly)
 	if b.err != nil {
 		return b
 	}
@@ -319,7 +362,7 @@ func buildState(sys *semantics.System, p syntax.Proc, g *Graph, opt Options) *st
 // the reachable state space, caching each state's ground successors. Purely
 // an accelerator for the replay — it may stop early (first error, state
 // budget) or miss states without affecting the resulting graph.
-func discover(sys *semantics.System, g *Graph, frontier []int, opt Options) *stateCache {
+func discover(st stepper, g *Graph, frontier []int, opt Options) *stateCache {
 	type item struct {
 		proc syntax.Proc
 		key  string
@@ -329,7 +372,7 @@ func discover(sys *semantics.System, g *Graph, frontier []int, opt Options) *sta
 	var claimed atomic.Int64
 	var pool *ws.Pool[item]
 	pool = ws.NewPool(opt.Workers, func(w int, it item) {
-		b := buildState(sys, it.proc, g, opt)
+		b := buildState(st, it.proc, g, opt)
 		cache.put(it.key, b)
 		if b.err != nil {
 			// Replay will rediscover the error at the deterministic point;
@@ -359,9 +402,9 @@ func discover(sys *semantics.System, g *Graph, frontier []int, opt Options) *sta
 		}
 	}
 	pool.Run(seeds)
-	st := pool.Stats()
-	opt.Obs.Count("lts.steals", st.Steals)
-	opt.Obs.Count("lts.prebuilt_states", st.Processed)
+	ps := pool.Stats()
+	opt.Obs.Count("lts.steals", ps.Steals)
+	opt.Obs.Count("lts.prebuilt_states", ps.Processed)
 	return cache
 }
 
@@ -369,7 +412,7 @@ func discover(sys *semantics.System, g *Graph, frontier []int, opt Options) *sta
 // frontier, interning in edge order — the graph shape depends only on this
 // loop. pre (nil when Workers ≤ 1) supplies prebuilt successor lists; states
 // the discovery pass missed are built inline.
-func exploreSequential(sys *semantics.System, g *Graph, frontier []int, opt Options,
+func exploreSequential(st stepper, g *Graph, frontier []int, opt Options,
 	internKeyed func(syntax.Proc, string) (int, bool), pre *stateCache) error {
 	max := opt.maxStates()
 	for len(frontier) > 0 {
@@ -377,7 +420,7 @@ func exploreSequential(sys *semantics.System, g *Graph, frontier []int, opt Opti
 		frontier = frontier[1:]
 		b := pre.take(g.States[i].Key)
 		if b == nil {
-			b = buildState(sys, g.States[i].Proc, g, opt)
+			b = buildState(st, g.States[i].Proc, g, opt)
 		}
 		if b.err != nil {
 			return b.err

@@ -26,6 +26,9 @@
 //   - Protocol conformance: every internal/protocols scenario — healthy or
 //     fault-injected — gets the verdict its spec expects, in its own
 //     relation, on every engine, certificates included.
+//   - Compiled semantics: the transition programs of internal/tprog agree
+//     bit-for-bit with the interpreted semantics — transition lists,
+//     Table 2 discard sets, verdicts, certificate bytes and LTS graphs.
 //
 // Everything is reproducible: iteration i of a run with seed s draws all
 // randomness from mix(s + i), and every violation reports the exact
@@ -105,6 +108,7 @@ func Registry() []Law {
 		lawStressAgree(),
 		lawLedgerRoundtrip(),
 		lawProtocolsConform(),
+		lawTprogAgree(),
 	}
 }
 

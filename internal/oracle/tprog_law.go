@@ -1,0 +1,158 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"bpi/internal/cert"
+	"bpi/internal/equiv"
+	"bpi/internal/lts"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+	"bpi/internal/tprog"
+)
+
+// compiledChecker returns a fresh certifying checker whose store serves
+// transitions either interpreted or from compiled transition programs.
+// Fresh per leg: the Env checkers memoise verdicts, and agreement between
+// a memoised verdict and a fresh one would be vacuous.
+func compiledChecker(workers int, compiled bool) *equiv.Checker {
+	var ch *equiv.Checker
+	if workers > 1 {
+		ch = equiv.NewParallelChecker(nil, workers)
+	} else {
+		ch = equiv.NewChecker(nil)
+	}
+	ch.Certify = true
+	if compiled {
+		ch.Store().EnableCompiled()
+	}
+	return ch
+}
+
+// lawTprogAgree is the compiled-semantics differential law: the transition
+// programs produced by internal/tprog must agree bit-for-bit with the
+// interpreted Table 2/Table 3 semantics. Four layers of agreement on every
+// drawn pair:
+//
+//  1. transitions — sys.Steps(p) and the compiled executor return identical
+//     lists (labels, binder names, targets, order) on p, q and a bounded
+//     sweep of their symbolic derivatives;
+//  2. discards — the precomputed listen set answers Table 2 exactly as the
+//     recursive walker does, on every free name and a never-mentioned one;
+//  3. verdicts — a checker over a compiled store returns the identical
+//     Result (Related, Pairs, Reason) at workers 1 and 4, its certificate
+//     bytes equal the interpreted ones, and the certificate verifies;
+//  4. graphs — lts.Explore with Compiled produces the same autonomous
+//     graph, the substrate of the weak-saturation refiners.
+func lawTprogAgree() Law {
+	return Law{
+		Name:   "tprog/agree",
+		Doc:    "compiled transition programs agree bit-for-bit with the interpreted semantics: transitions, discard sets, verdicts, certificates, graphs",
+		Config: richConfig(),
+		Gen:    mixedPair,
+		Check: func(ctx context.Context, env *Env, p, q syntax.Proc) (string, error) {
+			sys := semantics.NewSystem(nil)
+			tc := tprog.NewCache(sys)
+
+			// 1+2: transition and discard agreement on a bounded sweep.
+			seen := map[string]bool{}
+			queue := []syntax.Proc{p, q}
+			for len(queue) > 0 && len(seen) < 60 {
+				r := queue[0]
+				queue = queue[1:]
+				k := syntax.ExactKey(r)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				want, ierr := sys.Steps(r)
+				got, cerr := tc.Transitions(r)
+				if ierr != nil {
+					if cerr == nil {
+						return fmt.Sprintf("interpreter rejects %s (%v) but compiled path succeeds", syntax.String(r), ierr), nil
+					}
+					continue
+				}
+				if cerr != nil {
+					return fmt.Sprintf("compiled path rejects %s: %v", syntax.String(r), cerr), nil
+				}
+				if !reflect.DeepEqual(want, got) {
+					return fmt.Sprintf("transitions differ on %s: interpreted %v, compiled %v", syntax.String(r), want, got), nil
+				}
+				pr, err := tc.Compile(r)
+				if err != nil {
+					return "", err
+				}
+				chans := append(syntax.FreeNames(r).Sorted(), "zz_fresh_probe")
+				for _, a := range chans {
+					iw, derr := sys.Discards(r, a)
+					if derr != nil {
+						continue
+					}
+					if pr.Discards(a) != iw {
+						return fmt.Sprintf("discard sets differ on %s for %s: interpreted %v, compiled %v",
+							syntax.String(r), a, iw, pr.Discards(a)), nil
+					}
+				}
+				for _, tr := range want {
+					queue = append(queue, tr.Target)
+				}
+			}
+
+			// 3: verdict, pair-count, Reason and certificate agreement.
+			ri, ierr := compiledChecker(1, false).LabelledCtx(ctx, p, q, false)
+			if ierr != nil {
+				return "", ierr
+			}
+			if ri.Cert == nil {
+				return "certifying interpreted checker returned no certificate", nil
+			}
+			ibytes, err := ri.Cert.Marshal()
+			if err != nil {
+				return "", err
+			}
+			for _, w := range []int{1, 4} {
+				rc, cerr := compiledChecker(w, true).LabelledCtx(ctx, p, q, false)
+				if cerr != nil {
+					return "", cerr
+				}
+				if ri.Related != rc.Related || ri.Pairs != rc.Pairs || ri.Reason != rc.Reason {
+					return fmt.Sprintf("workers=%d: compiled verdict diverges: related %v/%v pairs %d/%d reason %q/%q",
+						w, ri.Related, rc.Related, ri.Pairs, rc.Pairs, ri.Reason, rc.Reason), nil
+				}
+				if rc.Cert == nil {
+					return fmt.Sprintf("workers=%d: certifying compiled checker returned no certificate", w), nil
+				}
+				cbytes, err := rc.Cert.Marshal()
+				if err != nil {
+					return "", err
+				}
+				if !reflect.DeepEqual(ibytes, cbytes) {
+					return fmt.Sprintf("workers=%d: compiled certificate bytes differ from interpreted", w), nil
+				}
+				if err := cert.Verify(rc.Cert); err != nil {
+					return fmt.Sprintf("workers=%d: compiled-path certificate rejected: %v", w, err), nil
+				}
+			}
+
+			// 4: the autonomous graph (weak saturation substrate) is identical.
+			opt := lts.Options{AutonomousOnly: true, MaxStates: 1 << 14}
+			gi, ierr := lts.Explore(sys, []syntax.Proc{p, q}, opt)
+			if ierr != nil {
+				return "", ierr
+			}
+			opt.Compiled, opt.Progs = true, tc
+			gc, cerr := lts.Explore(sys, []syntax.Proc{p, q}, opt)
+			if cerr != nil {
+				return "", cerr
+			}
+			if gi.NumStates() != gc.NumStates() || !reflect.DeepEqual(gi.Edges, gc.Edges) ||
+				gi.Truncated != gc.Truncated {
+				return fmt.Sprintf("compiled lts graph differs: %v vs %v", gi, gc), nil
+			}
+			return "", nil
+		},
+	}
+}

@@ -1,0 +1,39 @@
+package oracle
+
+import (
+	"context"
+	"testing"
+
+	brand "bpi/internal/rand"
+)
+
+// TestTprogAgreeHolds drives the tprog/agree law over a spread of seeds:
+// any non-empty detail is a real compiled/interpreted divergence.
+func TestTprogAgreeHolds(t *testing.T) {
+	law := lawTprogAgree()
+	env := NewEnv(4)
+	for seed := int64(0); seed < 25; seed++ {
+		g := brand.New(seed, law.Config)
+		p, q, tag := law.Gen(g)
+		detail, err := law.Check(context.Background(), env, p, q)
+		if err != nil {
+			t.Fatalf("seed %d (%s): engine error: %v", seed, tag, err)
+		}
+		if detail != "" {
+			t.Errorf("seed %d (%s): %s", seed, tag, detail)
+		}
+	}
+}
+
+// TestTprogAgreeRegistered pins the registry entry: the law is discoverable
+// by name, so `bpifuzz -laws tprog/agree` and the curated .case files
+// resolve it.
+func TestTprogAgreeRegistered(t *testing.T) {
+	laws, err := LawByName([]string{"tprog/agree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(laws) != 1 || laws[0].Name != "tprog/agree" {
+		t.Fatalf("registry lookup returned %v", laws)
+	}
+}

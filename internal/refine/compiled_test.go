@@ -1,0 +1,55 @@
+package refine
+
+import (
+	"reflect"
+	"testing"
+
+	"bpi/internal/lts"
+	"bpi/internal/semantics"
+	"bpi/internal/stress"
+	"bpi/internal/syntax"
+)
+
+// TestCompiledGraphsRefineIdentically pins the downstream contract of the
+// compiled LTS builder: partition refinement over a compiled-built graph
+// yields exactly the interpreted partitions and verdicts, for both the
+// step and barbed refiners, strong and weak.
+func TestCompiledGraphsRefineIdentically(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	for _, cfg := range stress.Corpus()[:3] {
+		opt := lts.Options{AutonomousOnly: true, MaxStates: 1 << 14}
+		gi, ierr := lts.Explore(sys, []syntax.Proc{cfg.P, cfg.Q}, opt)
+		opt.Compiled = true
+		gc, cerr := lts.Explore(sys, []syntax.Proc{cfg.P, cfg.Q}, opt)
+		if ierr != nil || cerr != nil {
+			t.Fatalf("%s: explore errors: %v, %v", cfg.Name, ierr, cerr)
+		}
+		type run struct {
+			name string
+			fn   func(*lts.Graph) (bool, error)
+		}
+		runs := []run{
+			{"strong-step", StrongStep},
+			{"strong-barbed", StrongBarbed},
+			{"weak-step", WeakStep},
+			{"weak-barbed", WeakBarbed},
+		}
+		for _, r := range runs {
+			vi, ie := r.fn(gi)
+			vc, ce := r.fn(gc)
+			if ie != nil || ce != nil {
+				t.Fatalf("%s/%s: refine errors: %v, %v", cfg.Name, r.name, ie, ce)
+			}
+			if vi != vc {
+				t.Fatalf("%s/%s: verdicts differ: interpreted %v, compiled %v", cfg.Name, r.name, vi, vc)
+			}
+		}
+		// The partitions themselves must match block for block, not just the
+		// root verdict.
+		pi := Refine(gi, func(e lts.Edge) string { return e.Lab }, func(int) string { return "" })
+		pc := Refine(gc, func(e lts.Edge) string { return e.Lab }, func(int) string { return "" })
+		if !reflect.DeepEqual(pi, pc) {
+			t.Fatalf("%s: partitions differ:\n interpreted %v\n compiled    %v", cfg.Name, pi, pc)
+		}
+	}
+}

@@ -8,10 +8,54 @@ import (
 	"bpi/internal/syntax"
 )
 
-// This file implements the broadcast composition rules (12–14). Everything
-// here follows the package's reentrancy contract: helpers receive all state
-// as arguments (the stepCtx is per-call) and build fresh transition targets,
-// so parallel callers never observe shared mutation.
+// This file implements the restriction rules (5–7) and the broadcast
+// composition rules (12–14) as a reusable composition core. The interpreted
+// walker (steps/stepsRes/stepsPar) and the compiled transition programs
+// (internal/tprog) both go through these entry points, so the two paths
+// agree on transition order and on the concrete representatives kept by
+// deduplication — by construction, not by coincidence.
+//
+// Everything here follows the package's reentrancy contract: helpers receive
+// all state as arguments and build fresh transition targets, so parallel
+// callers never observe shared mutation.
+
+// DiscardFunc answers the Table 2 question for one component of a
+// composition: does this side ignore a broadcast on a?
+type DiscardFunc func(a names.Name) (bool, error)
+
+// InputLookup returns one side's input transitions on ch at the given arity,
+// preserving their relative order within the side's transition list. It is
+// the head-input dispatch hook for compiled programs; nil means the
+// composition falls back to a linear scan.
+type InputLookup func(ch names.Name, arity int) []Trans
+
+// Side packages one component of a parallel composition the way the
+// broadcast composition rules consume it: the process itself (for rebuilding
+// targets and free-name side conditions), its symbolic transitions in
+// derivation order, its discard oracle, and an optional head-input index
+// over those transitions.
+type Side struct {
+	Proc    syntax.Proc
+	Trans   []Trans
+	Discard DiscardFunc
+	Inputs  InputLookup
+}
+
+// forEachInput visits the side's input transitions on (ch, arity) in
+// transition-list order, via the index when one is present.
+func (s Side) forEachInput(ch names.Name, arity int, f func(Trans)) {
+	if s.Inputs != nil {
+		for _, t := range s.Inputs(ch, arity) {
+			f(t)
+		}
+		return
+	}
+	for _, t := range s.Trans {
+		if t.Act.IsInput() && t.Act.Subj == ch && len(t.Act.Objs) == arity {
+			f(t)
+		}
+	}
+}
 
 // pairUp rebuilds a parallel composition with the mover on its original
 // side: Par{moved, other} when the mover was the left component.
@@ -22,15 +66,58 @@ func pairUp(moverIsLeft bool, moved, other syntax.Proc) syntax.Proc {
 	return syntax.Par{L: other, R: moved}
 }
 
-// broadcastSide combines each output transition of movers with every way the
-// sibling process sib (whose symbolic transitions are sibTrans) can absorb
-// the broadcast: receiving it (rule 13) or discarding the channel (rule 14).
-func broadcastSide(movers, sibTrans []Trans, sib syntax.Proc, ctx *stepCtx,
-	moverIsLeft bool) ([]Trans, error) {
+// ComposePar derives the transitions of l.Proc | r.Proc from the two sides'
+// transitions via the broadcast composition rules (12–14). The result is in
+// the interpreter's pre-dedupe append order — left τ, right τ, left
+// outputs, right outputs, left inputs, right inputs — so callers that need
+// the public Steps order apply Dedupe to the final top-level list only.
+func ComposePar(l, r Side) ([]Trans, error) {
+	var out []Trans
+	// τ moves: everything discards τ (rule (14) with sub(τ)=τ).
+	for _, tl := range l.Trans {
+		if tl.Act.IsTau() {
+			out = append(out, Trans{tl.Act, syntax.Par{L: tl.Target, R: r.Proc}})
+		}
+	}
+	for _, tr := range r.Trans {
+		if tr.Act.IsTau() {
+			out = append(out, Trans{tr.Act, syntax.Par{L: l.Proc, R: tr.Target}})
+		}
+	}
+	// Outputs from the left, heard or discarded by the right (13)/(14).
+	o1, err := composeBroadcast(l, r, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, o1...)
+	// Outputs from the right (symmetric).
+	o2, err := composeBroadcast(r, l, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, o2...)
+	// Inputs: both receive (12), or one receives and the other discards (14).
+	i1, err := composeInput(l, r, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, i1...)
+	i2, err := composeInput(r, l, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, i2...)
+	return out, nil
+}
+
+// composeBroadcast combines each output transition of the mover side with
+// every way the sibling side can absorb the broadcast: receiving it
+// (rule 13) or discarding the channel (rule 14).
+func composeBroadcast(mover, sib Side, moverIsLeft bool) ([]Trans, error) {
 	combine := func(moved, other syntax.Proc) syntax.Proc { return pairUp(moverIsLeft, moved, other) }
 	var out []Trans
 	var sibFree names.Set
-	for _, mv := range movers {
+	for _, mv := range mover.Trans {
 		if !mv.Act.IsOutput() {
 			continue
 		}
@@ -40,52 +127,45 @@ func broadcastSide(movers, sibTrans []Trans, sib syntax.Proc, ctx *stepCtx,
 		// sibling's free names.
 		if len(act.Bound) > 0 {
 			if sibFree == nil {
-				sibFree = syntax.FreeNames(sib)
+				sibFree = syntax.FreeNames(sib.Proc)
 			}
 			act, tgt = renameLabelBinders(act, tgt, sibFree)
 		}
 		// Rule 13: the sibling receives the payload.
-		for _, st := range sibTrans {
-			if !st.Act.IsInput() || st.Act.Subj != act.Subj || len(st.Act.Objs) != len(act.Objs) {
-				continue
-			}
+		sib.forEachInput(act.Subj, len(act.Objs), func(st Trans) {
 			recv := syntax.Instantiate(st.Target, st.Act.Objs, act.Objs)
 			out = append(out, Trans{act, combine(tgt, recv)})
-		}
+		})
 		// Rule 14: the sibling ignores the channel.
-		disc, err := discards(sib, act.Subj, ctx)
+		disc, err := sib.Discard(act.Subj)
 		if err != nil {
 			return nil, err
 		}
 		if disc {
-			out = append(out, Trans{act, combine(tgt, sib)})
+			out = append(out, Trans{act, combine(tgt, sib.Proc)})
 		}
 	}
 	return out, nil
 }
 
-// inputSide produces the composite input transitions in which movers'
-// receptions participate: paired with a reception of the sibling on the same
-// channel at the same arity (rule 12), or alone while the sibling discards
-// (rule 14). To avoid emitting each rule-12 combination twice, only the
-// orientation in which the mover is the left component creates the paired
-// transitions; the discard case is created for both orientations.
-func inputSide(movers, sibTrans []Trans, sib syntax.Proc, ctx *stepCtx,
-	moverIsLeft bool) ([]Trans, error) {
+// composeInput produces the composite input transitions in which the mover
+// side's receptions participate: paired with a reception of the sibling on
+// the same channel at the same arity (rule 12), or alone while the sibling
+// discards (rule 14). To avoid emitting each rule-12 combination twice, only
+// the orientation in which the mover is the left component creates the
+// paired transitions; the discard case is created for both orientations.
+func composeInput(mover, sib Side, moverIsLeft bool) ([]Trans, error) {
 	combine := func(moved, other syntax.Proc) syntax.Proc { return pairUp(moverIsLeft, moved, other) }
 	leftOriented := moverIsLeft
 	var out []Trans
-	for _, mv := range movers {
+	for _, mv := range mover.Trans {
 		if !mv.Act.IsInput() {
 			continue
 		}
 		a, params, cont := mv.Act.Subj, mv.Act.Objs, mv.Target
 		// Rule 12: the sibling receives the same message.
 		if leftOriented {
-			for _, st := range sibTrans {
-				if !st.Act.IsInput() || st.Act.Subj != a || len(st.Act.Objs) != len(params) {
-					continue
-				}
+			sib.forEachInput(a, len(params), func(st Trans) {
 				// Unify the two binder tuples on fresh parameters.
 				avoid := syntax.FreeNames(cont).Union(syntax.FreeNames(st.Target)).
 					AddSlice(params).AddSlice(st.Act.Objs).Add(a)
@@ -97,24 +177,69 @@ func inputSide(movers, sibTrans []Trans, sib syntax.Proc, ctx *stepCtx,
 				l := syntax.Instantiate(cont, params, fresh)
 				r := syntax.Instantiate(st.Target, st.Act.Objs, fresh)
 				out = append(out, Trans{actions.NewIn(a, fresh), combine(l, r)})
-			}
+			})
 		}
 		// Rule 14: the sibling discards the channel. The binder parameters
 		// must not capture free names of the sibling.
-		disc, err := discards(sib, a, ctx)
+		disc, err := sib.Discard(a)
 		if err != nil {
 			return nil, err
 		}
 		if disc {
 			act, tgt := mv.Act, cont
-			sibFree := syntax.FreeNames(sib)
+			sibFree := syntax.FreeNames(sib.Proc)
 			if sibFree.ContainsAny(params) {
 				act, tgt = renameLabelBinders(act, tgt, sibFree)
 			}
-			out = append(out, Trans{act, combine(tgt, sib)})
+			out = append(out, Trans{act, combine(tgt, sib.Proc)})
 		}
 	}
 	return out, nil
+}
+
+// ComposeRes implements the restriction rules (5), (6), (7): it lifts the
+// transitions of the body of νx p to the transitions of νx p itself. The
+// input list is read-only; the result is freshly allocated.
+func ComposeRes(x names.Name, inner []Trans) []Trans {
+	var out []Trans
+	for _, tr := range inner {
+		act, tgt := tr.Act, tr.Target
+		// Textual collisions between the restricted name and the label's
+		// binders (extruded names of outputs, parameters of inputs) mean
+		// shadowing, not identity: alpha-rename the label's binders away.
+		if collides(x, act) {
+			act, tgt = renameLabelBinders(act, tgt, names.NewSet(x))
+		}
+		switch act.Kind {
+		case actions.Tau: // rule (7)
+			out = append(out, Trans{act, syntax.Res{X: x, Body: tgt}})
+		case actions.In:
+			if act.Subj == x {
+				continue // nobody outside can broadcast on the private channel
+			}
+			// rule (7): the received names are instantiated outside the
+			// scope of x, so x stays restricted around the continuation.
+			out = append(out, Trans{act, syntax.Res{X: x, Body: tgt}})
+		case actions.Out:
+			if act.Subj == x {
+				// rule (6): output on the private channel is internalised;
+				// the extruded names stay bound around the continuation.
+				tgt2 := syntax.Restrict(tgt, act.Bound...)
+				out = append(out, Trans{actions.NewTau(), syntax.Res{X: x, Body: tgt2}})
+				continue
+			}
+			if freePosition(act, x) {
+				// rule (5): scope extrusion; x becomes a bound name of the label.
+				na := act
+				na.Bound = append(append([]names.Name{}, act.Bound...), x)
+				out = append(out, Trans{na, tgt})
+				continue
+			}
+			// rule (7): x not mentioned by the label.
+			out = append(out, Trans{act, syntax.Res{X: x, Body: tgt}})
+		}
+	}
+	return out
 }
 
 // Instantiate grounds a symbolic input transition with the received names:
@@ -131,8 +256,17 @@ func Instantiate(t Trans, received []names.Name) (actions.Act, syntax.Proc) {
 	return actions.NewIn(t.Act.Subj, received), syntax.Instantiate(t.Target, t.Act.Objs, received)
 }
 
-// dedupe removes transitions that are duplicates up to alpha-equivalence of
-// the (label, target) pair, and returns them in a deterministic order.
+// Dedupe removes transitions that are duplicates up to alpha-equivalence of
+// the (label, target) pair — keeping the first occurrence, so the concrete
+// representative depends on derivation order — and returns them sorted by
+// canonical transition key. It operates on a copy; ts is not mutated. This
+// is the exact normalisation Steps applies, exported so the compiled path
+// produces bit-identical transition lists.
+func Dedupe(ts []Trans) []Trans {
+	return dedupe(append([]Trans(nil), ts...))
+}
+
+// dedupe is Dedupe in place: it reuses ts's backing array.
 func dedupe(ts []Trans) []Trans {
 	seen := make(map[string]bool, len(ts))
 	out := ts[:0]

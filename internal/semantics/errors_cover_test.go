@@ -1,0 +1,110 @@
+package semantics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bpi/internal/names"
+	"bpi/internal/syntax"
+)
+
+// unguarded is a recursion the step relation must reject: unfolding
+// (rec A.A)⟨⟩ reproduces itself without consuming a prefix, so the unfold
+// budget is the only thing standing between Steps and divergence.
+func unguarded() syntax.Proc { return syntax.Rec{Id: "A", Body: syntax.Call{Id: "A"}} }
+
+// TestStepsErrorPropagation drives the unfold-budget error through every
+// process constructor that must forward a sub-derivation failure.
+func TestStepsErrorPropagation(t *testing.T) {
+	a := names.Name("a")
+	sys := NewSystem(nil)
+	sys.MaxUnfold = 32
+	cases := []struct {
+		name string
+		p    syntax.Proc
+	}{
+		{"bare", unguarded()},
+		{"sum-left", syntax.Sum{L: unguarded(), R: syntax.SendN(a)}},
+		{"sum-right", syntax.Sum{L: syntax.SendN(a), R: unguarded()}},
+		{"match-then", syntax.Match{X: a, Y: a, Then: unguarded(), Else: syntax.PNil}},
+		{"match-else", syntax.Match{X: a, Y: names.Name("b"), Then: syntax.PNil, Else: unguarded()}},
+		{"res-body", syntax.Res{X: a, Body: unguarded()}},
+		{"par-left", syntax.Par{L: unguarded(), R: syntax.SendN(a)}},
+		{"par-right", syntax.Par{L: syntax.SendN(a), R: unguarded()}},
+	}
+	for _, tc := range cases {
+		_, err := sys.Steps(tc.p)
+		if err == nil {
+			t.Errorf("%s: Steps accepted %s", tc.name, syntax.String(tc.p))
+			continue
+		}
+		var budget ErrUnfoldBudget
+		if !errors.As(err, &budget) || budget.Limit != 32 {
+			t.Errorf("%s: error %v, want ErrUnfoldBudget{32}", tc.name, err)
+		}
+		if !strings.Contains(budget.Error(), "unfold budget 32") {
+			t.Errorf("%s: error text %q does not name the budget", tc.name, budget.Error())
+		}
+	}
+
+	if _, err := sys.Steps(syntax.Call{Id: "NoSuchDef"}); err == nil {
+		t.Error("Steps resolved an undefined identifier")
+	}
+}
+
+// TestDiscardsErrorPropagation: the Table 2 discard relation walks the same
+// term structure, so it must forward the same failures.
+func TestDiscardsErrorPropagation(t *testing.T) {
+	a := names.Name("a")
+	sys := NewSystem(nil)
+	sys.MaxUnfold = 32
+	cases := []struct {
+		name string
+		p    syntax.Proc
+	}{
+		{"bare", unguarded()},
+		{"sum-left", syntax.Sum{L: unguarded(), R: syntax.RecvN(a)}},
+		{"sum-right", syntax.Sum{L: syntax.RecvN(names.Name("b")), R: unguarded()}},
+		{"match-then", syntax.Match{X: a, Y: a, Then: unguarded(), Else: syntax.PNil}},
+		{"match-else", syntax.Match{X: a, Y: names.Name("b"), Then: syntax.PNil, Else: unguarded()}},
+		{"res-body", syntax.Res{X: names.Name("b"), Body: unguarded()}},
+		{"par-left", syntax.Par{L: unguarded(), R: syntax.RecvN(a)}},
+		{"par-right", syntax.Par{L: syntax.RecvN(names.Name("b")), R: unguarded()}},
+	}
+	for _, tc := range cases {
+		if _, err := sys.Discards(tc.p, a); err == nil {
+			t.Errorf("%s: Discards accepted %s", tc.name, syntax.String(tc.p))
+		}
+	}
+	if _, err := sys.Discards(syntax.Call{Id: "NoSuchDef"}, a); err == nil {
+		t.Error("Discards resolved an undefined identifier")
+	}
+}
+
+// TestScopeExtrusionBinderCollision: lifting a bound output past a sibling
+// whose free names include the binder must rename the extruded name, not
+// capture it.
+func TestScopeExtrusionBinderCollision(t *testing.T) {
+	a, x := names.Name("a"), names.Name("x")
+	// nu x.(a!(x)) | x!  — the extruded bound name x collides with the
+	// sibling's free x.
+	p := syntax.Par{
+		L: syntax.Res{X: x, Body: syntax.SendN(a, x)},
+		R: syntax.SendN(x),
+	}
+	ts, err := NewSystem(nil).Steps(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 {
+		t.Fatal("no transitions for a scope-extruding composition")
+	}
+	for _, tr := range ts {
+		for _, b := range tr.Act.Bound {
+			if b == x {
+				t.Errorf("extruded binder %s captured the sibling's free %s in %v", b, x, tr)
+			}
+		}
+	}
+}

@@ -209,51 +209,14 @@ func steps(p syntax.Proc, ctx *stepCtx) ([]Trans, error) {
 	}
 }
 
-// stepsRes implements rules (5), (6), (7) for νx p.
+// stepsRes implements rules (5), (6), (7) for νx p via the shared
+// composition core.
 func stepsRes(r syntax.Res, ctx *stepCtx) ([]Trans, error) {
 	inner, err := steps(r.Body, ctx)
 	if err != nil {
 		return nil, err
 	}
-	var out []Trans
-	for _, tr := range inner {
-		act, tgt := tr.Act, tr.Target
-		// Textual collisions between the restricted name and the label's
-		// binders (extruded names of outputs, parameters of inputs) mean
-		// shadowing, not identity: alpha-rename the label's binders away.
-		if collides(r.X, act) {
-			act, tgt = renameLabelBinders(act, tgt, names.NewSet(r.X))
-		}
-		switch act.Kind {
-		case actions.Tau: // rule (7)
-			out = append(out, Trans{act, syntax.Res{X: r.X, Body: tgt}})
-		case actions.In:
-			if act.Subj == r.X {
-				continue // nobody outside can broadcast on the private channel
-			}
-			// rule (7): the received names are instantiated outside the
-			// scope of x, so x stays restricted around the continuation.
-			out = append(out, Trans{act, syntax.Res{X: r.X, Body: tgt}})
-		case actions.Out:
-			if act.Subj == r.X {
-				// rule (6): output on the private channel is internalised;
-				// the extruded names stay bound around the continuation.
-				tgt2 := syntax.Restrict(tgt, act.Bound...)
-				out = append(out, Trans{actions.NewTau(), syntax.Res{X: r.X, Body: tgt2}})
-				continue
-			}
-			if freePosition(act, r.X) {
-				// rule (5): scope extrusion; x becomes a bound name of the label.
-				na := act
-				na.Bound = append(append([]names.Name{}, act.Bound...), r.X)
-				out = append(out, Trans{na, tgt})
-				continue
-			}
-			// rule (7): x not mentioned by the label.
-			out = append(out, Trans{act, syntax.Res{X: r.X, Body: tgt}})
-		}
-	}
-	return out, nil
+	return ComposeRes(r.X, inner), nil
 }
 
 // collides reports whether x clashes with the binders of the label (bound
@@ -316,7 +279,9 @@ func renameLabelBinders(act actions.Act, tgt syntax.Proc, avoidExtra names.Set) 
 	return act.RenameAll(ren), syntax.Apply(tgt, ren)
 }
 
-// stepsPar implements the broadcast composition rules (12), (13), (14).
+// stepsPar implements the broadcast composition rules (12), (13), (14) via
+// the shared composition core, with the interpreter's recursive walker as
+// each side's discard oracle.
 func stepsPar(pp syntax.Par, ctx *stepCtx) ([]Trans, error) {
 	ls, err := steps(pp.L, ctx)
 	if err != nil {
@@ -326,40 +291,15 @@ func stepsPar(pp syntax.Par, ctx *stepCtx) ([]Trans, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Trans
-	// τ moves: everything discards τ (rule (14) with sub(τ)=τ).
-	for _, tl := range ls {
-		if tl.Act.IsTau() {
-			out = append(out, Trans{tl.Act, syntax.Par{L: tl.Target, R: pp.R}})
-		}
+	return ComposePar(ctxSide(pp.L, ls, ctx), ctxSide(pp.R, rs, ctx))
+}
+
+// ctxSide wraps one component for ComposePar, answering discard queries with
+// the per-call stepCtx (so unfold spending is shared with the derivation).
+func ctxSide(p syntax.Proc, ts []Trans, ctx *stepCtx) Side {
+	return Side{
+		Proc:    p,
+		Trans:   ts,
+		Discard: func(a names.Name) (bool, error) { return discards(p, a, ctx) },
 	}
-	for _, tr := range rs {
-		if tr.Act.IsTau() {
-			out = append(out, Trans{tr.Act, syntax.Par{L: pp.L, R: tr.Target}})
-		}
-	}
-	// Outputs from the left, heard or discarded by the right (13)/(14).
-	o1, err := broadcastSide(ls, rs, pp.R, ctx, true)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, o1...)
-	// Outputs from the right (symmetric).
-	o2, err := broadcastSide(rs, ls, pp.L, ctx, false)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, o2...)
-	// Inputs: both receive (12), or one receives and the other discards (14).
-	i1, err := inputSide(ls, rs, pp.R, ctx, true)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, i1...)
-	i2, err := inputSide(rs, ls, pp.L, ctx, false)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, i2...)
-	return out, nil
 }

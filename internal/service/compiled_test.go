@@ -1,0 +1,60 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	bpi "bpi"
+	"bpi/internal/service"
+)
+
+// TestCompiledDaemonAgrees spins up an interpreted and a compiled server
+// and requires identical equiv responses, then checks the compiled
+// server's /metrics exposes the tprog counter family.
+func TestCompiledDaemonAgrees(t *testing.T) {
+	_, _, ci := newTestServer(t, service.Config{})
+	csrv, cts, cc := newTestServer(t, service.Config{Compiled: true})
+	if !csrv.Store().Compiled() {
+		t.Fatal("Compiled config did not enable the compiled store")
+	}
+	ctx := context.Background()
+	reqs := []bpi.EquivRequest{
+		{P: "b? | b?(x)", Q: "0", Rel: "labelled"},
+		{P: "tau.tau.(b? | b?(x))", Q: "b? | b?(x)", Rel: "labelled", Weak: true},
+		{P: "nu x.(a!(x) | x?(y).y!)", Q: "tau.0", Rel: "step"},
+		{P: "a! | a?", Q: "a!", Rel: "barbed"},
+	}
+	for _, req := range reqs {
+		ri, err := ci.Equiv(ctx, req)
+		if err != nil {
+			t.Fatalf("%s ~ %s: interpreted: %v", req.P, req.Q, err)
+		}
+		rc, err := cc.Equiv(ctx, req)
+		if err != nil {
+			t.Fatalf("%s ~ %s: compiled: %v", req.P, req.Q, err)
+		}
+		if ri.Related != rc.Related || ri.Pairs != rc.Pairs || ri.Reason != rc.Reason {
+			t.Fatalf("%s ~ %s (%s): interpreted %+v, compiled %+v", req.P, req.Q, req.Rel, ri, rc)
+		}
+	}
+
+	resp, err := http.Get(cts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, metric := range []string{"bpid_tprog_units", "bpid_tprog_compiles_total", "bpid_tprog_fallbacks_total"} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("compiled /metrics missing %s", metric)
+		}
+	}
+	st := csrv.Store().ProgCache().Stats()
+	if st.Units == 0 || st.Compiles == 0 {
+		t.Fatalf("compiled store served no compiled programs: %+v", st)
+	}
+}

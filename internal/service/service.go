@@ -75,6 +75,11 @@ type Config struct {
 	// verdicts are appended write-behind (see ledger.go). The caller keeps
 	// ownership and closes it after Shutdown.
 	Ledger *ledger.Ledger
+	// Compiled switches the shared store to compiled transition programs
+	// (internal/tprog). Verdicts are bit-identical to the interpreted
+	// store's; /metrics additionally reports the tprog compile, cache and
+	// fallback counters.
+	Compiled bool
 }
 
 func (c Config) workers() int {
@@ -161,6 +166,9 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 	}
 	s.store = equiv.NewStore(s.sys)
+	if cfg.Compiled {
+		s.store.EnableCompiled()
+	}
 	s.store.SetObs(s.obs)
 	s.jobs = newJobManager(s, cfg.queueDepth())
 	s.attachLedger()

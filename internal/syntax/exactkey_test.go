@@ -1,0 +1,108 @@
+package syntax
+
+import "testing"
+
+// TestExactKeyStructural pins the contract compiled transition programs
+// (internal/tprog) cache under: two terms share an ExactKey iff they are
+// structurally Equal — binder names verbatim, so alpha-variants get
+// DIFFERENT exact keys even though Key (the alpha-invariant state key)
+// identifies them.
+func TestExactKeyStructural(t *testing.T) {
+	a, b, x, y := Name("a"), Name("b"), Name("x"), Name("y")
+	rec := Rec{Id: "A", Params: []Name{x}, Body: Recv(a, []Name{y}, Call{Id: "A", Args: []Name{y}}), Args: []Name{b}}
+	terms := []Proc{
+		PNil,
+		TauP(PNil),
+		SendN(a, b),
+		RecvN(a, x),
+		Sum{SendN(a), RecvN(b)},
+		Par{SendN(a), RecvN(b)},
+		Res{X: x, Body: SendN(x)},
+		Match{X: a, Y: b, Then: SendN(a), Else: RecvN(b)},
+		Call{Id: "A", Args: []Name{a, b}},
+		rec,
+	}
+	for i, p := range terms {
+		for j, q := range terms {
+			same := ExactKey(p) == ExactKey(q)
+			if same != (i == j) {
+				t.Errorf("ExactKey(%s) vs ExactKey(%s): same=%v, want %v",
+					String(p), String(q), same, i == j)
+			}
+			if Equal(p, q) != (i == j) {
+				t.Errorf("Equal(%s, %s) = %v, want %v", String(p), String(q), Equal(p, q), i == j)
+			}
+		}
+	}
+}
+
+// TestExactKeyAlphaVariants: alpha-variant terms are one state (same Key)
+// but distinct compilation units (different ExactKey) — their transitions
+// differ textually in the bound names.
+func TestExactKeyAlphaVariants(t *testing.T) {
+	a, x, y := Name("a"), Name("x"), Name("y")
+	p := Recv(a, []Name{x}, SendN(x))
+	q := Recv(a, []Name{y}, SendN(y))
+	if !AlphaEqual(p, q) {
+		t.Fatal("alpha-variants not AlphaEqual")
+	}
+	if Key(p) != Key(q) {
+		t.Error("alpha-variants have different state Keys")
+	}
+	if ExactKey(p) == ExactKey(q) {
+		t.Error("alpha-variants share an ExactKey: the tprog cache would conflate them")
+	}
+
+	r := Res{X: x, Body: SendN(x)}
+	s := Res{X: y, Body: SendN(y)}
+	if Key(r) != Key(s) || ExactKey(r) == ExactKey(s) {
+		t.Error("restriction alpha-variants: want equal Keys, distinct ExactKeys")
+	}
+}
+
+// TestEqualFieldMismatches walks Equal/preEqual through every near-miss:
+// same node kind, one field off.
+func TestEqualFieldMismatches(t *testing.T) {
+	a, b, x, y := Name("a"), Name("b"), Name("x"), Name("y")
+	rec := Rec{Id: "A", Params: []Name{x}, Body: SendN(x), Args: []Name{a}}
+	pairs := []struct {
+		name string
+		p, q Proc
+	}{
+		{"out-channel", SendN(a, x), SendN(b, x)},
+		{"out-args", SendN(a, x), SendN(a, y)},
+		{"out-arity", SendN(a, x), SendN(a, x, y)},
+		{"in-params", RecvN(a, x), RecvN(a, y)},
+		{"pre-kind", SendN(a), RecvN(a)},
+		{"call-id", Call{Id: "A"}, Call{Id: "B"}},
+		{"call-args", Call{Id: "A", Args: []Name{a}}, Call{Id: "A", Args: []Name{b}}},
+		{"rec-id", rec, Rec{Id: "B", Params: []Name{x}, Body: SendN(x), Args: []Name{a}}},
+		{"rec-params", rec, Rec{Id: "A", Params: []Name{y}, Body: SendN(x), Args: []Name{a}}},
+		{"rec-args", rec, Rec{Id: "A", Params: []Name{x}, Body: SendN(x), Args: []Name{b}}},
+		{"rec-body", rec, Rec{Id: "A", Params: []Name{x}, Body: SendN(y), Args: []Name{a}}},
+		{"match-else", Match{X: a, Y: b, Then: PNil, Else: SendN(a)}, Match{X: a, Y: b, Then: PNil, Else: SendN(b)}},
+	}
+	for _, tc := range pairs {
+		if Equal(tc.p, tc.q) {
+			t.Errorf("%s: Equal(%s, %s) = true", tc.name, String(tc.p), String(tc.q))
+		}
+		if ExactKey(tc.p) == ExactKey(tc.q) {
+			t.Errorf("%s: ExactKey collision between %s and %s", tc.name, String(tc.p), String(tc.q))
+		}
+	}
+}
+
+// TestCanonRec: canonicalisation renames Rec binders (params) but leaves
+// the instantiating args in the outer scope.
+func TestCanonRec(t *testing.T) {
+	a, x, y := Name("a"), Name("x"), Name("y")
+	p := Rec{Id: "A", Params: []Name{x}, Body: SendN(x), Args: []Name{a}}
+	q := Rec{Id: "A", Params: []Name{y}, Body: SendN(y), Args: []Name{a}}
+	if !AlphaEqual(p, q) {
+		t.Error("Rec terms differing only in the Param binder are not AlphaEqual")
+	}
+	r := Rec{Id: "A", Params: []Name{x}, Body: SendN(x), Args: []Name{y}}
+	if AlphaEqual(p, r) {
+		t.Error("Rec terms with different free Args are AlphaEqual")
+	}
+}

@@ -1,0 +1,206 @@
+package tprog
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bpi/internal/obs"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*Prog
+}
+
+// flight is one in-progress top-level Transitions computation other callers
+// of the same term wait on.
+type flight struct {
+	done chan struct{}
+	ts   []semantics.Trans
+	err  error
+}
+
+// Cache is a sharded, concurrency-safe store of compiled units keyed by
+// exact syntax (syntax.ExactKey). Publication is idempotent — the first
+// fully built unit for a key wins, and a lost race discards the duplicate —
+// so concurrent compilations of overlapping terms never block each other
+// and every consumer observes one canonical unit per term. Top-level
+// Transitions calls for the same term are additionally collapsed
+// singleflight, like the derivation memos in equiv.Store.
+type Cache struct {
+	sys    *semantics.System
+	shards [cacheShards]cacheShard
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	// Reuse/work counters. Hits and misses count unit requests against the
+	// shared cache (a singleflight join counts as a hit); compiles counts
+	// units actually built (a lost publication race builds twice and counts
+	// twice — it is a work counter, not an occupancy counter); execs counts
+	// unit bytecode executions.
+	compiles atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	execs    atomic.Uint64
+
+	// Mirror counters on an attached tracer (SetObs); nil — a no-op with
+	// no atomic traffic — until a tracer is attached.
+	obsCompiles, obsHits, obsMisses, obsExecs *obs.Counter
+}
+
+// NewCache returns an empty compiled-unit cache over sys (nil means the
+// empty definitions environment with default budgets).
+func NewCache(sys *semantics.System) *Cache {
+	if sys == nil {
+		sys = semantics.NewSystem(nil)
+	}
+	c := &Cache{sys: sys, flights: map[string]*flight{}}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*Prog{}
+	}
+	return c
+}
+
+// System returns the semantic system programs are compiled against.
+func (c *Cache) System() *semantics.System { return c.sys }
+
+// SetObs mirrors the cache counters (tprog.compiles, tprog.cache_hits,
+// tprog.cache_misses, tprog.execs) onto t, live rather than snapshot.
+// Attach before the cache is shared across goroutines; a nil t detaches.
+func (c *Cache) SetObs(t *obs.Tracer) {
+	c.obsCompiles = t.Counter("tprog.compiles")
+	c.obsHits = t.Counter("tprog.cache_hits")
+	c.obsMisses = t.Counter("tprog.cache_misses")
+	c.obsExecs = t.Counter("tprog.execs")
+}
+
+// CacheStats is a snapshot of the cache's occupancy and work counters.
+type CacheStats struct {
+	// Units is the number of published compiled units.
+	Units int
+	// Compiles counts units built; Hits/Misses count unit requests served
+	// from (resp. missing) the shared cache; Execs counts unit executions.
+	Compiles, Hits, Misses, Execs uint64
+}
+
+// Stats returns a consistent-enough snapshot (each counter is read
+// atomically; the set is not one atomic snapshot).
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Compiles: c.compiles.Load(),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Execs:    c.execs.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Units += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	// FNV-1a, inlined to avoid a hash.Hash allocation per lookup.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// lookup returns the published unit for key, counting a hit or a miss.
+func (c *Cache) lookup(key string) (*Prog, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	u := sh.m[key]
+	sh.mu.Unlock()
+	if u != nil {
+		c.hits.Add(1)
+		c.obsHits.Add(1)
+		return u, true
+	}
+	c.misses.Add(1)
+	c.obsMisses.Add(1)
+	return nil, false
+}
+
+// peek is lookup without counters — for fast paths that fall through to a
+// counting path on miss.
+func (c *Cache) peek(key string) *Prog {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[key]
+}
+
+// publish installs a freshly built unit, counting the build. If another
+// goroutine published the same key first, that unit wins and is returned;
+// units are immutable and deterministic, so the duplicate is simply dropped.
+func (c *Cache) publish(key string, u *Prog) *Prog {
+	c.compiles.Add(1)
+	c.obsCompiles.Add(1)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev := sh.m[key]; prev != nil {
+		return prev
+	}
+	sh.m[key] = u
+	return u
+}
+
+func (c *Cache) countExec() {
+	c.execs.Add(1)
+	c.obsExecs.Add(1)
+}
+
+// Compile returns the compiled program for p, building and publishing any
+// units not already cached. Safe for concurrent use.
+func (c *Cache) Compile(p syntax.Proc) (*Prog, error) {
+	comp := &compiler{sys: c.sys, cache: c, memo: map[string]*Prog{}, inflight: map[string]bool{}}
+	return comp.unit(p)
+}
+
+// Transitions compiles p (or retrieves its cached program) and returns its
+// deduplicated transitions — a drop-in replacement for System.Steps with
+// bit-identical results. Concurrent calls for a term not yet cached are
+// collapsed into one compilation (singleflight); execution is memoised per
+// unit regardless.
+func (c *Cache) Transitions(p syntax.Proc) ([]semantics.Trans, error) {
+	key := syntax.ExactKey(p)
+	if u := c.peek(key); u != nil {
+		c.hits.Add(1)
+		c.obsHits.Add(1)
+		return u.Transitions()
+	}
+	c.mu.Lock()
+	if f := c.flights[key]; f != nil {
+		c.mu.Unlock()
+		<-f.done
+		c.hits.Add(1) // a singleflight join is a cache hit
+		c.obsHits.Add(1)
+		return f.ts, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	u, err := c.Compile(p)
+	if err != nil {
+		f.err = err
+	} else {
+		f.ts, f.err = u.Transitions()
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.ts, f.err
+}

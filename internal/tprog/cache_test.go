@@ -1,0 +1,157 @@
+package tprog
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// TestCacheAccounting pins the per-unit hit/miss/compile ledger through a
+// cold compile, a warm repeat, and a superterm that reuses a cached unit.
+func TestCacheAccounting(t *testing.T) {
+	c := NewCache(nil)
+	p := syntax.Par{L: syntax.SendN(na), R: syntax.RecvN(na, nx)} // 3 units: par + 2 leaves
+	if _, err := c.Transitions(p); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Units != 3 || st.Compiles != 3 || st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("after cold compile: %+v, want Units=Compiles=Misses=3, Hits=0", st)
+	}
+
+	// Warm repeat: one hit (the published root), nothing rebuilt.
+	if _, err := c.Transitions(p); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Units != 3 || st.Compiles != 3 || st.Misses != 3 || st.Hits != 1 {
+		t.Fatalf("after warm repeat: %+v, want Hits=1 and no new compiles", st)
+	}
+
+	// A superterm reuses p's unit wholesale: 2 new units (the new root and
+	// the new leaf), one cache hit for p itself.
+	q := syntax.Par{L: p, R: syntax.SendN(nb)}
+	if _, err := c.Transitions(q); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Units != 5 || st.Compiles != 5 || st.Misses != 5 || st.Hits != 2 {
+		t.Fatalf("after superterm: %+v, want Units=Compiles=Misses=5, Hits=2", st)
+	}
+}
+
+// TestSingleflightChurn hammers one cold term from 32 goroutines: the
+// flight must collapse the work to exactly one compilation per unit and one
+// execution per unit, every caller must get the identical transition list,
+// and the joiners must account as cache hits. Run under -race in CI.
+func TestSingleflightChurn(t *testing.T) {
+	const goroutines = 32
+	c := NewCache(nil)
+	p := syntax.Group(
+		syntax.SendN(na, nb),
+		syntax.Recv(na, []syntax.Name{nx}, syntax.SendN(nx)),
+		syntax.RecvN(nc),
+	)
+	want, err := c.System().Steps(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	outs := make([][]semantics.Trans, goroutines)
+	errs := make([]error, goroutines)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			ts, err := c.Transitions(p)
+			outs[i], errs[i] = ts, err
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Fatalf("goroutine %d saw different transitions", i)
+		}
+	}
+	st := c.Stats()
+	units := st.Units
+	if units == 0 {
+		t.Fatal("no units published")
+	}
+	if st.Compiles != uint64(units) {
+		t.Fatalf("compiles = %d, want exactly one per unit (%d): flight leaked work", st.Compiles, units)
+	}
+	if st.Execs != uint64(units) {
+		t.Fatalf("execs = %d, want exactly one per unit (%d)", st.Execs, units)
+	}
+	if st.Hits != goroutines-1 {
+		t.Fatalf("hits = %d, want %d (every non-leader join is a hit)", st.Hits, goroutines-1)
+	}
+	if st.Misses != uint64(units) {
+		t.Fatalf("misses = %d, want %d", st.Misses, units)
+	}
+}
+
+// TestPublishFirstWins pins idempotent publication: once a unit is
+// published, every later compile of the same term returns the same pointer
+// — the artifact is immutable, there is no invalidation path.
+func TestPublishFirstWins(t *testing.T) {
+	c := NewCache(nil)
+	p := syntax.Restrict(syntax.Group(syntax.SendN(na, nx), syntax.RecvN(nx)), nx)
+	u1, err := c.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		u2, err := c.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u2 != u1 {
+			t.Fatal("republished unit changed identity")
+		}
+	}
+}
+
+// TestConcurrentDistinctTerms compiles overlapping but distinct terms from
+// many goroutines — publication races are allowed to build duplicates, but
+// the cache must stay consistent and every result correct. Run under -race.
+func TestConcurrentDistinctTerms(t *testing.T) {
+	c := NewCache(nil)
+	shared := syntax.Recv(na, []syntax.Name{nx}, syntax.SendN(nx))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var p syntax.Proc = shared
+			for j := 0; j < i%5; j++ {
+				p = syntax.Par{L: p, R: syntax.SendN(nb)}
+			}
+			ts, err := c.Transitions(p)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			want, err := c.System().Steps(p)
+			if err != nil || !reflect.DeepEqual(ts, want) {
+				t.Errorf("goroutine %d: compiled/interpreted mismatch (%v)", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Units == 0 {
+		t.Fatal("no units published")
+	}
+}

@@ -1,0 +1,202 @@
+package tprog
+
+import (
+	"fmt"
+
+	"bpi/internal/actions"
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// compiler is the state of one compilation call: the per-call unfold budget
+// (matching the interpreter's per-Steps budget in spirit), a per-call memo
+// so shared subterms compile once even without a Cache, and the set of
+// exact terms on the current compilation path — reaching one again without
+// having consumed a prefix is an unguarded recursion, which the compiler
+// rejects instead of looping.
+type compiler struct {
+	sys      *semantics.System
+	cache    *Cache
+	memo     map[string]*Prog
+	inflight map[string]bool
+	unfolds  int
+}
+
+func (c *compiler) spendUnfold() error {
+	limit := c.sys.MaxUnfold
+	if limit == 0 {
+		limit = 10000
+	}
+	c.unfolds++
+	if c.unfolds > limit {
+		return semantics.ErrUnfoldBudget{Limit: limit}
+	}
+	return nil
+}
+
+// Compile compiles p against sys without a shared cache. Sub-units are
+// still shared within the returned program (per-call memo), but nothing
+// escapes the call. Prefer Cache.Compile for anything repeated.
+func Compile(sys *semantics.System, p syntax.Proc) (*Prog, error) {
+	if sys == nil {
+		sys = semantics.NewSystem(nil)
+	}
+	c := &compiler{sys: sys, memo: map[string]*Prog{}, inflight: map[string]bool{}}
+	return c.unit(p)
+}
+
+// unit returns the compiled unit for p: from the per-call memo, the shared
+// cache, or by building and publishing it.
+func (c *compiler) unit(p syntax.Proc) (*Prog, error) {
+	key := syntax.ExactKey(p)
+	if u, ok := c.memo[key]; ok {
+		return u, nil
+	}
+	if c.cache != nil {
+		if u, ok := c.cache.lookup(key); ok {
+			c.memo[key] = u
+			return u, nil
+		}
+	}
+	if c.inflight[key] {
+		return nil, fmt.Errorf("tprog: compilation cycle at %s (unguarded recursion)", syntax.String(p))
+	}
+	c.inflight[key] = true
+	defer delete(c.inflight, key)
+	u := &Prog{src: p, key: key}
+	if c.cache != nil {
+		u.cache = c.cache
+	}
+	b := &builder{c: c, u: u}
+	listen, err := b.node(p)
+	if err != nil {
+		return nil, err
+	}
+	u.listen = listen
+	if c.cache != nil {
+		u = c.cache.publish(key, u)
+	}
+	c.memo[key] = u
+	return u, nil
+}
+
+// builder appends bytecode for one unit. Invariant: every node() call
+// compiles to code that pushes exactly one transition list, so the operand
+// stack depth is statically balanced.
+type builder struct {
+	c *compiler
+	u *Prog
+}
+
+func (b *builder) emit(op opcode, a, operandB int32) {
+	b.u.code = append(b.u.code, instr{op, a, operandB})
+}
+
+func (b *builder) addUnit(u *Prog) int32 {
+	b.u.units = append(b.u.units, u)
+	return int32(len(b.u.units) - 1)
+}
+
+// node compiles p, appending to the current unit, and returns p's listen
+// set (the complement of its Table 2 discard set): listen(nil)=∅,
+// listen(a(x̃).P)={a}, listen(τ.P)=listen(āx̃.P)=∅, sums and parallels
+// union, matches take the chosen branch, restriction subtracts its binder,
+// and rec/call take the unfolding's set.
+func (b *builder) node(p syntax.Proc) (names.Set, error) {
+	switch t := p.(type) {
+	case syntax.Nil:
+		b.emit(opChoice, 0, 0)
+		return nil, nil
+	case syntax.Prefix:
+		var leaf semantics.Trans
+		var listen names.Set
+		switch pre := t.Pre.(type) {
+		case syntax.Tau: // rule (2)
+			leaf = semantics.Trans{Act: actions.NewTau(), Target: t.Cont}
+		case syntax.Out: // rule (4)
+			leaf = semantics.Trans{Act: actions.NewOut(pre.Ch, pre.Args), Target: t.Cont}
+		case syntax.In: // rule (3), symbolic early form
+			leaf = semantics.Trans{Act: actions.NewIn(pre.Ch, pre.Params), Target: t.Cont}
+			listen = names.NewSet(pre.Ch)
+		default:
+			return nil, fmt.Errorf("tprog: unknown prefix %T", t.Pre)
+		}
+		idx := int32(len(b.u.leaves))
+		b.u.leaves = append(b.u.leaves, leaf)
+		b.emit(opEmit, idx, 0)
+		return listen, nil
+	case syntax.Sum: // rule (8), flattened to one n-ary choice
+		alts := syntax.SumList(t)
+		var listen names.Set
+		for _, alt := range alts {
+			l, err := b.node(alt)
+			if err != nil {
+				return nil, err
+			}
+			listen = listen.AddAll(l)
+		}
+		b.emit(opChoice, int32(len(alts)), 0)
+		return listen, nil
+	case syntax.Match: // rules (9), (10): resolved at compile time
+		if t.X == t.Y {
+			return b.node(t.Then)
+		}
+		return b.node(t.Else)
+	case syntax.Res: // rules (5)–(7): the body is its own shared unit
+		u, err := b.c.unit(t.Body)
+		if err != nil {
+			return nil, err
+		}
+		b.emit(opRef, b.addUnit(u), 0)
+		bi := int32(len(b.u.binds))
+		b.u.binds = append(b.u.binds, t.X)
+		b.emit(opRes, bi, 0)
+		listen := names.NewSet().AddAll(u.listen)
+		listen.Remove(t.X)
+		return listen, nil
+	case syntax.Par: // rules (12)–(14): each component is its own unit
+		lu, err := b.c.unit(t.L)
+		if err != nil {
+			return nil, err
+		}
+		ru, err := b.c.unit(t.R)
+		if err != nil {
+			return nil, err
+		}
+		li := b.addUnit(lu)
+		ri := b.addUnit(ru)
+		b.emit(opPar, li, ri)
+		return names.NewSet().AddAll(lu.listen).AddAll(ru.listen), nil
+	case syntax.Rec: // rule (11): unfold at compile time, share the unit
+		if err := b.c.spendUnfold(); err != nil {
+			return nil, err
+		}
+		return b.ref(syntax.Unfold(t))
+	case syntax.Call:
+		if err := b.c.spendUnfold(); err != nil {
+			return nil, err
+		}
+		q, err := b.c.sys.Env.Expand(t)
+		if err != nil {
+			return nil, err
+		}
+		return b.ref(q)
+	default:
+		return nil, fmt.Errorf("tprog: unknown process node %T", p)
+	}
+}
+
+// ref compiles q as a separate unit and references it — used for recursion
+// and call unfoldings, so an expansion reached from many states is compiled
+// and executed once. Compilation stops at prefixes (continuations are
+// leaves), so guarded recursion terminates: the continuation compiles when
+// the successor state is first explored, exactly like the interpreter.
+func (b *builder) ref(q syntax.Proc) (names.Set, error) {
+	u, err := b.c.unit(q)
+	if err != nil {
+		return nil, err
+	}
+	b.emit(opRef, b.addUnit(u), 0)
+	return u.listen, nil
+}

@@ -1,0 +1,220 @@
+package tprog
+
+import (
+	"reflect"
+	"testing"
+
+	"bpi/internal/obs"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// badRec is an unguarded recursion the compiler must reject: unfolding
+// (rec A.A)⟨⟩ reproduces itself without consuming a prefix.
+func badRec() syntax.Proc { return syntax.Rec{Id: "A", Body: syntax.Call{Id: "A"}} }
+
+// TestProgAccessors pins the metadata surface of a compiled program.
+func TestProgAccessors(t *testing.T) {
+	p := syntax.Par{L: syntax.SendN(na), R: syntax.RecvN(na, nx)}
+	u, err := Compile(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u.Source(), p) {
+		t.Errorf("Source() = %v, want %v", u.Source(), p)
+	}
+	if u.Key() != syntax.ExactKey(p) {
+		t.Errorf("Key() = %q, want ExactKey", u.Key())
+	}
+	if u.NumInstr() == 0 {
+		t.Error("NumInstr() = 0 for a parallel composition")
+	}
+	if u.NumUnits() != 2 {
+		t.Errorf("NumUnits() = %d, want 2 component units", u.NumUnits())
+	}
+	raw, err := u.Raw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := u.Transitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(semantics.Dedupe(raw), out) {
+		t.Error("Transitions() is not Dedupe(Raw())")
+	}
+}
+
+// TestCompileErrorPaths drives a compilation failure through every node
+// kind that propagates sub-compilation errors, plus an unresolvable Call.
+func TestCompileErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		p    syntax.Proc
+	}{
+		{"rec", badRec()},
+		{"sum-alt", syntax.Sum{L: badRec(), R: syntax.SendN(na)}},
+		{"res-body", syntax.Res{X: na, Body: badRec()}},
+		{"par-left", syntax.Par{L: badRec(), R: syntax.PNil}},
+		{"par-right", syntax.Par{L: syntax.SendN(na), R: badRec()}},
+		{"undefined-call", syntax.Call{Id: "NoSuchDef"}},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(nil, tc.p); err == nil {
+			t.Errorf("%s: Compile accepted %s", tc.name, syntax.String(tc.p))
+		}
+		c := NewCache(nil)
+		if _, err := c.Transitions(tc.p); err == nil {
+			t.Errorf("%s: Cache.Transitions accepted %s", tc.name, syntax.String(tc.p))
+		}
+	}
+}
+
+// TestCorruptPrograms exercises the executor's defence against programs the
+// compiler would never emit: unknown opcodes, unbalanced stacks, and
+// failing sub-units referenced by opRef/opPar. Hand-built single-summand
+// choices (which the compiler flattens away) must still execute correctly.
+func TestCorruptPrograms(t *testing.T) {
+	corrupt := func() *Prog {
+		return &Prog{src: syntax.PNil, code: []instr{{op: 99}}}
+	}
+	if _, err := corrupt().Transitions(); err == nil {
+		t.Error("unknown opcode executed")
+	}
+	if _, err := corrupt().Raw(); err == nil {
+		t.Error("unknown opcode executed via Raw")
+	}
+
+	empty := &Prog{src: syntax.PNil}
+	if _, err := empty.Transitions(); err == nil {
+		t.Error("empty program (stack depth 0) executed")
+	}
+
+	good, err := Compile(nil, syntax.SendN(na))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBad := &Prog{src: syntax.PNil, units: []*Prog{corrupt()}, code: []instr{{op: opRef}}}
+	if _, err := refBad.Transitions(); err == nil {
+		t.Error("opRef to a corrupt unit executed")
+	}
+	parLeftBad := &Prog{src: syntax.PNil, units: []*Prog{corrupt(), good}, code: []instr{{op: opPar, a: 0, b: 1}}}
+	if _, err := parLeftBad.Transitions(); err == nil {
+		t.Error("opPar with a corrupt left unit executed")
+	}
+	parRightBad := &Prog{src: syntax.PNil, units: []*Prog{good, corrupt()}, code: []instr{{op: opPar, a: 0, b: 1}}}
+	if _, err := parRightBad.Transitions(); err == nil {
+		t.Error("opPar with a corrupt right unit executed")
+	}
+
+	// A single-summand choice passes its operand through unchanged.
+	leaf := semantics.Trans{Act: good.leaves[0].Act, Target: syntax.PNil}
+	single := &Prog{
+		src:    syntax.SendN(na),
+		leaves: []semantics.Trans{leaf},
+		code:   []instr{{op: opEmit}, {op: opChoice, a: 1}},
+	}
+	ts, err := single.Transitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || !reflect.DeepEqual(ts[0], leaf) {
+		t.Errorf("single-summand choice = %v, want [%v]", ts, leaf)
+	}
+}
+
+// TestCacheSetObs checks the cache mirrors its counters onto an attached
+// tracer, live.
+func TestCacheSetObs(t *testing.T) {
+	tr := obs.New()
+	c := NewCache(nil)
+	c.SetObs(tr)
+	p := syntax.Par{L: syntax.SendN(na), R: syntax.RecvN(na, nx)}
+	if _, err := c.Transitions(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transitions(p); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Counters()
+	st := c.Stats()
+	want := map[string]uint64{
+		"tprog.compiles":     st.Compiles,
+		"tprog.cache_hits":   st.Hits,
+		"tprog.cache_misses": st.Misses,
+		"tprog.execs":        st.Execs,
+	}
+	for name, w := range want {
+		if w == 0 {
+			t.Errorf("%s: counter never moved (stats %+v)", name, st)
+		}
+		if uint64(got[name]) != w {
+			t.Errorf("%s: tracer %d, cache %d", name, got[name], w)
+		}
+	}
+}
+
+// TestPublishLostRace pins first-publication-wins: a second publish of the
+// same key returns the already-published unit and drops the duplicate.
+func TestPublishLostRace(t *testing.T) {
+	c := NewCache(nil)
+	u1, err := Compile(nil, syntax.SendN(na))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Compile(nil, syntax.SendN(na))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := u1.Key()
+	if got := c.publish(key, u1); got != u1 {
+		t.Fatal("first publish did not install its unit")
+	}
+	if got := c.publish(key, u2); got != u1 {
+		t.Error("second publish replaced the already-published unit")
+	}
+	if st := c.Stats(); st.Units != 1 || st.Compiles != 2 {
+		t.Errorf("stats %+v, want Units=1 (one winner) Compiles=2 (work counter)", st)
+	}
+}
+
+// TestSingleflightJoin drives the join path deterministically: a caller
+// that finds an in-progress flight must wait for it, return its result, and
+// account as a cache hit.
+func TestSingleflightJoin(t *testing.T) {
+	c := NewCache(nil)
+	p := syntax.SendN(na)
+	key := syntax.ExactKey(p)
+	want, err := c.System().Steps(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := &flight{done: make(chan struct{})}
+	c.mu.Lock()
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	type res struct {
+		ts  []semantics.Trans
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		ts, err := c.Transitions(p)
+		done <- res{ts, err}
+	}()
+
+	f.ts = want
+	close(f.done)
+	got := <-done
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if !reflect.DeepEqual(got.ts, want) {
+		t.Errorf("joined flight returned %v, want %v", got.ts, want)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Compiles != 0 {
+		t.Errorf("stats %+v, want exactly one hit (the join) and no compiles", st)
+	}
+}

@@ -1,0 +1,209 @@
+package tprog_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bpi/internal/names"
+	"bpi/internal/parser"
+	"bpi/internal/protocols"
+	brand "bpi/internal/rand"
+	"bpi/internal/semantics"
+	"bpi/internal/stress"
+	"bpi/internal/syntax"
+	"bpi/internal/tprog"
+)
+
+// agreeOn checks the compiled path against the interpreted reference on one
+// term: the deduplicated transition list must be bit-identical
+// (reflect.DeepEqual — labels, binder names, targets, order) and the
+// precomputed Table 2 discard set must agree with the recursive walker on
+// every free name plus a name the term never mentions. It returns the
+// transitions so callers can sweep successors.
+func agreeOn(t *testing.T, sys *semantics.System, tc *tprog.Cache, p syntax.Proc) []semantics.Trans {
+	t.Helper()
+	want, ierr := sys.Steps(p)
+	got, cerr := tc.Transitions(p)
+	if ierr != nil {
+		// The interpreter rejected the term (unfold budget). The compiled
+		// path must not silently claim it has transitions.
+		if cerr == nil {
+			t.Fatalf("interpreter rejects %s (%v) but compiled path succeeds", syntax.String(p), ierr)
+		}
+		return nil
+	}
+	if cerr != nil {
+		t.Fatalf("compiled path rejects %s: %v", syntax.String(p), cerr)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("transitions differ on %s:\n interpreted %v\n compiled    %v",
+			syntax.String(p), want, got)
+	}
+	pr, err := tc.Compile(p)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", syntax.String(p), err)
+	}
+	chans := syntax.FreeNames(p).Sorted()
+	chans = append(chans, names.Name("zz_never_mentioned"))
+	for _, a := range chans {
+		iw, derr := sys.Discards(p, a)
+		if derr != nil {
+			continue
+		}
+		if cg := pr.Discards(a); cg != iw {
+			t.Fatalf("discard set differs on %s for channel %s: interpreted %v, compiled %v",
+				syntax.String(p), a, iw, cg)
+		}
+	}
+	return want
+}
+
+// sweep checks agreement on the roots and on terms reachable from them via
+// symbolic transitions (τ/output continuations as produced, input
+// continuations open), visiting at most limit distinct terms.
+func sweep(t *testing.T, sys *semantics.System, tc *tprog.Cache, roots []syntax.Proc, limit int) {
+	t.Helper()
+	seen := map[string]bool{}
+	queue := append([]syntax.Proc{}, roots...)
+	for len(queue) > 0 && len(seen) < limit {
+		p := queue[0]
+		queue = queue[1:]
+		k := syntax.ExactKey(p)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		for _, tr := range agreeOn(t, sys, tc, p) {
+			queue = append(queue, tr.Target)
+		}
+	}
+}
+
+// TestNastyMatrix is the curated differential matrix: every term shape that
+// has historically broken an engine. Mixed-arity stuck listeners (the PR 3
+// prover bug shape and Remark 4's ~ vs ~+ separator), weak-saturation
+// chains around them, the match-collapse terms from the PR 8 Simplify
+// regression, scope extrusion, binder shadowing, and recursion through
+// definitions.
+func TestNastyMatrix(t *testing.T) {
+	a, b, c, x, y := names.Name("a"), names.Name("b"), names.Name("c"), names.Name("x"), names.Name("y")
+	G := syntax.Group(syntax.RecvN(b), syntax.RecvN(b, x)) // Remark 4 stuck listener b? | b?(x)
+	env := syntax.Env{}
+	relay := syntax.Rec{Id: "R", Body: syntax.Recv(a, []names.Name{x}, syntax.Prefix{Pre: syntax.Out{Ch: b, Args: []names.Name{x}}, Cont: syntax.Call{Id: "R"}})}
+	terms := []syntax.Proc{
+		// Mixed-arity stuck listeners and their weak-saturation wrappers.
+		G,
+		syntax.TauP(G),
+		syntax.TauP(syntax.TauP(G)),
+		syntax.Restrict(G, b),
+		syntax.Group(G, syntax.RecvN(b, x)),
+		syntax.Group(syntax.SendN(b, a), G),
+		syntax.Group(syntax.SendN(b), G),
+		// Match-collapse shapes from the PR 8 Simplify regression.
+		syntax.Par{
+			L: syntax.If(c, b,
+				syntax.If(b, b, syntax.Recv(a, []names.Name{"c_b"}, syntax.PNil), syntax.SendN(b, c)),
+				syntax.Par{L: syntax.TauP(syntax.PNil), R: syntax.TauP(syntax.PNil)}),
+			R: syntax.Restrict(syntax.TauP(syntax.PNil), "c_n", "b_n"),
+		},
+		syntax.Sum{L: syntax.If(a, a, syntax.Sum{L: syntax.TauP(syntax.PNil), R: syntax.SendN(b)}, syntax.PNil), R: syntax.TauP(syntax.PNil)},
+		// Scope extrusion and re-binding: νx (āx | x?(y)), νx (āx | b?(x)).
+		syntax.Restrict(syntax.Group(syntax.SendN(a, x), syntax.Recv(x, []names.Name{y}, syntax.SendN(y))), x),
+		syntax.Restrict(syntax.Group(syntax.SendN(a, x), syntax.RecvN(b, x)), x),
+		// Shadowing: the restricted name collides with an input parameter.
+		syntax.Restrict(syntax.Recv(a, []names.Name{x}, syntax.SendN(x)), x),
+		// Joint reception at equal arity, plus a discarding third party.
+		syntax.Group(syntax.Recv(a, []names.Name{x}, syntax.SendN(x)), syntax.Recv(a, []names.Name{y}, syntax.SendN(y, y)), syntax.SendN(c)),
+		// n-ary flattened choice mixing all prefix kinds and a match.
+		syntax.Choice(syntax.TauP(syntax.SendN(a)), syntax.RecvN(a, x), syntax.SendN(b, c), syntax.If(a, b, syntax.SendN(c), syntax.RecvN(c))),
+		// Guarded recursion (rec) composed with a listener.
+		syntax.Group(relay, syntax.RecvN(b, y)),
+	}
+	sys := semantics.NewSystem(env)
+	tc := tprog.NewCache(sys)
+	sweep(t, sys, tc, terms, 400)
+}
+
+// TestDefinitionsAgree covers rule 11's Call branch: definitions expanded
+// through the environment, including a mutually recursive pair.
+func TestDefinitionsAgree(t *testing.T) {
+	prog, err := parser.ParseProgram(`
+let Ping(a, b) = a!().Pong(a, b)
+let Pong(a, b) = b?().Ping(a, b)
+Ping(l, r) | Pong(l, r) | r?(x).l!(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := semantics.NewSystem(prog.Env)
+	tc := tprog.NewCache(sys)
+	sweep(t, sys, tc, []syntax.Proc{prog.Main}, 200)
+}
+
+// TestRandomTermsAgree fuzzes the matrix deterministically: generator pairs
+// from the oracle profile, swept two transition levels deep.
+func TestRandomTermsAgree(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	tc := tprog.NewCache(sys)
+	for seed := int64(0); seed < 150; seed++ {
+		g := brand.New(seed, brand.OracleConfig())
+		p, q := g.Pair()
+		sweep(t, sys, tc, []syntax.Proc{p, q, g.Mutate(p), g.MutateEquiv(q)}, 40)
+	}
+}
+
+// TestCatalogueAgrees requires every term of the full protocol catalogue —
+// healthy and fault-injected alike — to compile and agree with the
+// interpreter, on the scenario terms themselves and a bounded sweep of
+// their derivatives.
+func TestCatalogueAgrees(t *testing.T) {
+	cat := protocols.Catalogue()
+	if len(cat) < 40 {
+		t.Fatalf("catalogue unexpectedly small: %d scenarios", len(cat))
+	}
+	sys := semantics.NewSystem(nil)
+	tc := tprog.NewCache(sys)
+	for _, sc := range cat {
+		sweep(t, sys, tc, []syntax.Proc{sc.Impl, sc.Spec}, 60)
+	}
+}
+
+// TestStressCorpusAgrees sweeps the stress topology corpus (rings, mesh,
+// tree and their rotations) through the differential check.
+func TestStressCorpusAgrees(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	tc := tprog.NewCache(sys)
+	for _, cfg := range stress.Corpus() {
+		sweep(t, sys, tc, []syntax.Proc{cfg.P, cfg.Q}, 150)
+	}
+}
+
+// TestProgramFilesAgree runs the checked-in example programs through the
+// differential check, definitions environment included.
+func TestProgramFilesAgree(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.bpi"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := parser.ParseProgram(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if prog.Main == nil {
+			continue
+		}
+		sys := semantics.NewSystem(prog.Env)
+		tc := tprog.NewCache(sys)
+		t.Run(strings.TrimSuffix(filepath.Base(f), ".bpi"), func(t *testing.T) {
+			sweep(t, sys, tc, []syntax.Proc{prog.Main}, 120)
+		})
+	}
+}

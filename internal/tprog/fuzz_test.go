@@ -1,0 +1,86 @@
+package tprog_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bpi/internal/parser"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+	"bpi/internal/tprog"
+)
+
+// FuzzCompiledAgree feeds arbitrary bπ source programs through the parser
+// and requires the compiled transition programs to agree bit-for-bit with
+// the interpreted semantics on the main term and a bounded sweep of its
+// derivatives. Seeds: the checked-in example programs plus hand-picked
+// shapes covering every rule family (broadcast composition, scope
+// extrusion, mixed arities, matches, recursion through definitions).
+func FuzzCompiledAgree(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.bpi"))
+	for _, fn := range files {
+		if src, err := os.ReadFile(fn); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Add("b?() | b?(x)")
+	f.Add("tau.(b?() | b?(x)) + a!(b)")
+	f.Add("nu x.(a!(x) | x?(y).y!())")
+	f.Add("a?(x).x! | a?(y).(y! | c?())")
+	f.Add("[a=a](tau.0 + b!) | [a=b]c?(z).z!(z)")
+	f.Add("let A(c) = c?(v).A(v)\nA(start) | start!(next)")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.ParseProgram(src)
+		if err != nil || prog.Main == nil {
+			t.Skip()
+		}
+		// A small budget keeps adversarial recursion cheap; both paths get
+		// the same budget so accepted terms are compared like for like.
+		sys := &semantics.System{Env: prog.Env, MaxUnfold: 200}
+		tc := tprog.NewCache(sys)
+		seen := map[string]bool{}
+		queue := []syntax.Proc{prog.Main}
+		for len(queue) > 0 && len(seen) < 30 {
+			p := queue[0]
+			queue = queue[1:]
+			k := syntax.ExactKey(p)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			want, ierr := sys.Steps(p)
+			got, cerr := tc.Transitions(p)
+			if ierr != nil {
+				if cerr == nil {
+					t.Fatalf("interpreter rejects %s (%v) but compiled path succeeds", syntax.String(p), ierr)
+				}
+				continue
+			}
+			if cerr != nil {
+				t.Fatalf("compiled path rejects %s: %v", syntax.String(p), cerr)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("transitions differ on %s:\n interpreted %v\n compiled    %v",
+					syntax.String(p), want, got)
+			}
+			pr, err := tc.Compile(p)
+			if err != nil {
+				t.Fatalf("Compile(%s): %v", syntax.String(p), err)
+			}
+			for _, a := range syntax.FreeNames(p).Sorted() {
+				iw, derr := sys.Discards(p, a)
+				if derr != nil {
+					continue
+				}
+				if pr.Discards(a) != iw {
+					t.Fatalf("discard set differs on %s for %s", syntax.String(p), a)
+				}
+			}
+			for _, tr := range want {
+				queue = append(queue, tr.Target)
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package tprog compiles bπ-calculus terms into compact transition
+// programs: flat bytecode over pooled leaf transitions, with the static
+// part of every Table 3 derivation — choice flattening, match resolution,
+// recursion unfolding, the Table 2 discard set, and a head-input dispatch
+// table for the broadcast composition rules — done once at compile time
+// instead of on every derivation.
+//
+// A compiled unit corresponds to one exact term (keyed by syntax.ExactKey,
+// not the alpha-invariant syntax.Key: alpha-variants have textually
+// different transitions). Every parallel component, restriction body and
+// recursion unfolding becomes its own unit, so units form a DAG shared
+// across all programs in the same Cache: deriving the transitions of a new
+// state costs only the composition work above already-executed sub-units,
+// never a re-walk of the whole syntax tree.
+//
+// # Determinism
+//
+// The executor produces transitions bit-identical to the interpreter
+// (semantics.(*System).Steps) because both run the same composition core:
+// restriction lifting is semantics.ComposeRes, broadcast composition is
+// semantics.ComposePar (the head-input table only replaces its linear scan,
+// preserving transition-list order within each (channel, arity) bucket),
+// choice is the same left-to-right concatenation, and the final
+// normalisation is the same first-occurrence-wins semantics.Dedupe applied
+// to the same pre-dedupe append order. The interpreted path stays the
+// executable specification; internal/oracle's tprog/agree law checks the
+// agreement on every generated term.
+package tprog
+
+import (
+	"fmt"
+	"sync"
+
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+// opcode is one transition-program instruction kind. Programs are postfix:
+// each instruction pushes or combines lists of transitions on an operand
+// stack, and a well-formed program leaves exactly one list.
+type opcode uint8
+
+const (
+	// opEmit pushes the singleton list {leaves[a]}: a prefix transition
+	// (rules 2–4), precomputed at compile time.
+	opEmit opcode = iota
+	// opChoice pops a lists and pushes their left-to-right concatenation —
+	// the flattened n-ary choice (rule 8). a == 0 encodes Nil.
+	opChoice
+	// opRes pops one list and applies the restriction rules (5–7) for the
+	// binder binds[a] via semantics.ComposeRes.
+	opRes
+	// opRef pushes the raw transitions of the sub-unit units[a]
+	// (restriction bodies, recursion and call unfoldings — rules 10/11
+	// resolved at compile time).
+	opRef
+	// opPar pushes the broadcast composition (rules 12–14) of units[a] and
+	// units[b] via semantics.ComposePar, dispatching receivers through both
+	// units' head-input tables and answering rule-14 discard queries from
+	// their precomputed listen sets.
+	opPar
+)
+
+type instr struct {
+	op   opcode
+	a, b int32
+}
+
+// headKey indexes input transitions the way rules 12/13 look them up:
+// by channel and arity.
+type headKey struct {
+	ch    names.Name
+	arity int
+}
+
+// Prog is the compiled transition program of one exact term. A Prog is
+// immutable after compilation; the lazily memoised execution results are
+// computed singleflight and are safe for concurrent use.
+type Prog struct {
+	src    syntax.Proc // the exact term this unit was compiled from
+	key    string      // syntax.ExactKey(src)
+	code   []instr
+	leaves []semantics.Trans // opEmit pool: prefix transitions
+	binds  []names.Name      // opRes pool: restriction binders
+	units  []*Prog           // opRef/opPar pool: referenced sub-units
+	listen names.Set         // precomputed complement of the Table 2 discard set
+
+	cache *Cache // owning cache, for exec counters; nil for standalone programs
+
+	rawOnce sync.Once
+	raw     []semantics.Trans // pre-dedupe transitions, interpreter append order
+	rawErr  error
+
+	headOnce sync.Once
+	head     map[headKey][]semantics.Trans // head-input dispatch table over raw
+
+	outOnce sync.Once
+	out     []semantics.Trans // Dedupe(raw): the public Steps order
+	outErr  error
+}
+
+// Source returns the exact term the program was compiled from.
+func (p *Prog) Source() syntax.Proc { return p.src }
+
+// Key returns the exact-syntax key the program is cached under.
+func (p *Prog) Key() string { return p.key }
+
+// NumInstr returns the number of bytecode instructions in this unit
+// (excluding referenced sub-units).
+func (p *Prog) NumInstr() int { return len(p.code) }
+
+// NumUnits returns the number of sub-unit references in this unit's pool.
+func (p *Prog) NumUnits() int { return len(p.units) }
+
+// Discards reports the Table 2 discard relation p -a↛ from the precomputed
+// listen set: a term discards exactly the channels it has no input
+// capability on.
+func (p *Prog) Discards(a names.Name) bool { return !p.listen.Contains(a) }
+
+// Listen returns the term's listen set — the complement of its Table 2
+// discard set. The set is shared; callers must not mutate it.
+func (p *Prog) Listen() names.Set { return p.listen }
+
+// Transitions returns the term's deduplicated transitions — bit-identical
+// to semantics.(*System).Steps on the same term. Memoised singleflight.
+func (p *Prog) Transitions() ([]semantics.Trans, error) {
+	p.outOnce.Do(func() {
+		raw, err := p.rawTrans()
+		if err != nil {
+			p.outErr = err
+			return
+		}
+		p.out = semantics.Dedupe(raw)
+	})
+	return p.out, p.outErr
+}
+
+// Raw returns the pre-dedupe transition list in the interpreter's append
+// order — what parent compositions consume (the concrete representatives
+// Dedupe keeps depend on this order). The slice is shared; callers must not
+// mutate it.
+func (p *Prog) Raw() ([]semantics.Trans, error) { return p.rawTrans() }
+
+func (p *Prog) rawTrans() ([]semantics.Trans, error) {
+	p.rawOnce.Do(func() {
+		p.raw, p.rawErr = p.exec()
+		if p.cache != nil {
+			p.cache.countExec()
+		}
+	})
+	return p.raw, p.rawErr
+}
+
+// exec runs the bytecode. The unit graph published by the compiler is
+// acyclic (the compiler detects compilation cycles and bounds unfoldings,
+// and only fully built units are ever published), so the recursive rawTrans
+// calls on referenced units terminate and the per-unit sync.Once
+// memoisation cannot deadlock.
+func (p *Prog) exec() ([]semantics.Trans, error) {
+	var stack [][]semantics.Trans
+	for _, in := range p.code {
+		switch in.op {
+		case opEmit:
+			stack = append(stack, p.leaves[in.a:in.a+1:in.a+1])
+		case opChoice:
+			n := int(in.a)
+			var sum []semantics.Trans
+			if n > 0 {
+				parts := stack[len(stack)-n:]
+				if n == 1 {
+					sum = parts[0]
+				} else {
+					total := 0
+					for _, pt := range parts {
+						total += len(pt)
+					}
+					sum = make([]semantics.Trans, 0, total)
+					for _, pt := range parts {
+						sum = append(sum, pt...)
+					}
+				}
+				stack = stack[:len(stack)-n]
+			}
+			stack = append(stack, sum)
+		case opRes:
+			top := stack[len(stack)-1]
+			stack[len(stack)-1] = semantics.ComposeRes(p.binds[in.a], top)
+		case opRef:
+			ts, err := p.units[in.a].rawTrans()
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, ts)
+		case opPar:
+			lu, ru := p.units[in.a], p.units[in.b]
+			lts, err := lu.rawTrans()
+			if err != nil {
+				return nil, err
+			}
+			rts, err := ru.rawTrans()
+			if err != nil {
+				return nil, err
+			}
+			ts, err := semantics.ComposePar(lu.side(lts), ru.side(rts))
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, ts)
+		default:
+			return nil, fmt.Errorf("tprog: corrupt program: unknown opcode %d", in.op)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("tprog: corrupt program for %s: final stack depth %d",
+			syntax.String(p.src), len(stack))
+	}
+	return stack[0], nil
+}
+
+// side presents the unit as one component of a broadcast composition: the
+// discard oracle is the precomputed listen set and the receiver scan of
+// rules 12/13 is served by the head-input dispatch table.
+func (p *Prog) side(raw []semantics.Trans) semantics.Side {
+	return semantics.Side{
+		Proc:    p.src,
+		Trans:   raw,
+		Discard: func(a names.Name) (bool, error) { return p.Discards(a), nil },
+		Inputs:  p.headTable(raw),
+	}
+}
+
+// headTable builds (once) the unit's input transitions indexed by
+// (channel, arity), preserving transition-list order within each bucket —
+// the order the linear scan in semantics.Side.forEachInput would visit them.
+func (p *Prog) headTable(raw []semantics.Trans) semantics.InputLookup {
+	p.headOnce.Do(func() {
+		p.head = make(map[headKey][]semantics.Trans)
+		for _, t := range raw {
+			if !t.Act.IsInput() {
+				continue
+			}
+			k := headKey{t.Act.Subj, len(t.Act.Objs)}
+			p.head[k] = append(p.head[k], t)
+		}
+	})
+	return func(ch names.Name, arity int) []semantics.Trans {
+		return p.head[headKey{ch, arity}]
+	}
+}

@@ -1,0 +1,238 @@
+package tprog
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bpi/internal/names"
+	"bpi/internal/semantics"
+	"bpi/internal/syntax"
+)
+
+var (
+	na = names.Name("a")
+	nb = names.Name("b")
+	nc = names.Name("c")
+	nx = names.Name("x")
+)
+
+func ops(p *Prog) []opcode {
+	out := make([]opcode, len(p.code))
+	for i, in := range p.code {
+		out[i] = in.op
+	}
+	return out
+}
+
+// TestFlattenedChoice pins the compiled shape of a nested sum: one n-ary
+// opChoice over the flattened alternatives, not a tree of binary nodes.
+func TestFlattenedChoice(t *testing.T) {
+	p := syntax.Sum{
+		L: syntax.Sum{L: syntax.SendN(na), R: syntax.TauP(syntax.PNil)},
+		R: syntax.RecvN(nb, nx),
+	}
+	u, err := Compile(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []opcode{opEmit, opEmit, opEmit, opChoice}
+	if !reflect.DeepEqual(ops(u), want) {
+		t.Fatalf("code = %v, want %v", ops(u), want)
+	}
+	if n := u.code[3].a; n != 3 {
+		t.Fatalf("choice arity = %d, want 3", n)
+	}
+}
+
+// TestNilShape pins Nil as the empty choice.
+func TestNilShape(t *testing.T) {
+	u, err := Compile(nil, syntax.PNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ops(u), []opcode{opChoice}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("code = %v, want %v", got, want)
+	}
+	ts, err := u.Transitions()
+	if err != nil || len(ts) != 0 {
+		t.Fatalf("Nil transitions = %v, %v", ts, err)
+	}
+}
+
+// TestMatchResolvedAtCompileTime pins that matches vanish from the
+// bytecode: [a=a]P compiles to P's code, [a=b]P/Q to Q's.
+func TestMatchResolvedAtCompileTime(t *testing.T) {
+	taken := syntax.If(na, na, syntax.SendN(nb), syntax.RecvN(nc))
+	u, err := Compile(nil, taken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ops(u), []opcode{opEmit}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("taken-branch code = %v, want %v", got, want)
+	}
+	if !u.leaves[0].Act.IsOutput() {
+		t.Fatalf("taken branch should emit the output leaf, got %v", u.leaves[0].Act)
+	}
+	els := syntax.If(na, nb, syntax.SendN(nb), syntax.RecvN(nc))
+	u2, err := Compile(nil, els)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u2.leaves[0].Act.IsInput() {
+		t.Fatalf("else branch should emit the input leaf, got %v", u2.leaves[0].Act)
+	}
+}
+
+// TestUnitSharing pins the DAG: the two identical components of a parallel
+// composition share one compiled unit, within a call and across calls of
+// the same cache.
+func TestUnitSharing(t *testing.T) {
+	comp := syntax.Recv(na, []names.Name{nx}, syntax.SendN(nx))
+	p := syntax.Par{L: comp, R: comp}
+	u, err := Compile(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ops(u), []opcode{opPar}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("code = %v, want %v", got, want)
+	}
+	if u.units[u.code[0].a] != u.units[u.code[0].b] {
+		t.Fatal("identical components did not share a unit")
+	}
+
+	c := NewCache(nil)
+	u1, err := c.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := c.Compile(syntax.Par{L: comp, R: syntax.SendN(nb)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.units[0] != u2.units[0] {
+		t.Fatal("shared subterm recompiled across cache calls")
+	}
+}
+
+// TestListenSets pins the precomputed Table 2 discard complements against
+// the recursive interpreter on a structural matrix.
+func TestListenSets(t *testing.T) {
+	sys := semantics.NewSystem(nil)
+	cases := []struct {
+		p      syntax.Proc
+		listen []names.Name
+	}{
+		{syntax.PNil, nil},
+		{syntax.TauP(syntax.SendN(na)), nil},
+		{syntax.SendN(na), nil},
+		{syntax.RecvN(na, nx), []names.Name{na}},
+		{syntax.Choice(syntax.RecvN(na), syntax.RecvN(nb), syntax.SendN(nc)), []names.Name{na, nb}},
+		{syntax.Group(syntax.RecvN(na), syntax.RecvN(nb)), []names.Name{na, nb}},
+		{syntax.Restrict(syntax.Group(syntax.RecvN(na), syntax.RecvN(nb)), na), []names.Name{nb}},
+		{syntax.If(na, na, syntax.RecvN(nb), syntax.RecvN(nc)), []names.Name{nb}},
+		{syntax.If(na, nb, syntax.RecvN(nb), syntax.RecvN(nc)), []names.Name{nc}},
+		{syntax.Rec{Id: "A", Body: syntax.Recv(na, nil, syntax.Call{Id: "A"})}, []names.Name{na}},
+	}
+	for _, tcase := range cases {
+		u, err := Compile(sys, tcase.p)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", syntax.String(tcase.p), err)
+		}
+		want := names.NewSet(tcase.listen...)
+		if !u.Listen().Equal(want) {
+			t.Errorf("listen(%s) = %v, want %v", syntax.String(tcase.p), u.Listen(), want)
+		}
+		// Cross-check the derived Discards answers against the walker.
+		for _, a := range []names.Name{na, nb, nc, "zz"} {
+			iw, err := sys.Discards(tcase.p, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := u.Discards(a); got != iw {
+				t.Errorf("Discards(%s, %s) = %v, interpreter says %v", syntax.String(tcase.p), a, got, iw)
+			}
+		}
+	}
+}
+
+// TestUnguardedRecursionRejected pins the compile-time cycle detection: a
+// recursion that reaches itself without a guarding prefix is an error, and
+// the store-level fallback (interpreted Steps) also rejects it — so the
+// caller-visible error surface matches.
+func TestUnguardedRecursionRejected(t *testing.T) {
+	p := syntax.Rec{Id: "A", Body: syntax.Call{Id: "A"}}
+	if _, err := Compile(nil, p); err == nil {
+		t.Fatal("unguarded recursion compiled")
+	}
+	if _, err := semantics.NewSystem(nil).Steps(p); err == nil {
+		t.Fatal("interpreter accepted unguarded recursion the compiler rejects")
+	}
+}
+
+// TestUnfoldBudget pins the budget error type: exhausting MaxUnfold during
+// compilation reports the same semantics.ErrUnfoldBudget the interpreter
+// uses.
+func TestUnfoldBudget(t *testing.T) {
+	sys := &semantics.System{MaxUnfold: 1}
+	p := syntax.Rec{Id: "A", Body: syntax.Rec{Id: "B", Body: syntax.SendN(nb)}}
+	_, err := Compile(sys, p)
+	var budget semantics.ErrUnfoldBudget
+	if !errors.As(err, &budget) {
+		t.Fatalf("err = %v, want ErrUnfoldBudget", err)
+	}
+	if budget.Limit != 1 {
+		t.Fatalf("budget limit = %d, want 1", budget.Limit)
+	}
+}
+
+// TestUnknownCallRejected pins definition-environment errors.
+func TestUnknownCallRejected(t *testing.T) {
+	if _, err := Compile(nil, syntax.Call{Id: "Nope"}); err == nil {
+		t.Fatal("unknown identifier compiled")
+	}
+}
+
+// TestExecMemoised pins the per-unit execution memo: repeated Transitions
+// calls return the same slice and cost one execution.
+func TestExecMemoised(t *testing.T) {
+	c := NewCache(nil)
+	p := syntax.Group(syntax.SendN(na), syntax.RecvN(na, nx))
+	u, err := c.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := u.Transitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := u.Transitions()
+	if &t1[0] != &t2[0] {
+		t.Fatal("Transitions not memoised")
+	}
+	// Par execution executes the root and both leaf units exactly once.
+	if got := c.Stats().Execs; got != 3 {
+		t.Fatalf("execs = %d, want 3", got)
+	}
+}
+
+// TestRecSharing pins that the unfolding of a guarded recursion is a
+// referenced unit, executed once no matter how many states reach it.
+func TestRecSharing(t *testing.T) {
+	c := NewCache(nil)
+	r := syntax.Rec{Id: "A", Body: syntax.Recv(na, nil, syntax.Call{Id: "A"})}
+	u, err := c.Compile(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ops(u), []opcode{opRef}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("code = %v, want %v", got, want)
+	}
+	ts, err := u.Transitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || !ts[0].Act.IsInput() {
+		t.Fatalf("rec transitions = %v", ts)
+	}
+}
