@@ -1,12 +1,14 @@
 package bpi
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,9 +44,23 @@ type (
 	// CertificateResponse carries the replayable certificate of a finished
 	// equiv job.
 	CertificateResponse = service.CertificateResponse
-	// APIError is the typed error a daemon returns (code + message).
+	// APIError is the typed error a daemon returns (code + message, plus a
+	// Retry-After hint on admission sheds).
 	APIError = service.ErrorBody
+	// BatchRequest carries many equivalence queries for POST /v1/equiv/batch.
+	BatchRequest = service.BatchRequest
+	// BatchItem is one pair's verdict (or typed error) within a batch.
+	BatchItem = service.BatchItem
+	// BatchTrailer is the end-of-stream accounting line of a batch.
+	BatchTrailer = service.BatchTrailer
 )
+
+// BatchResult is a fully read batch response: the per-pair items reordered
+// by request index, plus the trailer.
+type BatchResult struct {
+	Items   []BatchItem
+	Trailer BatchTrailer
+}
 
 // Service is the embeddable daemon core (shared store, worker pool, verdict
 // cache, job table); mount Service.Handler on any http.Server.
@@ -164,6 +180,77 @@ func (c *Client) Equiv(ctx context.Context, req EquivRequest) (*EquivResponse, e
 	var out EquivResponse
 	err := c.call(ctx, http.MethodPost, "/v1/equiv", req, &out)
 	return &out, err
+}
+
+// Batch posts many pairs to /v1/equiv/batch and reads the whole NDJSON
+// stream: items are returned sorted by request index (the daemon streams
+// them in completion order), and the done=true trailer is required — a
+// stream without one was truncated and is reported as an error.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResult, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/equiv/batch", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var er struct {
+			Error APIError `json:"error"`
+		}
+		if json.Unmarshal(data, &er) == nil && er.Error.Code != "" {
+			return nil, &er.Error
+		}
+		return nil, fmt.Errorf("bpid: batch: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	out := &BatchResult{Items: make([]BatchItem, 0, len(req.Pairs))}
+	sawTrailer := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if sawTrailer {
+			return nil, fmt.Errorf("bpid: batch: stream continues after its trailer")
+		}
+		// The trailer is the only line with "done"; items carry "index".
+		var probe struct {
+			Done *bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("bpid: batch: bad stream line: %w", err)
+		}
+		if probe.Done != nil {
+			if err := json.Unmarshal(line, &out.Trailer); err != nil {
+				return nil, fmt.Errorf("bpid: batch: bad trailer: %w", err)
+			}
+			sawTrailer = true
+			continue
+		}
+		var item BatchItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return nil, fmt.Errorf("bpid: batch: bad item: %w", err)
+		}
+		out.Items = append(out.Items, item)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawTrailer {
+		return nil, fmt.Errorf("bpid: batch: stream truncated (no trailer)")
+	}
+	sort.Slice(out.Items, func(i, j int) bool { return out.Items[i].Index < out.Items[j].Index })
+	return out, nil
 }
 
 // Prove asks the daemon whether A ⊢ p = q.

@@ -424,7 +424,12 @@ func run() int {
 	counters := flag.Bool("counters", false, "print aggregate engine counters to stderr after the suite")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	serviceGrid := flag.String("servicegrid", "", "run the daemon throughput grid (workers × clients × batch over /v1/equiv/batch) and write BENCH_service.json-style results to this file, skipping the experiment suite")
+	gridRepeats := flag.Int("grid-repeats", 3, "repeats per service-grid cell (median is the headline)")
 	flag.Parse()
+	if *serviceGrid != "" {
+		return runServiceGrid(*serviceGrid, *gridRepeats)
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bpi"
+	brand "bpi/internal/rand"
+	"bpi/internal/service"
+	"bpi/internal/syntax"
+)
+
+// The service throughput grid: a real bpid core behind a real HTTP listener,
+// swept over daemon workers × concurrent clients × batch size, every cell
+// repeated and summarised. This is the figure BENCH_service.json publishes
+// from CI, so the honest-numbers policy applies:
+//
+//   - every pair in every repeat is distinct (seeded generation keyed on the
+//     full cell coordinates), so the verdict cache never flatters a cell —
+//     the grid measures decision throughput, not LRU lookups;
+//   - the median over repeats is the headline, with min/max alongside, and
+//     the host CPU count is recorded so a cramped CI runner's numbers are
+//     never mistaken for a workstation's.
+
+type gridPointJSON struct {
+	Workers int `json:"workers"`
+	Clients int `json:"clients"`
+	Batch   int `json:"batch"`
+	// Pairs is the number of equivalence queries issued per repeat.
+	Pairs   int `json:"pairs"`
+	Repeats int `json:"repeats"`
+	// PairsPerSec is the median throughput over the repeats.
+	PairsPerSec    float64 `json:"pairs_per_sec"`
+	PairsPerSecMin float64 `json:"pairs_per_sec_min"`
+	PairsPerSecMax float64 `json:"pairs_per_sec_max"`
+}
+
+type gridSummaryJSON struct {
+	Workers int `json:"workers"`
+	// BestPairsPerSec is the best median cell at this worker count, with
+	// the client/batch shape that achieved it.
+	BestPairsPerSec float64 `json:"best_pairs_per_sec"`
+	BestClients     int     `json:"best_clients"`
+	BestBatch       int     `json:"best_batch"`
+}
+
+type serviceGridJSON struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	HostCPUs   int               `json:"host_cpus"`
+	Repeats    int               `json:"repeats"`
+	Grid       []gridPointJSON   `json:"grid"`
+	Summary    []gridSummaryJSON `json:"summary"`
+}
+
+var (
+	gridWorkerCounts = []int{1, 2, 4}
+	gridClientCounts = []int{1, 4, 16}
+	gridBatchSizes   = []int{1, 16, 64}
+)
+
+// gridPairs generates the cell's workload: n distinct random pairs, the
+// seed folded over the full cell coordinates so no two cells (and no two
+// repeats) ever share a pair.
+func gridPairs(n int, seed int64) []bpi.EquivRequest {
+	cfg := brand.Default()
+	cfg.MaxDepth = 2
+	g := brand.New(seed, cfg)
+	out := make([]bpi.EquivRequest, n)
+	for i := range out {
+		p := g.Term()
+		q := g.Mutate(p)
+		out[i] = bpi.EquivRequest{
+			P: syntax.String(p), Q: syntax.String(q),
+			Rel: service.RelLabelled, TimeoutMs: 30000,
+		}
+	}
+	return out
+}
+
+// runGridCell issues pairs through `clients` concurrent connections in
+// batches of `batch`, over the real /v1/equiv/batch endpoint, and returns
+// the wall-clock. Every pair must come back with a verdict (an error fails
+// the bench — throughput over failures is not a number worth publishing).
+func runGridCell(cl *bpi.Client, pairs []bpi.EquivRequest, clients, batch int) (time.Duration, error) {
+	type chunk struct {
+		lo, hi int
+	}
+	var chunks []chunk
+	for lo := 0; lo < len(pairs); lo += batch {
+		hi := lo + batch
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		chunks = append(chunks, chunk{lo, hi})
+	}
+	work := make(chan chunk, len(chunks))
+	for _, c := range chunks {
+		work <- c
+	}
+	close(work)
+	errc := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				res, err := cl.Batch(context.Background(), bpi.BatchRequest{Pairs: pairs[c.lo:c.hi]})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.Trailer.Succeeded != c.hi-c.lo {
+					errc <- fmt.Errorf("batch [%d,%d): %d/%d succeeded (%d failed, %d shed)",
+						c.lo, c.hi, res.Trailer.Succeeded, c.hi-c.lo, res.Trailer.Failed, res.Trailer.Shed)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
+}
+
+// runServiceGrid sweeps the grid and writes the JSON report. Returns a
+// process exit code.
+func runServiceGrid(outPath string, repeats int) int {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	report := serviceGridJSON{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCPUs:   runtime.NumCPU(),
+		Repeats:    repeats,
+	}
+	fmt.Printf("service throughput grid — workers %v × clients %v × batch %v, %d repeats (GOMAXPROCS=%d, host CPUs=%d)\n\n",
+		gridWorkerCounts, gridClientCounts, gridBatchSizes, repeats, report.GOMAXPROCS, report.HostCPUs)
+	best := map[int]gridSummaryJSON{}
+	for wi, workers := range gridWorkerCounts {
+		// One fresh daemon per worker count: the sweep must not inherit a
+		// previous cell's interned store or verdict cache.
+		svc := service.New(service.Config{Workers: workers, AdmissionQueue: 1 << 14})
+		hs := httptest.NewServer(svc.Handler())
+		cl := bpi.NewClient(hs.URL)
+		for ci, clients := range gridClientCounts {
+			for bi, batch := range gridBatchSizes {
+				pairsN := clients * batch
+				if pairsN < 64 {
+					pairsN = 64
+				}
+				var rates []float64
+				failed := false
+				for rep := 0; rep < repeats; rep++ {
+					seed := int64(1e9*wi+1e6*ci+1e3*bi)*int64(repeats+1) + int64(rep) + 7
+					pairs := gridPairs(pairsN, seed)
+					elapsed, err := runGridCell(cl, pairs, clients, batch)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "bpibench: grid w=%d c=%d b=%d rep=%d: %v\n",
+							workers, clients, batch, rep, err)
+						failed = true
+						break
+					}
+					rates = append(rates, float64(pairsN)/elapsed.Seconds())
+				}
+				if failed {
+					hs.Close()
+					_ = svc.Shutdown(context.Background())
+					return 1
+				}
+				sort.Float64s(rates)
+				pt := gridPointJSON{
+					Workers: workers, Clients: clients, Batch: batch,
+					Pairs: pairsN, Repeats: repeats,
+					PairsPerSec:    rates[len(rates)/2],
+					PairsPerSecMin: rates[0],
+					PairsPerSecMax: rates[len(rates)-1],
+				}
+				report.Grid = append(report.Grid, pt)
+				fmt.Printf("grid workers=%d clients=%-3d batch=%-3d  %8.0f pairs/s (min %.0f, max %.0f over %d repeats of %d pairs)\n",
+					workers, clients, batch, pt.PairsPerSec, pt.PairsPerSecMin, pt.PairsPerSecMax, repeats, pairsN)
+				if b, ok := best[workers]; !ok || pt.PairsPerSec > b.BestPairsPerSec {
+					best[workers] = gridSummaryJSON{Workers: workers,
+						BestPairsPerSec: pt.PairsPerSec, BestClients: clients, BestBatch: batch}
+				}
+			}
+		}
+		hs.Close()
+		if err := svc.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "bpibench: grid shutdown: %v\n", err)
+			return 1
+		}
+	}
+	for _, workers := range gridWorkerCounts {
+		s := best[workers]
+		report.Summary = append(report.Summary, s)
+		fmt.Printf("summary workers=%d: best %.0f pairs/s at clients=%d batch=%d\n",
+			s.Workers, s.BestPairsPerSec, s.BestClients, s.BestBatch)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		err = os.WriteFile(outPath, append(buf, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpibench: writing %s: %v\n", outPath, err)
+		return 1
+	}
+	fmt.Printf("service grid written to %s\n", outPath)
+	return 0
+}

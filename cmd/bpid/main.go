@@ -9,6 +9,18 @@
 //	     [-queue N] [-cache N] [-max-pairs N] [-max-closure N]
 //	     [-timeout D] [-max-timeout D] [-compiled]
 //	     [-ledger DIR] [-merkle-batch N] [-merkle-wait-ms MS]
+//	     [-peers URL,URL,…] [-self URL] [-batch-max N]
+//	     [-admission-queue N] [-peer-timeout D]
+//
+// With -peers and -self, bpid joins a static cluster: every equivalence
+// pair is owned by exactly one node under rendezvous hashing of its
+// canonical pair key; non-owned pairs are dispatched to their owner over
+// the same HTTP API, and a peer's verdict is accepted only after its
+// certificate re-verifies locally (fail-closed — a dead, slow or lying
+// peer degrades to local computation, never to a wrong answer). The
+// admission controller in front of /v1/equiv and /v1/equiv/batch sheds
+// excess load with typed 429s (queue_full, deadline_budget, draining) and
+// Retry-After hints; see /metrics bpid_admission_* and bpid_cluster_*.
 //
 // With -compiled the shared store serves transitions from compiled
 // transition programs (internal/tprog); verdicts are bit-identical, and
@@ -40,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,7 +78,26 @@ func main() {
 	merkleBatch := flag.Int("merkle-batch", 64, "records per sealed Merkle batch")
 	merkleWait := flag.Int("merkle-wait-ms", 2000, "max milliseconds a record stays unsealed (0 = seal on batch size only)")
 	compiled := flag.Bool("compiled", false, "serve transitions from compiled transition programs (bit-identical verdicts; tprog counters on /metrics)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (static cluster membership; requires -self)")
+	self := flag.String("self", "", "this daemon's own base URL as peers address it (required with -peers)")
+	batchMax := flag.Int("batch-max", 256, "max pairs per /v1/equiv/batch request")
+	admissionQueue := flag.Int("admission-queue", 64, "admission queue capacity beyond the worker pool (excess load is shed with 429)")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "cap on one remote dispatch before local fallback")
 	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		if *self == "" {
+			log.Fatal("bpid: -peers requires -self (this node's own base URL)")
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				log.Fatal("bpid: -peers contains an empty URL")
+			}
+			peerList = append(peerList, p)
+		}
+	}
 
 	var env syntax.Env
 	if *file != "" {
@@ -121,7 +153,15 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Ledger:         led,
 		Compiled:       *compiled,
+		Peers:          peerList,
+		SelfURL:        *self,
+		BatchMax:       *batchMax,
+		AdmissionQueue: *admissionQueue,
+		PeerTimeout:    *peerTimeout,
 	})
+	if len(peerList) > 0 {
+		log.Printf("bpid: cluster mode: self=%s peers=%s", *self, *peers)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,7 +10,7 @@
 //	bpiledger verify [-f defs.bpi] <dir>
 //	bpiledger proof  [-f defs.bpi] -key HASH <dir>
 //	bpiledger export [-f defs.bpi] [-o out.jsonl] <dir>
-//	bpiledger import [-f defs.bpi] [-i in.jsonl] <dir>
+//	bpiledger import [-f defs.bpi] [-i in.jsonl] [-quiet] <dir>
 //
 // verify replays the full log — framing checksums, Merkle roots, the seal
 // hash chain, and every record's certificate — and exits 1 if anything was
@@ -47,6 +47,7 @@ func main() {
 	key := fs.String("key", "", "hex key hash of the record (proof)")
 	out := fs.String("o", "", "output file (export; default stdout)")
 	in := fs.String("i", "", "input file (import; default stdin)")
+	quiet := fs.Bool("quiet", false, "suppress progress and per-line rejection detail (import)")
 	fs.Usage = usage
 	_ = fs.Parse(flag.Args()[1:])
 	if fs.NArg() != 1 {
@@ -76,7 +77,7 @@ func main() {
 	case "export":
 		runExport(dir, cfg, *out)
 	case "import":
-		runImport(dir, cfg, *in)
+		runImport(dir, cfg, *in, *quiet)
 	default:
 		usage()
 		os.Exit(2)
@@ -168,11 +169,13 @@ func runExport(dir string, cfg ledger.Config, out string) {
 	fmt.Fprintf(os.Stderr, "bpiledger: exported %d records\n", n)
 }
 
-// runImport appends records from a JSONL export into dir. Each record is
-// re-verified (certificate replay included) before it is written — import
-// is a trust boundary, not a byte copy — and sequence numbers are
-// reassigned by the destination ledger.
-func runImport(dir string, cfg ledger.Config, in string) {
+// runImport appends records from a JSONL export into dir via
+// ledger.Import: each record is re-verified (certificate replay included)
+// before it is written — import is a trust boundary, not a byte copy — and
+// sequence numbers are reassigned by the destination ledger. By default a
+// progress line keeps long imports honest on stderr; -quiet leaves only
+// the exit status.
+func runImport(dir string, cfg ledger.Config, in string, quiet bool) {
 	r := os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -181,34 +184,24 @@ func runImport(dir string, cfg ledger.Config, in string) {
 		r = f
 	}
 	l := open(dir, cfg)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 64<<20)
-	line, imported, rejected := 0, 0, 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
+	opts := ledger.ImportOptions{}
+	if !quiet {
+		opts.ProgressEvery = 1000
+		opts.Progress = func(st ledger.ImportStats) {
+			fmt.Fprintf(os.Stderr, "bpiledger: … %d lines: %d imported, %d rejected\n",
+				st.Lines, st.Imported, st.Rejected)
 		}
-		var rec ledger.Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			fmt.Fprintf(os.Stderr, "bpiledger: line %d: %v\n", line, err)
-			rejected++
-			continue
-		}
-		if _, err := l.VerifyRecord(&rec); err != nil {
+		opts.Reject = func(line int, err error) {
 			fmt.Fprintf(os.Stderr, "bpiledger: line %d REJECTED: %v\n", line, err)
-			rejected++
-			continue
 		}
-		rec.Seq = 0 // reassigned by Append
-		_, err := l.Append(rec)
-		fail(err)
-		imported++
 	}
-	fail(sc.Err())
+	st, err := l.Import(r, opts)
+	fail(err)
 	fail(l.Close()) // seals the imported tail batch
-	fmt.Fprintf(os.Stderr, "bpiledger: imported %d records, rejected %d\n", imported, rejected)
-	if rejected > 0 {
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "bpiledger: imported %d records, rejected %d\n", st.Imported, st.Rejected)
+	}
+	if st.Rejected > 0 {
 		os.Exit(1)
 	}
 }
@@ -220,7 +213,8 @@ func usage() {
   bpiledger verify [-f defs.bpi] <dir>                 full-scan replay; exit 1 on any rejection
   bpiledger proof  [-f defs.bpi] -key HASH <dir>       print + re-verify one inclusion proof
   bpiledger export [-f defs.bpi] [-o out.jsonl] <dir>  trusted records as JSON lines
-  bpiledger import [-f defs.bpi] [-i in.jsonl] <dir>   append records, re-verifying each
+  bpiledger import [-f defs.bpi] [-i in.jsonl] [-quiet] <dir>
+                                                       append records, re-verifying each
 
 Everything is recomputed from the log bytes: framing checksums, Merkle
 roots, the seal hash chain, and every record's certificate replayed

@@ -1,0 +1,24 @@
+package cbs
+
+import (
+	"testing"
+
+	"bpi/internal/names"
+)
+
+// free must collect spoken values, match operands and nothing bound by a
+// Hear binder, through τ, sums and parallels.
+func TestFreeAllNodes(t *testing.T) {
+	p := Par{
+		L: Sum{
+			L: Tau{Speak{Val: "v", Cont: Nil{}}},
+			R: Hear{Param: "x", Cont: Speak{Val: "x", Cont: Speak{Val: "w", Cont: Nil{}}}},
+		},
+		R: Match{V: "a", W: "b", Then: Hear{Param: "a", Cont: Speak{Val: "a", Cont: Nil{}}}, Else: Nil{}},
+	}
+	got := free(p)
+	want := names.NewSet("v", "w", "a", "b")
+	if !got.Equal(want) {
+		t.Fatalf("free = %v, want %v (x and the rebound a are Hear-bound)", got, want)
+	}
+}

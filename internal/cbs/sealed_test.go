@@ -1,0 +1,15 @@
+package cbs
+
+import "testing"
+
+// Proc is sealed: exactly these seven CBS node types exist, and every
+// switch in the package is exhaustive over them.
+func TestProcSealed(t *testing.T) {
+	procs := []Proc{Nil{}, Speak{}, Hear{}, Tau{}, Sum{}, Par{}, Match{}}
+	if len(procs) != 7 {
+		t.Fatalf("%d node types, want 7", len(procs))
+	}
+	for _, p := range procs {
+		p.isProc()
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"bpi/internal/equiv"
+	"bpi/internal/parser"
+	"bpi/internal/syntax"
+)
+
+// decide produces an honestly certified verdict plus the canonical keys of
+// the pair, i.e. exactly what a truthful peer would hand back.
+func decide(t *testing.T, psrc, qsrc string, weak bool) (v *EquivVerdict, kp, kq string) {
+	t.Helper()
+	p, err := parser.Parse(psrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Parse(qsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := equiv.NewChecker(nil)
+	ch.Certify = true
+	r, err := ch.LabelledCtx(context.Background(), p, q, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cert == nil {
+		t.Fatal("certifying checker returned no certificate")
+	}
+	raw, err := json.Marshal(r.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &EquivVerdict{Related: r.Related, Pairs: r.Pairs, Reason: r.Reason, Certificate: raw},
+		syntax.Key(syntax.Simplify(p)), syntax.Key(syntax.Simplify(q))
+}
+
+func TestVerifyAcceptHonestVerdicts(t *testing.T) {
+	for _, tc := range []struct {
+		p, q string
+		weak bool
+	}{
+		{"a! | b!", "a!.b! + b!.a!", false},
+		{"a?(x).x!", "a?(y).y!", false},
+		{"a!", "b!", false}, // negative verdicts must be acceptable too
+		{"tau.a!", "a!", true},
+	} {
+		v, kp, kq := decide(t, tc.p, tc.q, tc.weak)
+		crt, err := VerifyAccept(nil, "labelled", tc.weak, kp, kq, v)
+		if err != nil {
+			t.Fatalf("%s ~ %s: honest verdict rejected: %v", tc.p, tc.q, err)
+		}
+		if crt == nil || crt.Related != v.Related {
+			t.Fatalf("%s ~ %s: accepted certificate drifted: %+v", tc.p, tc.q, crt)
+		}
+		// Swapped key orientation is the same unordered pair.
+		if _, err := VerifyAccept(nil, "labelled", tc.weak, kq, kp, v); err != nil {
+			t.Fatalf("%s ~ %s: swapped orientation rejected: %v", tc.p, tc.q, err)
+		}
+	}
+}
+
+// TestVerifyAcceptFailClosed table-tests every rejection path: each kind of
+// lie or damage must be refused, never accepted with a shrug.
+func TestVerifyAcceptFailClosed(t *testing.T) {
+	v, kp, kq := decide(t, "a! | b!", "a!.b! + b!.a!", false)
+
+	t.Run("nil verdict", func(t *testing.T) {
+		if _, err := VerifyAccept(nil, "labelled", false, kp, kq, nil); err == nil {
+			t.Fatal("accepted a nil verdict")
+		}
+	})
+	t.Run("no certificate", func(t *testing.T) {
+		bare := *v
+		bare.Certificate = nil
+		if _, err := VerifyAccept(nil, "labelled", false, kp, kq, &bare); err == nil {
+			t.Fatal("accepted an uncertified verdict")
+		}
+	})
+	t.Run("wrong relation claimed", func(t *testing.T) {
+		if _, err := VerifyAccept(nil, "barbed", false, kp, kq, v); err == nil {
+			t.Fatal("accepted a labelled certificate for a barbed query")
+		}
+	})
+	t.Run("wrong mode claimed", func(t *testing.T) {
+		if _, err := VerifyAccept(nil, "labelled", true, kp, kq, v); err == nil {
+			t.Fatal("accepted a strong certificate for a weak query")
+		}
+	})
+	t.Run("flipped verdict", func(t *testing.T) {
+		flipped := *v
+		flipped.Related = !flipped.Related
+		if _, err := VerifyAccept(nil, "labelled", false, kp, kq, &flipped); err == nil {
+			t.Fatal("accepted a verdict its certificate contradicts")
+		}
+	})
+	t.Run("different pair", func(t *testing.T) {
+		_, okp, okq := decide(t, "c!", "c!", false)
+		if _, err := VerifyAccept(nil, "labelled", false, okp, okq, v); err == nil {
+			t.Fatal("accepted a certificate about a different pair")
+		}
+	})
+	t.Run("truncated bytes", func(t *testing.T) {
+		torn := *v
+		torn.Certificate = v.Certificate[:len(v.Certificate)/2]
+		if _, err := VerifyAccept(nil, "labelled", false, kp, kq, &torn); err == nil {
+			t.Fatal("accepted a truncated certificate")
+		}
+	})
+	t.Run("forged positive verdict", func(t *testing.T) {
+		// A negative pair whose verdict AND certificate both claim related:
+		// internally consistent lies must still die at the verifier.
+		neg, nkp, nkq := decide(t, "a!", "b!", false)
+		forged := *neg
+		forged.Related = true
+		forged.Certificate = bytes.Replace(neg.Certificate,
+			[]byte(`"related":false`), []byte(`"related":true`), 1)
+		if !bytes.Contains(forged.Certificate, []byte(`"related":true`)) {
+			// The field may be omitted when false; inject it instead.
+			forged.Certificate = bytes.Replace(neg.Certificate,
+				[]byte(`"relation":"labelled"`), []byte(`"relation":"labelled","related":true`), 1)
+		}
+		if _, err := VerifyAccept(nil, "labelled", false, nkp, nkq, &forged); err == nil {
+			t.Fatal("accepted a forged positive verdict")
+		}
+	})
+}

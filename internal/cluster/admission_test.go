@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionCauses table-tests the three shed causes and their
+// Retry-After hints; everything here is deterministic — no goroutines.
+func TestAdmissionCauses(t *testing.T) {
+	t.Run("draining", func(t *testing.T) {
+		a := NewAdmission(4, 1)
+		rel, shed := a.Admit(0, true)
+		if rel != nil || shed == nil || shed.Cause != CauseDraining {
+			t.Fatalf("draining admit: released=%t shed=%+v", rel != nil, shed)
+		}
+		if shed.RetryAfter < time.Second {
+			t.Fatalf("Retry-After = %s, must be >= 1s", shed.RetryAfter)
+		}
+	})
+
+	t.Run("queue_full", func(t *testing.T) {
+		a := NewAdmission(2, 1) // 1 executing + 2 queued fit; the 4th sheds
+		var rels []func(time.Duration)
+		for i := 0; i < 3; i++ {
+			rel, shed := a.Admit(0, false)
+			if shed != nil {
+				t.Fatalf("admit %d shed: %+v", i, shed)
+			}
+			rels = append(rels, rel)
+		}
+		rel, shed := a.Admit(0, false)
+		if rel != nil || shed == nil || shed.Cause != CauseQueueFull {
+			t.Fatalf("over-capacity admit: released=%t shed=%+v", rel != nil, shed)
+		}
+		if shed.RetryAfter < time.Second {
+			t.Fatalf("Retry-After = %s, must be >= 1s", shed.RetryAfter)
+		}
+		// Releasing one makes room again.
+		rels[0](10 * time.Millisecond)
+		if rel, shed = a.Admit(0, false); shed != nil {
+			t.Fatalf("post-release admit shed: %+v", shed)
+		}
+		rel(0)
+		rels[1](0)
+		rels[2](0)
+		st := a.Stats()
+		if st.Inflight != 0 || st.ShedQueueFull != 1 || st.Admitted != 4 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+
+	t.Run("deadline_budget", func(t *testing.T) {
+		a := NewAdmission(8, 1)
+		a.SeedEstimate(2 * time.Second)
+		// Occupy the single worker so the next request is queued.
+		relBusy, shed := a.Admit(0, false)
+		if shed != nil {
+			t.Fatalf("busy admit shed: %+v", shed)
+		}
+		defer relBusy(0)
+		// Queued position 1, predicted wait 2s, budget 50ms: shed.
+		rel, shed := a.Admit(50*time.Millisecond, false)
+		if rel != nil || shed == nil || shed.Cause != CauseDeadlineBudget {
+			t.Fatalf("short-budget admit: released=%t shed=%+v", rel != nil, shed)
+		}
+		if shed.RetryAfter < 2*time.Second {
+			t.Fatalf("Retry-After = %s, predicted wait was 2s", shed.RetryAfter)
+		}
+		// The same position with a big budget is admitted.
+		rel, shed = a.Admit(time.Minute, false)
+		if shed != nil {
+			t.Fatalf("long-budget admit shed: %+v", shed)
+		}
+		rel(0)
+		// No deadline means never shedding for budget.
+		rel, shed = a.Admit(0, false)
+		if shed != nil {
+			t.Fatalf("no-deadline admit shed: %+v", shed)
+		}
+		rel(0)
+		if st := a.Stats(); st.ShedDeadlineBudget != 1 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+}
+
+// TestAdmissionReleaseIdempotent pins that double-release cannot corrupt
+// the inflight gauge.
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(4, 2)
+	rel, shed := a.Admit(0, false)
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	rel(time.Millisecond)
+	rel(time.Millisecond)
+	rel(0)
+	if st := a.Stats(); st.Inflight != 0 {
+		t.Fatalf("inflight = %d after triple release", st.Inflight)
+	}
+}
+
+// TestAdmissionEWMA checks the estimate converges onto a steady service
+// time and that unknown (zero) estimates never shed for budget.
+func TestAdmissionEWMA(t *testing.T) {
+	a := NewAdmission(4, 1)
+	if w := a.predictWait(3); w != 0 {
+		t.Fatalf("predicted wait with no estimate = %s, want 0", w)
+	}
+	for i := 0; i < 64; i++ {
+		rel, shed := a.Admit(0, false)
+		if shed != nil {
+			t.Fatal(shed)
+		}
+		rel(100 * time.Millisecond)
+	}
+	got := a.Stats().EstServiceSeconds
+	if got < 0.05 || got > 0.2 {
+		t.Fatalf("EWMA after steady 100ms services = %gs", got)
+	}
+	// Two queued rounds at 1 worker ≈ 2 × EWMA.
+	if w := a.predictWait(2); w < 100*time.Millisecond || w > 400*time.Millisecond {
+		t.Fatalf("predictWait(2) = %s", w)
+	}
+}
+
+// TestAdmissionRace hammers one admission queue with 64 goroutines under
+// the race detector: admit, sometimes hold, release with a service time.
+// Invariants: the inflight gauge returns to zero, every attempt is either
+// admitted or counted against exactly one shed cause, and inflight never
+// exceeds workers+capacity.
+func TestAdmissionRace(t *testing.T) {
+	const (
+		goroutines = 64
+		iters      = 200
+		workers    = 4
+		capacity   = 8
+	)
+	a := NewAdmission(capacity, workers)
+	var wg sync.WaitGroup
+	var attempts [goroutines]uint64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				attempts[g]++
+				budget := time.Duration(0)
+				if rng.Intn(4) == 0 {
+					budget = time.Duration(rng.Intn(10)) * time.Millisecond
+				}
+				rel, shed := a.Admit(budget, false)
+				if shed != nil {
+					switch shed.Cause {
+					case CauseQueueFull, CauseDeadlineBudget:
+					default:
+						t.Errorf("unexpected shed cause %q", shed.Cause)
+					}
+					continue
+				}
+				if inflight := a.Stats().Inflight; inflight > workers+capacity {
+					t.Errorf("inflight %d exceeds workers+capacity %d", inflight, workers+capacity)
+				}
+				rel(time.Duration(rng.Intn(200)) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight = %d after all releases", st.Inflight)
+	}
+	var total uint64
+	for _, n := range attempts {
+		total += n
+	}
+	if st.Admitted+st.ShedQueueFull+st.ShedDeadlineBudget+st.ShedDraining != total {
+		t.Fatalf("accounting leak: admitted %d + shed (%d,%d,%d) != attempts %d",
+			st.Admitted, st.ShedQueueFull, st.ShedDeadlineBudget, st.ShedDraining, total)
+	}
+}

@@ -1,0 +1,132 @@
+// Package cluster is the multi-node tier of bpid: deterministic routing of
+// equivalence queries to peer daemons, bounded admission control for the
+// service endpoints, and the fail-closed acceptance rule for verdicts that
+// arrive from outside the local process.
+//
+// The design splits trust from placement:
+//
+//   - Placement (router.go) is rendezvous (highest-random-weight) hashing of
+//     the canonical pair key over a static peer list. Every node computes
+//     the same owner for the same pair with no coordination, peers can be
+//     probed in a deterministic preference order, and removing one peer
+//     only reassigns the pairs it owned.
+//   - Trust (accept.go) never travels with placement: a node accepts a
+//     remote (or ledger-imported) verdict only after replaying its
+//     certificate through the independent verifier (internal/cert) and
+//     re-deriving the canonical pair key from the certificate's own terms.
+//     A peer that lies — about the verdict, the pair, or the proof — is
+//     indistinguishable from a peer that is down: the caller falls back to
+//     deciding locally. No shared code trust, exactly the property that
+//     makes broadcast-via-multicast style distribution checkable hop by
+//     hop.
+//   - Backpressure (admission.go) is a bounded admission queue in front of
+//     the worker pool: load beyond the queue is shed immediately with a
+//     typed cause (queue_full, deadline_budget, draining) and a Retry-After
+//     hint, instead of accumulating latency for everyone.
+//
+// The package deliberately does not import internal/service: the service
+// tier composes these pieces, and the HTTP payload it exchanges with peers
+// is the daemon's public JSON contract (mirrored in peer.go), so a peer
+// needs nothing but the wire format in common with us.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Router deterministically assigns canonical pair keys to peers by
+// rendezvous (highest-random-weight) hashing: the owner of a key is the
+// peer maximising H(peer, key). All nodes with the same peer list agree on
+// every owner without coordination.
+type Router struct {
+	self  string
+	peers []string // deduplicated, sorted; includes self
+}
+
+// NewRouter builds a router for this node. self must appear in peers (it is
+// added when absent); an empty peer list yields a single-node router that
+// owns everything.
+func NewRouter(self string, peers []string) (*Router, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: router needs a non-empty self identity")
+	}
+	seen := map[string]bool{self: true}
+	all := []string{self}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer URL in peer list")
+		}
+		if !seen[p] {
+			seen[p] = true
+			all = append(all, p)
+		}
+	}
+	sort.Strings(all)
+	return &Router{self: self, peers: all}, nil
+}
+
+// Self returns this node's identity as given to NewRouter.
+func (r *Router) Self() string { return r.self }
+
+// Peers returns the full membership (self included), sorted.
+func (r *Router) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Size returns the number of members (self included).
+func (r *Router) Size() int { return len(r.peers) }
+
+// score is the rendezvous weight of (peer, key): the first 8 bytes of
+// SHA-256(peer || 0x00 || key) read big-endian. SHA-256 keeps the weights
+// uniform enough that ownership splits evenly and is stable across
+// processes and architectures.
+func score(peer, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Owner returns the peer owning key: the member with the highest rendezvous
+// score (ties broken by the lexicographically larger peer string, which
+// cannot collide since peers are deduplicated).
+func (r *Router) Owner(key string) string {
+	best, bestScore := r.peers[0], score(r.peers[0], key)
+	for _, p := range r.peers[1:] {
+		if s := score(p, key); s > bestScore || (s == bestScore && p > best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// Local reports whether this node owns key.
+func (r *Router) Local(key string) bool { return r.Owner(key) == r.self }
+
+// Ranked returns the members ordered by descending rendezvous score for
+// key: Ranked(key)[0] == Owner(key), and the rest is the deterministic
+// fail-over preference order.
+func (r *Router) Ranked(key string) []string {
+	type ps struct {
+		peer string
+		s    uint64
+	}
+	all := make([]ps, len(r.peers))
+	for i, p := range r.peers {
+		all[i] = ps{p, score(p, key)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].peer > all[j].peer
+	})
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.peer
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter("", nil); err == nil {
+		t.Fatal("empty self must be rejected")
+	}
+	if _, err := NewRouter("http://a:1", []string{"http://b:1", ""}); err == nil {
+		t.Fatal("empty peer URL must be rejected")
+	}
+	r, err := NewRouter("http://a:1", []string{"http://b:1", "http://b:1", "http://a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 {
+		t.Fatalf("dedup failed: members %v", r.Peers())
+	}
+	if r.Self() != "http://a:1" {
+		t.Fatalf("self = %q", r.Self())
+	}
+}
+
+func TestRouterSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRouter("http://solo:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("labelled|false|k%d|k%d", i, i+1)
+		if !r.Local(key) {
+			t.Fatalf("single-node router does not own %q", key)
+		}
+	}
+}
+
+// TestRouterAgreement pins the core cluster invariant: every node, whatever
+// its own identity, computes the same owner for the same key.
+func TestRouterAgreement(t *testing.T) {
+	peers := []string{"http://n0:1", "http://n1:1", "http://n2:1"}
+	routers := make([]*Router, len(peers))
+	for i, self := range peers {
+		var err error
+		routers[i], err = NewRouter(self, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("barbed|true|pair-%d|pair-%d", i, 7919*i)
+		want := routers[0].Owner(key)
+		for _, r := range routers[1:] {
+			if got := r.Owner(key); got != want {
+				t.Fatalf("key %q: %s says owner %s, %s says %s",
+					key, routers[0].Self(), want, r.Self(), got)
+			}
+		}
+		if routers[0].Local(key) != (want == routers[0].Self()) {
+			t.Fatal("Local disagrees with Owner")
+		}
+	}
+}
+
+// TestRouterDistribution checks rendezvous hashing spreads ownership: over
+// 3000 keys each of 3 peers owns a non-degenerate share.
+func TestRouterDistribution(t *testing.T) {
+	peers := []string{"http://n0:1", "http://n1:1", "http://n2:1"}
+	r, err := NewRouter(peers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("labelled|false|term-%d|term-%d", i, i*i))]++
+	}
+	for _, p := range peers {
+		if counts[p] < n/10 {
+			t.Fatalf("peer %s owns only %d/%d keys: %v", p, counts[p], n, counts)
+		}
+	}
+}
+
+// TestRouterStability pins the rendezvous property: removing one member
+// only reassigns the keys it owned — every other key keeps its owner.
+func TestRouterStability(t *testing.T) {
+	peers := []string{"http://n0:1", "http://n1:1", "http://n2:1", "http://n3:1"}
+	full, err := NewRouter(peers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewRouter(peers[0], peers[:3]) // n3 removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("step|false|k%d|k%d", i, i+13)
+		before := full.Owner(key)
+		after := smaller.Owner(key)
+		if before == peers[3] {
+			moved++
+			continue // its owner left; any reassignment is fine
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner stayed", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("departed peer owned nothing out of 1000 keys; hashing is degenerate")
+	}
+}
+
+func TestRouterRanked(t *testing.T) {
+	peers := []string{"http://n0:1", "http://n1:1", "http://n2:1"}
+	r, err := NewRouter(peers[1], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("labelled|false|r%d|r%d", i, i+1)
+		ranked := r.Ranked(key)
+		if ranked[0] != r.Owner(key) {
+			t.Fatalf("Ranked[0] = %s, Owner = %s", ranked[0], r.Owner(key))
+		}
+		perm := append([]string(nil), ranked...)
+		sort.Strings(perm)
+		if !reflect.DeepEqual(perm, r.Peers()) {
+			t.Fatalf("Ranked is not a permutation of the membership: %v", ranked)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ForwardedHeader marks a request that has already been routed once. A node
+// receiving it always decides locally: with a static membership two nodes
+// can only disagree about an owner while their peer lists differ, and one
+// hop of forwarding caps that disagreement instead of looping.
+const ForwardedHeader = "X-Bpi-Cluster-Forwarded"
+
+// EquivQuery is the slice of the daemon's /v1/equiv request contract that
+// remote dispatch uses. It is deliberately a mirror, not an import: the
+// only thing two cluster nodes must share is the public JSON wire format.
+type EquivQuery struct {
+	P          string `json:"p"`
+	Q          string `json:"q"`
+	Rel        string `json:"rel"`
+	Weak       bool   `json:"weak,omitempty"`
+	MaxPairs   int    `json:"max_pairs,omitempty"`
+	MaxClosure int    `json:"max_closure,omitempty"`
+	MaxSubs    int    `json:"max_subs,omitempty"`
+	TimeoutMs  int    `json:"timeout_ms,omitempty"`
+	Cert       bool   `json:"cert,omitempty"`
+}
+
+// EquivVerdict mirrors the daemon's /v1/equiv response. Certificate is kept
+// raw: acceptance parses it exactly once, inside VerifyAccept.
+type EquivVerdict struct {
+	Related     bool            `json:"related"`
+	Pairs       int             `json:"pairs"`
+	Reason      string          `json:"reason,omitempty"`
+	Cached      bool            `json:"cached"`
+	ElapsedMs   float64         `json:"elapsed_ms"`
+	Certificate json.RawMessage `json:"certificate,omitempty"`
+}
+
+// PeerError is a peer's typed refusal (its HTTP error envelope).
+type PeerError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("peer: HTTP %d: %s: %s", e.Status, e.Code, e.Message)
+}
+
+// PeerClient dispatches equivalence queries to peer daemons over their
+// public HTTP API. The zero value is not usable; build with NewPeerClient.
+type PeerClient struct {
+	hc *http.Client
+}
+
+// NewPeerClient returns a client whose per-dispatch wall-clock is bounded
+// by the context each call carries (the transport itself sets no timeout,
+// so one slow peer cannot define policy for all dispatches).
+func NewPeerClient() *PeerClient {
+	return &PeerClient{hc: &http.Client{}}
+}
+
+// maxPeerBody bounds a peer response (certificates dominate; 32 MiB is far
+// beyond any certificate the engines emit under default budgets).
+const maxPeerBody = 32 << 20
+
+// Equiv posts one equivalence query to the peer at base, marked forwarded
+// so the peer decides locally. The Cert field is forced on: an uncertified
+// remote verdict is unacceptable by construction.
+func (pc *PeerClient) Equiv(ctx context.Context, base string, q EquivQuery) (*EquivVerdict, error) {
+	q.Cert = true
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(base, "/")+"/v1/equiv", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	resp, err := pc.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return nil, &PeerError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return nil, &PeerError{Status: resp.StatusCode, Code: "unparseable",
+			Message: strings.TrimSpace(string(data))}
+	}
+	var out EquivVerdict
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("peer: unparseable verdict: %w", err)
+	}
+	return &out, nil
+}
+
+// Health probes a peer's /healthz.
+func (pc *PeerClient) Health(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(base, "/")+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := pc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer %s: unhealthy: HTTP %d", base, resp.StatusCode)
+	}
+	return nil
+}

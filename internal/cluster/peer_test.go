@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPeerClientEquiv(t *testing.T) {
+	var seen struct {
+		forwarded   string
+		contentType string
+		query       EquivQuery
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/equiv" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		seen.forwarded = r.Header.Get(ForwardedHeader)
+		seen.contentType = r.Header.Get("Content-Type")
+		if err := json.NewDecoder(r.Body).Decode(&seen.query); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"related":true,"pairs":3,"elapsed_ms":1.5,"certificate":{"version":1}}`))
+	}))
+	defer srv.Close()
+
+	pc := NewPeerClient()
+	// Trailing slash on base must not produce a double-slash URL.
+	v, err := pc.Equiv(context.Background(), srv.URL+"/", EquivQuery{P: "a!", Q: "a!", Rel: "labelled"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Related || v.Pairs != 3 || len(v.Certificate) == 0 {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if seen.forwarded != "1" {
+		t.Fatalf("forwarded header = %q, want 1", seen.forwarded)
+	}
+	if seen.contentType != "application/json" {
+		t.Fatalf("content type = %q", seen.contentType)
+	}
+	if !seen.query.Cert {
+		t.Fatal("dispatch did not force cert:true")
+	}
+	if seen.query.P != "a!" || seen.query.Rel != "labelled" {
+		t.Fatalf("query body: %+v", seen.query)
+	}
+}
+
+func TestPeerClientErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":{"code":"queue_full","message":"admission queue full"}}`))
+	}))
+	defer srv.Close()
+
+	_, err := NewPeerClient().Equiv(context.Background(), srv.URL, EquivQuery{P: "a!", Q: "a!", Rel: "labelled"})
+	pe, ok := err.(*PeerError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if pe.Status != http.StatusTooManyRequests || pe.Code != "queue_full" {
+		t.Fatalf("peer error: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "queue_full") {
+		t.Fatalf("error string: %s", pe.Error())
+	}
+}
+
+func TestPeerClientMalformedResponses(t *testing.T) {
+	t.Run("non-json error body", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}))
+		defer srv.Close()
+		_, err := NewPeerClient().Equiv(context.Background(), srv.URL, EquivQuery{P: "a!", Q: "a!", Rel: "labelled"})
+		pe, ok := err.(*PeerError)
+		if !ok || pe.Code != "unparseable" || pe.Message != "boom" {
+			t.Fatalf("error: %T %v", err, err)
+		}
+	})
+	t.Run("non-json success body", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte("not json"))
+		}))
+		defer srv.Close()
+		if _, err := NewPeerClient().Equiv(context.Background(), srv.URL, EquivQuery{P: "a!", Q: "a!", Rel: "labelled"}); err == nil {
+			t.Fatal("unparseable verdict accepted")
+		}
+	})
+	t.Run("connection refused", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		srv.Close() // port now refuses
+		if _, err := NewPeerClient().Equiv(context.Background(), srv.URL, EquivQuery{P: "a!", Q: "a!", Rel: "labelled"}); err == nil {
+			t.Fatal("dial to closed peer succeeded")
+		}
+	})
+}
+
+func TestPeerClientHealth(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	pc := NewPeerClient()
+	if err := pc.Health(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Health(context.Background(), srv.URL+"/missing"); err == nil {
+		t.Fatal("health against wrong path succeeded")
+	}
+}

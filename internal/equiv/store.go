@@ -121,9 +121,9 @@ type Stats struct {
 // counter is read atomically; the set is not a single atomic snapshot).
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Terms:            s.nextID.Load(),
-		InternHits:       s.internHits.Load(),
-		InternMisses:     s.internMisses.Load(),
+		Terms:             s.nextID.Load(),
+		InternHits:        s.internHits.Load(),
+		InternMisses:      s.internMisses.Load(),
 		DerivationHits:    s.derivHits.Load(),
 		DerivationMisses:  s.derivMisses.Load(),
 		CompiledFallbacks: s.compiledFallbacks.Load(),

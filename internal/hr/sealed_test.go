@@ -1,0 +1,14 @@
+package hr
+
+import "testing"
+
+// Proc is sealed: exactly these five Hennessy–Rathke node types exist.
+func TestProcSealed(t *testing.T) {
+	procs := []Proc{Nil{}, Out{}, In{}, Sum{}, Par{}}
+	if len(procs) != 5 {
+		t.Fatalf("%d node types, want 5", len(procs))
+	}
+	for _, p := range procs {
+		p.isHR()
+	}
+}

@@ -1,0 +1,79 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// ImportOptions tunes one Import pass. The zero value is usable: no
+// progress reporting, rejections only counted.
+type ImportOptions struct {
+	// Progress, when non-nil, is called after every ProgressEvery input
+	// lines with a running snapshot — long imports are not silent.
+	Progress func(ImportStats)
+	// ProgressEvery is the Progress cadence in lines (default 1000).
+	ProgressEvery int
+	// Reject, when non-nil, receives each rejected line's number (1-based)
+	// and the verification error that condemned it.
+	Reject func(line int, err error)
+}
+
+// ImportStats accounts one Import pass.
+type ImportStats struct {
+	// Lines counts input lines consumed, empty ones included.
+	Lines int
+	// Imported counts records that re-verified and were appended.
+	Imported int
+	// Rejected counts lines that failed to parse or to re-verify.
+	Rejected int
+}
+
+// Import appends records from a JSONL export stream (one Record per line,
+// as written by Export). Import is a trust boundary, not a byte copy: every
+// record is re-verified — certificate replay against the independent
+// verifier included — before it is appended, and sequence numbers are
+// reassigned by this ledger. A line that fails verification is counted
+// (and reported via opts.Reject) without stopping the pass; a read or
+// append error stops it and is returned with the stats so far. The caller
+// still owns Close, which seals the imported tail batch.
+func (l *Ledger) Import(r io.Reader, opts ImportOptions) (ImportStats, error) {
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 1000
+	}
+	var st ImportStats
+	reject := func(err error) {
+		st.Rejected++
+		if opts.Reject != nil {
+			opts.Reject(st.Lines, err)
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		st.Lines++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			reject(err)
+		} else if _, err := l.VerifyRecord(&rec); err != nil {
+			reject(err)
+		} else {
+			rec.Seq = 0 // reassigned by Append
+			if _, err := l.Append(rec); err != nil {
+				return st, err
+			}
+			st.Imported++
+		}
+		if opts.Progress != nil && st.Lines%every == 0 {
+			opts.Progress(st)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	return st, nil
+}

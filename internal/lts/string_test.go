@@ -1,0 +1,10 @@
+package lts
+
+import "testing"
+
+func TestGraphString(t *testing.T) {
+	g := &Graph{Edges: make([][]Edge, 0)}
+	if got, want := g.String(), "lts.Graph{states: 0, edges: 0, truncated: false}"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,17 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestErrDeadlineRendersAndUnwraps(t *testing.T) {
+	err := ErrDeadline{Cause: context.DeadlineExceeded}
+	if got, want := err.Error(), "machine: run canceled: context deadline exceeded"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is must see through ErrDeadline to the context cause")
+	}
+}

@@ -1,0 +1,101 @@
+package names
+
+import "testing"
+
+// Coverage of the small Set/Subst conveniences the engines use indirectly.
+
+func TestSetSliceHelpers(t *testing.T) {
+	var s Set // nil zero value: AddSlice must allocate
+	s = s.AddSlice([]Name{"a", "b", "b"})
+	if s.Len() != 2 || !s.Contains("a") || !s.Contains("b") {
+		t.Fatalf("AddSlice: %v", s)
+	}
+	if !s.ContainsAny([]Name{"z", "b"}) {
+		t.Error("ContainsAny missed a member")
+	}
+	if s.ContainsAny([]Name{"z", "y"}) || s.ContainsAny(nil) {
+		t.Error("ContainsAny invented a member")
+	}
+	s.Remove("b")
+	if s.Len() != 1 || s.Contains("b") {
+		t.Errorf("Remove left %v", s)
+	}
+	s.Remove("never-there") // no-op, must not panic
+}
+
+func TestSetEqual(t *testing.T) {
+	cases := []struct {
+		a, b Set
+		want bool
+	}{
+		{NewSet("a", "b"), NewSet("b", "a"), true},
+		{NewSet("a"), NewSet("a", "b"), false}, // length mismatch
+		{NewSet("a", "c"), NewSet("a", "b"), false},
+		{nil, NewSet(), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %t, want %t", i, got, c.want)
+		}
+	}
+}
+
+func TestNewSupplyDefaultsHint(t *testing.T) {
+	s := NewSupply("")
+	n := s.Fresh("")
+	if !IsFresh(n) || n[0] != 'x' {
+		t.Errorf("empty-hint supply produced %q", n)
+	}
+	named := NewSupply("y")
+	if m := named.Fresh(""); m[0] != 'y' {
+		t.Errorf("hinted supply produced %q", m)
+	}
+}
+
+func TestSubstRestrict(t *testing.T) {
+	s := Subst{"a": "x", "b": "y", "c": "z"}
+	r := s.Restrict(NewSet("a", "c", "unmapped"))
+	if len(r) != 2 || r.Apply("a") != "x" || r.Apply("c") != "z" {
+		t.Fatalf("Restrict: %v", r)
+	}
+	if r.Apply("b") != "b" {
+		t.Error("restricted-away entry still maps")
+	}
+}
+
+func TestSubstIsIdentity(t *testing.T) {
+	if !(Subst{}).IsIdentity() || !(Subst{"a": "a"}).IsIdentity() {
+		t.Error("trivial substitutions not identity")
+	}
+	if (Subst{"a": "b"}).IsIdentity() {
+		t.Error("a↦b reported as identity")
+	}
+}
+
+func TestSubstEqualExtensional(t *testing.T) {
+	// Extensional: trivial x↦x entries don't matter, both directions checked.
+	if !(Subst{"a": "b", "c": "c"}).Equal(Subst{"a": "b"}) {
+		t.Error("trivial entry broke equality")
+	}
+	if (Subst{"a": "b"}).Equal(Subst{"a": "b", "d": "e"}) {
+		t.Error("missing mapping not detected (t-side sweep)")
+	}
+	if (Subst{"a": "b"}).Equal(Subst{"a": "c"}) {
+		t.Error("conflicting mapping not detected")
+	}
+}
+
+func TestFromSlicesDuplicateOlds(t *testing.T) {
+	// Simultaneous semantics: the first binding wins for a duplicated old,
+	// even when the later pair is trivial.
+	s := FromSlices([]Name{"a", "a"}, []Name{"b", "a"})
+	if s.Apply("a") != "b" {
+		t.Errorf("duplicate old: a ↦ %q, want b", s.Apply("a"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unequal slice lengths did not panic")
+		}
+	}()
+	FromSlices([]Name{"a"}, nil)
+}

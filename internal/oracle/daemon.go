@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"time"
 
 	"bpi/internal/service"
@@ -44,8 +46,50 @@ func StartDaemon(cfg service.Config) (*Daemon, error) {
 	return d, nil
 }
 
+// StartCluster boots n daemons on loopback listeners sharing one static
+// membership: all listeners are bound first (so the full URL list is known
+// before any service starts), then each node is built with Peers = every
+// URL and SelfURL = its own — exactly what `bpid -peers … -self …` wires.
+// Per-node Config fields other than Peers/SelfURL are taken from cfg.
+func StartCluster(n int, cfg service.Config) ([]*Daemon, error) {
+	liss := make([]net.Listener, 0, n)
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range liss {
+				l.Close()
+			}
+			return nil, err
+		}
+		liss = append(liss, lis)
+		urls = append(urls, "http://"+lis.Addr().String())
+	}
+	nodes := make([]*Daemon, n)
+	for i, lis := range liss {
+		c := cfg
+		c.Peers = append([]string(nil), urls...)
+		c.SelfURL = urls[i]
+		srv := service.New(c)
+		hs := &http.Server{Handler: srv.Handler()}
+		nodes[i] = &Daemon{
+			srv:  srv,
+			http: hs,
+			lis:  lis,
+			base: urls[i],
+			hc:   &http.Client{Timeout: 60 * time.Second},
+		}
+		go hs.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	}
+	return nodes, nil
+}
+
 // URL returns the daemon's base URL.
 func (d *Daemon) URL() string { return d.base }
+
+// Service exposes the underlying server, so tests and laws can read its
+// cluster counters.
+func (d *Daemon) Service() *service.Server { return d.srv }
 
 // Close drains and stops the daemon.
 func (d *Daemon) Close() error {
@@ -65,6 +109,71 @@ func (d *Daemon) Equiv(ctx context.Context, req service.EquivRequest) (*service.
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Batch posts one /v1/equiv/batch request and reads the entire NDJSON
+// stream: per-pair items (returned sorted by request index) plus the
+// mandatory done=true trailer. A stream without a trailer was truncated
+// and is an error, as is any line after the trailer.
+func (d *Daemon) Batch(ctx context.Context, req service.BatchRequest) ([]service.BatchItem, service.BatchTrailer, error) {
+	var trailer service.BatchTrailer
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, trailer, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+"/v1/equiv/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, trailer, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := d.hc.Do(hreq)
+	if err != nil {
+		return nil, trailer, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+		return nil, trailer, fmt.Errorf("oracle: daemon /v1/equiv/batch: status %d: %s", hresp.StatusCode, raw)
+	}
+	var items []service.BatchItem
+	sawTrailer := false
+	sc := bufio.NewScanner(hresp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if sawTrailer {
+			return nil, trailer, fmt.Errorf("oracle: daemon batch stream continues after its trailer")
+		}
+		var probe struct {
+			Done *bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, trailer, fmt.Errorf("oracle: daemon batch stream line: %w", err)
+		}
+		if probe.Done != nil {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				return nil, trailer, fmt.Errorf("oracle: daemon batch trailer: %w", err)
+			}
+			sawTrailer = true
+			continue
+		}
+		var item service.BatchItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return nil, trailer, fmt.Errorf("oracle: daemon batch item: %w", err)
+		}
+		items = append(items, item)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, trailer, err
+	}
+	if !sawTrailer {
+		return nil, trailer, fmt.Errorf("oracle: daemon batch stream truncated (no trailer)")
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Index < items[j].Index })
+	return items, trailer, nil
 }
 
 func (d *Daemon) post(ctx context.Context, path string, in, out any) error {

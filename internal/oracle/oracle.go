@@ -29,6 +29,9 @@
 //   - Compiled semantics: the transition programs of internal/tprog agree
 //     bit-for-bit with the interpreted semantics — transition lists,
 //     Table 2 discard sets, verdicts, certificate bytes and LTS graphs.
+//   - Distribution: a 3-node bpid cluster — rendezvous routing, fail-closed
+//     remote certificate acceptance and verdict caches included — is
+//     observationally identical to one sequential checker.
 //
 // Everything is reproducible: iteration i of a run with seed s draws all
 // randomness from mix(s + i), and every violation reports the exact
@@ -109,6 +112,7 @@ func Registry() []Law {
 		lawLedgerRoundtrip(),
 		lawProtocolsConform(),
 		lawTprogAgree(),
+		lawClusterAgree(),
 	}
 }
 

@@ -1,0 +1,14 @@
+package pi
+
+import "testing"
+
+// Proc is sealed: exactly these eight π-fragment node types exist.
+func TestProcSealed(t *testing.T) {
+	procs := []Proc{Nil{}, Out{}, In{}, Tau{}, Sum{}, Par{}, Res{}, Match{}}
+	if len(procs) != 8 {
+		t.Fatalf("%d node types, want 8", len(procs))
+	}
+	for _, p := range procs {
+		p.isPi()
+	}
+}

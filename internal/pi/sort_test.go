@@ -1,0 +1,21 @@
+package pi
+
+import "testing"
+
+func TestSortTransIsDeterministic(t *testing.T) {
+	ts := Steps(Sum{
+		L: Sum{Out{Ch: "b", Arg: "y", Cont: Nil{}}, Out{Ch: "a", Arg: "x", Cont: Nil{}}},
+		R: Tau{Nil{}},
+	})
+	if len(ts) != 3 {
+		t.Fatalf("%d transitions, want 3", len(ts))
+	}
+	sortTrans(ts)
+	for i := 1; i < len(ts); i++ {
+		prev := ts[i-1].Label.String() + Key(ts[i-1].Target)
+		cur := ts[i].Label.String() + Key(ts[i].Target)
+		if prev > cur {
+			t.Fatalf("sortTrans left %q before %q", prev, cur)
+		}
+	}
+}

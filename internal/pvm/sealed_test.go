@@ -1,0 +1,14 @@
+package pvm
+
+import "testing"
+
+// Instr is sealed: exactly the seven PVM-style primitives of Example 3.
+func TestInstrSealed(t *testing.T) {
+	instrs := []Instr{Send{}, Bcast{}, Receive{}, NewGroup{}, Join{}, Leave{}, Spawn{}}
+	if len(instrs) != 7 {
+		t.Fatalf("%d instruction types, want 7", len(instrs))
+	}
+	for _, i := range instrs {
+		i.isInstr()
+	}
+}

@@ -1,0 +1,14 @@
+package ram
+
+import "testing"
+
+// Instr is sealed: the three Minsky-machine instructions of the §6 claim.
+func TestInstrSealed(t *testing.T) {
+	instrs := []Instr{Inc{}, DecJz{}, Halt{}}
+	if len(instrs) != 3 {
+		t.Fatalf("%d instruction types, want 3", len(instrs))
+	}
+	for _, i := range instrs {
+		i.isInstr()
+	}
+}

@@ -13,10 +13,15 @@ import (
 type ErrorBody struct {
 	// Code is a stable machine-readable cause: invalid_request, parse_error,
 	// term_too_large, budget_exhausted, deadline_exceeded, queue_full,
-	// shutting_down, not_found or internal.
+	// deadline_budget, draining, shutting_down, not_found or internal.
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`
+	// RetryAfterSec, when non-zero, is the admission controller's backoff
+	// hint in whole seconds. It is mirrored into the Retry-After response
+	// header and marks the error as a load-shed (HTTP 429): the request was
+	// well-formed, the daemon just refused to queue it right now.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // Error makes *ErrorBody usable as a Go error (the client returns it as-is).
@@ -41,6 +46,15 @@ const (
 	// CodeJobFailed marks a certificate request against a job that finished
 	// in error: the resource never came to exist and retrying is pointless.
 	CodeJobFailed = "job_failed"
+	// CodeDeadlineBudget is an admission shed: the predicted queue wait
+	// already exceeds the request's own deadline budget, so executing it
+	// would only burn a worker to produce deadline_exceeded.
+	CodeDeadlineBudget = "deadline_budget"
+	// CodeDraining is an admission shed during shutdown: unlike
+	// shutting_down (a terminal 503 from non-query endpoints), draining is a
+	// 429 with Retry-After — the cluster client is expected to retry against
+	// another node.
+	CodeDraining = "draining"
 )
 
 // errorResponse is the JSON envelope of an error.
@@ -141,6 +155,40 @@ type EquivResponse struct {
 	// runs with -ledger. Feed it to GET /v1/ledger/proof/{key} or
 	// `bpiledger proof` once the record's batch seals.
 	LedgerKey string `json:"ledger_key,omitempty"`
+	// Peer is the base URL of the cluster peer that computed this verdict,
+	// set only when the pair was routed and the peer's certificate survived
+	// the local fail-closed verification (see internal/cluster). Empty for
+	// locally computed verdicts.
+	Peer string `json:"peer,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/equiv/batch: many equivalence
+// queries admitted, routed and executed as one request. Pair-level fields
+// (budgets, timeout_ms, cert) mean exactly what they mean on /v1/equiv.
+type BatchRequest struct {
+	Pairs []EquivRequest `json:"pairs"`
+}
+
+// BatchItem is one NDJSON line of a batch response stream: the verdict (or
+// typed error) of the pair at Index in the request. Items stream in
+// completion order, not index order — Index is the join key.
+type BatchItem struct {
+	Index int            `json:"index"`
+	Equiv *EquivResponse `json:"equiv,omitempty"`
+	Error *ErrorBody     `json:"error,omitempty"`
+}
+
+// BatchTrailer is the final NDJSON line of a batch stream, marked by
+// done=true: the batch's own accounting. Its presence is the well-formed
+// end-of-stream marker; a stream without it was truncated.
+type BatchTrailer struct {
+	Done      bool    `json:"done"`
+	Total     int     `json:"total"`
+	Succeeded int     `json:"succeeded"`
+	Failed    int     `json:"failed"`
+	Shed      int     `json:"shed"`
+	Remote    int     `json:"remote"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // CertificateResponse is the body of GET /certificate/{id}: the replayable

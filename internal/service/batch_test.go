@@ -1,0 +1,186 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	bpi "bpi"
+	"bpi/internal/service"
+)
+
+// The /v1/equiv/batch wire contract: NDJSON items tagged with the request
+// index, per-pair typed errors that never poison their neighbours, a
+// mandatory done=true trailer with honest accounting, and whole-batch
+// refusals (empty, oversized) as standard error envelopes.
+
+func TestBatchRoundTrip(t *testing.T) {
+	_, _, cl := newTestServer(t, service.Config{Workers: 2})
+	pairs := []bpi.EquivRequest{
+		{P: "a! | b!", Q: "a!.b! + b!.a!", Rel: service.RelLabelled, TimeoutMs: 30000},
+		{P: "tau.a!", Q: "a!", Rel: service.RelLabelled, Weak: true, TimeoutMs: 30000},
+		{P: "a!", Q: "b!", Rel: service.RelLabelled, TimeoutMs: 30000},
+		{P: "a!.b!", Q: "a!.b!", Rel: service.RelLabelled, Cert: true, TimeoutMs: 30000},
+	}
+	wantRelated := []bool{true, true, false, true}
+
+	res, err := cl.Batch(context.Background(), bpi.BatchRequest{Pairs: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trailer
+	if !tr.Done || tr.Total != len(pairs) || tr.Succeeded != len(pairs) || tr.Failed != 0 || tr.Shed != 0 {
+		t.Fatalf("trailer %+v, want %d clean verdicts", tr, len(pairs))
+	}
+	if tr.Remote != 0 {
+		t.Errorf("single-node batch reports %d remote verdicts", tr.Remote)
+	}
+	if len(res.Items) != len(pairs) {
+		t.Fatalf("%d items, want %d", len(res.Items), len(pairs))
+	}
+	for i, it := range res.Items {
+		if it.Index != i {
+			t.Fatalf("item %d carries index %d after client reordering", i, it.Index)
+		}
+		if it.Error != nil || it.Equiv == nil {
+			t.Fatalf("item %d: %+v, want a verdict", i, it)
+		}
+		if it.Equiv.Related != wantRelated[i] {
+			t.Errorf("item %d: related=%t, want %t", i, it.Equiv.Related, wantRelated[i])
+		}
+		if (it.Equiv.Certificate != nil) != pairs[i].Cert {
+			t.Errorf("item %d: certificate presence %t, requested %t",
+				i, it.Equiv.Certificate != nil, pairs[i].Cert)
+		}
+	}
+
+	// The identical batch again: every verdict must now come from the cache.
+	res2, err := cl.Batch(context.Background(), bpi.BatchRequest{Pairs: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range res2.Items {
+		if it.Equiv == nil || !it.Equiv.Cached {
+			t.Errorf("repeat item %d not served from the verdict cache: %+v", i, it)
+		}
+		if it.Equiv != nil && it.Equiv.Related != wantRelated[i] {
+			t.Errorf("repeat item %d: cached verdict drifted to related=%t", i, it.Equiv.Related)
+		}
+	}
+}
+
+// TestBatchPerPairErrors: a malformed pair yields a typed item error at its
+// index; the healthy pairs around it still get verdicts, and the trailer
+// splits the accounting.
+func TestBatchPerPairErrors(t *testing.T) {
+	_, _, cl := newTestServer(t, service.Config{Workers: 2})
+	pairs := []bpi.EquivRequest{
+		{P: "a!.b!", Q: "a!.b!", Rel: service.RelLabelled, TimeoutMs: 30000},
+		{P: "((", Q: "a!", Rel: service.RelLabelled, TimeoutMs: 30000}, // parse error
+		{P: "a!", Q: "b!", Rel: "no-such-relation", TimeoutMs: 30000},  // bad relation
+		{P: "c!.d!", Q: "c!.d!", Rel: service.RelLabelled, TimeoutMs: 30000},
+	}
+	res, err := cl.Batch(context.Background(), bpi.BatchRequest{Pairs: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trailer
+	if tr.Total != 4 || tr.Succeeded != 2 || tr.Failed != 2 || tr.Shed != 0 {
+		t.Fatalf("trailer %+v, want total=4 succeeded=2 failed=2 shed=0", tr)
+	}
+	for _, i := range []int{0, 3} {
+		if res.Items[i].Equiv == nil || !res.Items[i].Equiv.Related {
+			t.Errorf("healthy item %d poisoned by a failing neighbour: %+v", i, res.Items[i])
+		}
+	}
+	if e := res.Items[1].Error; e == nil || e.Code != service.CodeParseError {
+		t.Errorf("item 1: %+v, want parse_error", res.Items[1])
+	}
+	if e := res.Items[2].Error; e == nil || e.Code != service.CodeInvalidRequest {
+		t.Errorf("item 2: %+v, want invalid_request", res.Items[2])
+	}
+}
+
+// TestBatchWholeRefusals: empty and oversized batches are refused upfront
+// with a standard error envelope — no stream, no partial work.
+func TestBatchWholeRefusals(t *testing.T) {
+	_, ts, cl := newTestServer(t, service.Config{Workers: 1, BatchMax: 3})
+
+	if _, err := cl.Batch(context.Background(), bpi.BatchRequest{}); err == nil {
+		t.Error("empty batch accepted")
+	} else if apiErr, ok := err.(*bpi.APIError); !ok || apiErr.Code != service.CodeInvalidRequest {
+		t.Errorf("empty batch: %v, want typed invalid_request", err)
+	}
+
+	over := bpi.BatchRequest{}
+	for i := 0; i < 4; i++ {
+		over.Pairs = append(over.Pairs, bpi.EquivRequest{P: "a!", Q: "a!", Rel: service.RelLabelled})
+	}
+	if _, err := cl.Batch(context.Background(), over); err == nil {
+		t.Error("oversized batch accepted")
+	} else if apiErr, ok := err.(*bpi.APIError); !ok || apiErr.Code != service.CodeInvalidRequest {
+		t.Errorf("oversized batch: %v, want typed invalid_request", err)
+	} else if !strings.Contains(apiErr.Message, "limit 3") {
+		t.Errorf("oversized batch message %q does not name the limit", apiErr.Message)
+	}
+
+	resp, body := post(t, ts, "/v1/equiv/batch", `{"pairs": [`)
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, body) != service.CodeInvalidRequest {
+		t.Errorf("bad JSON: status %d body %s, want 400 invalid_request", resp.StatusCode, body)
+	}
+}
+
+// TestBatchStreamShape reads the raw NDJSON: correct content type, one
+// valid JSON object per line, items before the single done=true trailer,
+// nothing after it.
+func TestBatchStreamShape(t *testing.T) {
+	_, ts, _ := newTestServer(t, service.Config{Workers: 2})
+	body := `{"pairs":[
+		{"p":"a!.b!","q":"a!.b!","rel":"labelled","timeout_ms":30000},
+		{"p":"a!","q":"b!","rel":"labelled","timeout_ms":30000}]}`
+	resp, err := http.Post(ts.URL+"/v1/equiv/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("%d stream lines, want 2 items + 1 trailer", len(lines))
+	}
+	seen := map[int]bool{}
+	for _, line := range lines[:2] {
+		var item service.BatchItem
+		if err := json.Unmarshal([]byte(line), &item); err != nil {
+			t.Fatalf("item line %q: %v", line, err)
+		}
+		if item.Equiv == nil || seen[item.Index] {
+			t.Fatalf("item line %q: missing verdict or duplicate index", line)
+		}
+		seen[item.Index] = true
+	}
+	var trailer service.BatchTrailer
+	if err := json.Unmarshal([]byte(lines[2]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if !trailer.Done || trailer.Total != 2 || trailer.Succeeded != 2 {
+		t.Errorf("trailer %+v, want done=true total=2 succeeded=2", trailer)
+	}
+}

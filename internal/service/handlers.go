@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"bpi/internal/cluster"
 	"bpi/internal/lts"
 	"bpi/internal/syntax"
 )
@@ -20,6 +22,7 @@ import (
 //	POST /v1/step      symbolic transitions of a term
 //	POST /v1/explore   finite transition graph summary
 //	POST /v1/equiv     equivalence verdict (~, ≈, ~b, ~φ, ~+, ~c, …)
+//	POST /v1/equiv/batch  many pairs, NDJSON-streamed per-pair verdicts
 //	POST /v1/prove     A ⊢ p = q (Section 5)
 //	POST /v1/run       one scheduled machine execution
 //	POST /v1/jobs      submit an async job
@@ -37,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/step", instrument(s, "/v1/step", s.handleStep))
 	mux.HandleFunc("POST /v1/explore", instrument(s, "/v1/explore", s.handleExplore))
 	mux.HandleFunc("POST /v1/equiv", instrument(s, "/v1/equiv", s.handleEquiv))
+	mux.HandleFunc("POST /v1/equiv/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/prove", instrument(s, "/v1/prove", s.handleProve))
 	mux.HandleFunc("POST /v1/run", instrument(s, "/v1/run", s.handleRun))
 	mux.HandleFunc("POST /v1/jobs", instrument(s, "/v1/jobs", s.handleJobSubmit))
@@ -101,6 +105,9 @@ func instrument(s *Server, endpoint string, h handlerFunc) http.HandlerFunc {
 		code := "ok"
 		if er, ok := body.(errorResponse); ok {
 			code = er.Error.Code
+			if er.Error.RetryAfterSec > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(er.Error.RetryAfterSec))
+			}
 		}
 		s.metrics.observe(endpoint, code, time.Since(start))
 		w.Header().Set("Content-Type", "application/json")
@@ -112,6 +119,9 @@ func instrument(s *Server, endpoint string, h handlerFunc) http.HandlerFunc {
 }
 
 // fail builds a typed error response with the HTTP status matching the code.
+// Admission sheds (any error carrying a Retry-After hint, plus the
+// admission-only codes) are 429: the request was fine, the daemon refused
+// to queue it — distinct from the terminal 503 of shutting_down.
 func fail(eb *ErrorBody) (int, any) {
 	status := http.StatusInternalServerError
 	switch eb.Code {
@@ -125,10 +135,15 @@ func fail(eb *ErrorBody) (int, any) {
 		status = http.StatusGatewayTimeout
 	case CodeQueueFull, CodeShuttingDown:
 		status = http.StatusServiceUnavailable
+	case CodeDeadlineBudget, CodeDraining:
+		status = http.StatusTooManyRequests
 	case CodeNotFound, CodeJobFailed:
 		status = http.StatusNotFound
 	case CodePending:
 		status = http.StatusConflict
+	}
+	if eb.RetryAfterSec > 0 {
+		status = http.StatusTooManyRequests
 	}
 	return status, errorResponse{Error: *eb}
 }
@@ -139,12 +154,18 @@ const maxBodyBytes = 1 << 20
 
 // decode reads and unmarshals a JSON request body.
 func decode(r *http.Request, into any) *ErrorBody {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	return decodeLimit(r, into, maxBodyBytes)
+}
+
+// decodeLimit is decode with an explicit body bound (batches carry many
+// terms and get a larger one).
+func decodeLimit(r *http.Request, into any, limit int64) *ErrorBody {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
 		return &ErrorBody{Code: CodeInvalidRequest, Message: "reading body: " + err.Error()}
 	}
-	if len(body) > maxBodyBytes {
-		return &ErrorBody{Code: CodeTermTooLarge, Message: fmt.Sprintf("body exceeds %d bytes", maxBodyBytes)}
+	if int64(len(body)) > limit {
+		return &ErrorBody{Code: CodeTermTooLarge, Message: fmt.Sprintf("body exceeds %d bytes", limit)}
 	}
 	dec := json.NewDecoder(strings.NewReader(string(body)))
 	dec.DisallowUnknownFields()
@@ -249,8 +270,24 @@ func (s *Server) handleEquiv(r *http.Request) (int, any) {
 	if eb := decode(r, &req); eb != nil {
 		return fail(eb)
 	}
+	release, eb := s.admit(s.timeout(req.TimeoutMs))
+	if eb != nil {
+		return fail(eb)
+	}
+	var served time.Duration
+	defer func() { release(served) }()
+	// A forwarded request is decided locally by rule (see
+	// cluster.ForwardedHeader): that one-hop cap is what makes routing
+	// loop-free under membership disagreement.
+	run := s.runEquivRouted
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		s.clusterForwarded.Add(1)
+		run = s.runEquiv
+	}
 	return s.sync(r, func() (int, any) {
-		resp, eb := s.runEquiv(r.Context(), &req, s.obs)
+		t0 := time.Now()
+		resp, eb := run(r.Context(), &req, s.obs)
+		served = time.Since(t0)
 		if eb != nil {
 			return fail(eb)
 		}
@@ -396,6 +433,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"bpid_jobs", "Jobs by state.", `{state="failed"}`, float64(jc[JobFailed])},
 		{"bpid_uptime_seconds", "Seconds since daemon start.", "", time.Since(s.started).Seconds()},
 	}...)
+	gauges = s.clusterGauges(gauges)
 	// Engine counters from the daemon tracer, one labelled series per
 	// counter name (sorted for a stable exposition).
 	counters := s.obs.Counters()

@@ -305,11 +305,16 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if st.Run == nil || st.Run.Steps != 30000 {
 		t.Fatalf("drained job result: %+v", st.Run)
 	}
-	// New work is refused with the typed shutting_down code.
+	// A new query is shed by admission with the retryable draining cause
+	// (429 + Retry-After) — the cluster-aware refusal, distinct from the
+	// terminal shutting_down below.
 	_, err = cl.Equiv(ctx, bpi.EquivRequest{P: "a!", Q: "a!", Rel: service.RelLabelled})
 	apiErr, ok := err.(*bpi.APIError)
-	if !ok || apiErr.Code != service.CodeShuttingDown {
-		t.Fatalf("expected shutting_down, got %v", err)
+	if !ok || apiErr.Code != service.CodeDraining {
+		t.Fatalf("expected draining, got %v", err)
+	}
+	if apiErr.RetryAfterSec < 1 {
+		t.Fatalf("draining shed carries no Retry-After hint: %+v", apiErr)
 	}
 	_, err = cl.Submit(ctx, bpi.JobRequest{Kind: service.JobEquiv,
 		Equiv: &bpi.EquivRequest{P: "a!", Q: "a!", Rel: service.RelLabelled}})

@@ -1,0 +1,130 @@
+package syntax
+
+import (
+	"testing"
+
+	"bpi/internal/names"
+)
+
+// A term exercising every binder-carrying node: bn collects input params,
+// restriction binders and recursion params, through sums, parallels and
+// both branches of a match.
+func TestBoundNamesAllNodes(t *testing.T) {
+	p := Par{
+		L: Sum{
+			L: Prefix{In{Ch: "a", Params: []Name{"x", "y"}}, Nil{}},
+			R: Res{X: "v", Body: Call{Id: "A", Args: []Name{"a"}}},
+		},
+		R: Match{
+			X: "a", Y: "b",
+			Then: Rec{Id: "A", Params: []Name{"w"}, Body: Prefix{Out{Ch: "w"}, Nil{}}, Args: []Name{"a"}},
+			Else: Prefix{Tau{}, Nil{}},
+		},
+	}
+	got := BoundNames(p)
+	want := names.NewSet("x", "y", "v", "w")
+	if !got.Equal(want) {
+		t.Fatalf("BoundNames = %v, want %v", got, want)
+	}
+}
+
+func TestAllNamesIsUnion(t *testing.T) {
+	p := Res{X: "v", Body: Prefix{Out{Ch: "a", Args: []Name{"v"}}, Nil{}}}
+	got := AllNames(p)
+	want := FreeNames(p).Union(BoundNames(p))
+	if !got.Equal(want) {
+		t.Fatalf("AllNames = %v, want fn ∪ bn = %v", got, want)
+	}
+	if !got.Contains("a") || !got.Contains("v") {
+		t.Fatalf("AllNames = %v, want both a (free) and v (bound)", got)
+	}
+}
+
+// Print is the alias the round-trip law is stated with; right-nested sums
+// and parallels must print flat, without redundant parentheses.
+func TestPrintFlattensNestedSumAndPar(t *testing.T) {
+	out := func(ch Name) Proc { return Prefix{Out{Ch: ch}, Nil{}} }
+	sum3 := Sum{out("a"), Sum{out("b"), out("c")}}
+	if s := Print(sum3); s != "a! + b! + c!" {
+		t.Fatalf("Print(sum3) = %q, want %q", s, "a! + b! + c!")
+	}
+	par3 := Par{out("a"), Par{out("b"), out("c")}}
+	if s := Print(par3); s != "a! | b! | c!" {
+		t.Fatalf("Print(par3) = %q, want %q", s, "a! | b! | c!")
+	}
+	if Print(sum3) != String(sum3) {
+		t.Fatalf("Print and String disagree")
+	}
+}
+
+func TestRenameSingleName(t *testing.T) {
+	p := Prefix{Out{Ch: "a", Args: []Name{"a", "b"}}, Nil{}}
+	got := Rename(p, "a", "c")
+	want := Prefix{Out{Ch: "c", Args: []Name{"c", "b"}}, Nil{}}
+	if !Equal(got, want) {
+		t.Fatalf("Rename = %s, want %s", String(got), String(want))
+	}
+}
+
+// One rule-(11) unfolding must rewrite matching Calls into the recursion
+// template through every node shape, leave non-matching Calls alone, and
+// stop at an inner Rec that shadows the identifier.
+func TestUnfoldRewritesThroughAllNodes(t *testing.T) {
+	shadow := Rec{Id: "A", Params: nil, Body: Call{Id: "A"}}
+	other := Rec{Id: "B", Params: nil, Body: Call{Id: "A"}}
+	body := Sum{
+		L: Prefix{Tau{}, Par{Call{Id: "A", Args: []Name{"x"}}, Call{Id: "C"}}},
+		R: Res{X: "v", Body: Match{X: "a", Y: "b", Then: shadow, Else: other}},
+	}
+	r := Rec{Id: "A", Params: []Name{"x"}, Body: body, Args: []Name{"n"}}
+	got := Unfold(r)
+
+	tmpl := Rec{Id: "A", Params: []Name{"x"}, Body: body}
+	wantL := Prefix{Tau{}, Par{
+		Rec{Id: "A", Params: []Name{"x"}, Body: body, Args: []Name{"n"}},
+		Call{Id: "C"},
+	}}
+	sum, ok := got.(Sum)
+	if !ok {
+		t.Fatalf("Unfold = %T, want Sum", got)
+	}
+	if !Equal(sum.L, wantL) {
+		t.Fatalf("left arm = %s, want %s", String(sum.L), String(wantL))
+	}
+	res, ok := sum.R.(Res)
+	if !ok {
+		t.Fatalf("right arm = %T, want Res", sum.R)
+	}
+	m := res.Body.(Match)
+	if !Equal(m.Then, shadow) {
+		t.Fatalf("shadowing inner rec was rewritten: %s", String(m.Then))
+	}
+	wantElse := Rec{Id: "B", Params: nil, Body: tmpl, Args: nil}
+	if gotRec := m.Else.(Rec); gotRec.Id != "B" {
+		t.Fatalf("non-shadowing rec lost its id: %s", String(m.Else))
+	} else if !Equal(gotRec.Body, wantElse.Body) {
+		t.Fatalf("Call{A} under rec B not rewritten to the template: %s", String(gotRec.Body))
+	}
+}
+
+// FreeIdents: a Call under a Rec with the same Id is bound; re-binding an
+// already-bound Id must not un-bind it on the way out; everything else
+// (prefix, sum, par, res, match) is traversed transparently.
+func TestFreeIdents(t *testing.T) {
+	free := Call{Id: "B"}
+	inner := Rec{Id: "A", Params: nil, Body: Prefix{Tau{}, Call{Id: "A"}}}
+	p := Par{
+		L: Sum{
+			L: Prefix{Tau{}, free},
+			R: Res{X: "v", Body: Match{X: "a", Y: "a", Then: Call{Id: "C"}, Else: Nil{}}},
+		},
+		R: Rec{Id: "A", Params: nil, Body: Sum{Call{Id: "A"}, inner}},
+	}
+	got := FreeIdents(p)
+	if len(got) != 2 || !got["B"] || !got["C"] {
+		t.Fatalf("FreeIdents = %v, want {B, C}", got)
+	}
+	if got["A"] {
+		t.Fatalf("A occurs only under its own Rec binders, must not be free: %v", got)
+	}
+}

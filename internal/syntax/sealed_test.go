@@ -1,0 +1,28 @@
+package syntax
+
+import "testing"
+
+// The Proc and Pre interfaces are sealed — exactly these node types exist.
+// Every consumer (printer, substitution, semantics, compiler) switches
+// exhaustively over this list; this test pins it.
+func TestASTSealed(t *testing.T) {
+	procs := []Proc{
+		Nil{}, Prefix{Pre: Tau{}, Cont: Nil{}}, Sum{L: Nil{}, R: Nil{}},
+		Par{L: Nil{}, R: Nil{}}, Res{X: "x", Body: Nil{}},
+		Match{X: "a", Y: "b", Then: Nil{}, Else: Nil{}},
+		Call{Id: "D"}, Rec{Id: "D", Body: Nil{}},
+	}
+	if len(procs) != 8 {
+		t.Fatalf("%d process node types, want 8", len(procs))
+	}
+	for _, p := range procs {
+		p.isProc()
+	}
+	pres := []Pre{Tau{}, In{Ch: "a"}, Out{Ch: "a"}}
+	if len(pres) != 3 {
+		t.Fatalf("%d prefix types, want 3", len(pres))
+	}
+	for _, p := range pres {
+		p.isPre()
+	}
+}
